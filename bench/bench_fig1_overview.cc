@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 1 reproduction: one Pareto surrogate model (HW-PR-NAS) vs two
+ * separate surrogate models (BRP-NAS) on NAS-Bench-201 / CIFAR-10.
+ *
+ *  a) Pareto front approximations of both methods against the true
+ *     front (computed by enumerating all 15,625 cells);
+ *  b) search-time speedup;
+ *  c) normalized hypervolume.
+ */
+
+#include "bench_common.h"
+
+#include "nasbench/nasbench201.h"
+
+using namespace hwpr;
+using namespace hwpr::benchx;
+
+int
+main()
+{
+    const Budget budget = Budget::fromEnv();
+    const auto dataset = nasbench::DatasetId::Cifar10;
+    const auto platform = hw::PlatformId::EdgeGpu;
+    std::cout << "=== Figure 1: one Pareto surrogate vs two separate "
+                 "surrogates (NAS-Bench-201, CIFAR-10, "
+              << hw::platformName(platform) << ") ===\n"
+              << std::endl;
+
+    // Surrogates trained on the sampled dataset.
+    BundleSelect select;
+    select.gates = false;
+    SurrogateBundle bundle =
+        trainSurrogates(budget, dataset, platform, 1, select);
+    std::cout << "trained HW-PR-NAS in "
+              << AsciiTable::num(bundle.hwprTrainSeconds, 1)
+              << " s, BRP-NAS (2 models) in "
+              << AsciiTable::num(bundle.brpTrainSeconds, 1) << " s\n"
+              << std::endl;
+
+    // True Pareto front of the full NAS-Bench-201 space.
+    const auto &nb201 = static_cast<const nasbench::NasBench201Space &>(
+        nasbench::nasBench201());
+    std::vector<pareto::Point> all_points;
+    all_points.reserve(15625);
+    for (const auto &arch : nb201.enumerate())
+        all_points.push_back(search::trueObjectives(
+            bundle.oracle->record(arch), platform));
+    std::vector<pareto::Point> true_front;
+    for (std::size_t idx : pareto::nonDominatedIndices(all_points))
+        true_front.push_back(all_points[idx]);
+    const pareto::Point ref =
+        pareto::nadirReference(all_points, 0.05);
+
+    // Search NB201 with each surrogate.
+    const auto domain =
+        search::SearchDomain::single(nasbench::nasBench201());
+    search::MoeaConfig mc = budget.moea;
+
+    auto hwpr_eval = hwprEvaluator(bundle);
+    Rng rng_a(11);
+    const auto run_hwpr =
+        search::Moea(mc).run(domain, hwpr_eval, rng_a);
+    auto brp_eval = brpEvaluator(bundle);
+    Rng rng_b(11);
+    const auto run_brp = search::Moea(mc).run(domain, brp_eval, rng_b);
+
+    const auto front_hwpr =
+        search::measureFront(run_hwpr, *bundle.oracle, platform);
+    const auto front_brp =
+        search::measureFront(run_brp, *bundle.oracle, platform);
+
+    // a) Fronts: accuracy (x) vs latency (y), like the paper's plot.
+    AsciiScatter scatter("Fig. 1a: Pareto front approximations",
+                         "accuracy (%)", "latency (ms)");
+    auto add_series = [&scatter](const std::string &name,
+                                 const std::vector<pareto::Point> &f) {
+        std::vector<double> xs, ys;
+        for (const auto &p : f) {
+            xs.push_back(100.0 - p[0]);
+            ys.push_back(p[1]);
+        }
+        scatter.addSeries(name, xs, ys);
+    };
+    add_series("true Pareto front", true_front);
+    add_series("MOEA + BRP-NAS (2 surrogates)", front_brp.front);
+    add_series("MOEA + HW-PR-NAS (1 surrogate)", front_hwpr.front);
+    std::cout << scatter.render() << std::endl;
+
+    // b) Search time on the modelled testbed: the ledger charges one
+    // surrogate call per architecture for HW-PR-NAS and two for the
+    // two-surrogate method (the paper's "shared call" saving), at the
+    // measured per-call cost.
+    const double t_hwpr = run_hwpr.stats.simulatedSeconds;
+    const double t_brp = run_brp.stats.simulatedSeconds;
+    AsciiBarChart time_chart("Fig. 1b: search time (s)");
+    time_chart.addBar("BRP-NAS (2 models)", t_brp);
+    time_chart.addBar("HW-PR-NAS (1 model)", t_hwpr);
+    std::cout << time_chart.render();
+    std::cout << "  speedup: " << AsciiTable::num(t_brp / t_hwpr, 2)
+              << "x (paper reports up to 2.5x)\n"
+              << std::endl;
+
+    // c) Normalized hypervolume against the exhaustive true front.
+    const double hv_true = pareto::hypervolume(true_front, ref);
+    const double nhv_hwpr =
+        pareto::hypervolume(front_hwpr.front, ref) / hv_true;
+    const double nhv_brp =
+        pareto::hypervolume(front_brp.front, ref) / hv_true;
+    AsciiBarChart hv_chart("Fig. 1c: normalized hypervolume");
+    hv_chart.addBar("BRP-NAS (2 models)", nhv_brp);
+    hv_chart.addBar("HW-PR-NAS (1 model)", nhv_hwpr);
+    std::cout << hv_chart.render() << std::endl;
+
+    // CSV dump.
+    CsvWriter csv(outDir() + "/fig1_overview.csv",
+                  {"series", "accuracy_pct", "latency_ms"});
+    auto dump = [&csv](const std::string &name,
+                       const std::vector<pareto::Point> &front) {
+        for (const auto &p : front)
+            csv.addRow({name, AsciiTable::num(100.0 - p[0], 4),
+                        AsciiTable::num(p[1], 5)});
+    };
+    dump("true_front", true_front);
+    dump("hwpr_front", front_hwpr.front);
+    dump("brp_front", front_brp.front);
+
+    CsvWriter summary(outDir() + "/fig1_summary.csv",
+                      {"method", "search_seconds", "normalized_hv"});
+    summary.addRow({"HW-PR-NAS", AsciiTable::num(t_hwpr, 3),
+                    AsciiTable::num(nhv_hwpr, 4)});
+    summary.addRow({"BRP-NAS", AsciiTable::num(t_brp, 3),
+                    AsciiTable::num(nhv_brp, 4)});
+    return 0;
+}

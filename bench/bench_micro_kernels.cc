@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the kernels every
+ * experiment leans on: matrix multiply, non-dominated sorting,
+ * hypervolume, Kendall tau, the hardware cost model, architecture
+ * encoders, and the listwise loss.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/stats.h"
+#include "core/encoding.h"
+#include "nasbench/dataset.h"
+#include "nn/loss.h"
+#include "pareto/pareto.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+Matrix
+randomMatrix(std::size_t r, std::size_t c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (double &v : m.raw())
+        v = rng.normal();
+    return m;
+}
+
+std::vector<pareto::Point>
+randomCloud(std::size_t n, std::size_t dims, Rng &rng)
+{
+    std::vector<pareto::Point> pts(n, pareto::Point(dims));
+    for (auto &p : pts)
+        for (double &v : p)
+            v = rng.uniform();
+    return pts;
+}
+
+void
+BM_Matmul(benchmark::State &state)
+{
+    const std::size_t n = std::size_t(state.range(0));
+    Rng rng(1);
+    const Matrix a = randomMatrix(n, n, rng);
+    const Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.matmul(b));
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_NonDominatedSort(benchmark::State &state)
+{
+    Rng rng(2);
+    const auto pts =
+        randomCloud(std::size_t(state.range(0)), 2, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pareto::paretoRanks(pts));
+}
+BENCHMARK(BM_NonDominatedSort)->Arg(150)->Arg(300)->Arg(1000);
+
+void
+BM_Hypervolume2D(benchmark::State &state)
+{
+    Rng rng(3);
+    const auto pts =
+        randomCloud(std::size_t(state.range(0)), 2, rng);
+    const pareto::Point ref = {1.1, 1.1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pareto::hypervolume(pts, ref));
+}
+BENCHMARK(BM_Hypervolume2D)->Arg(100)->Arg(1000);
+
+void
+BM_Hypervolume3D(benchmark::State &state)
+{
+    Rng rng(4);
+    const auto pts =
+        randomCloud(std::size_t(state.range(0)), 3, rng);
+    const pareto::Point ref = {1.1, 1.1, 1.1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pareto::hypervolume(pts, ref));
+}
+BENCHMARK(BM_Hypervolume3D)->Arg(100)->Arg(500);
+
+void
+BM_KendallTau(benchmark::State &state)
+{
+    Rng rng(5);
+    const std::size_t n = std::size_t(state.range(0));
+    std::vector<double> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = rng.uniform();
+        y[i] = rng.uniform();
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kendallTau(x, y));
+}
+BENCHMARK(BM_KendallTau)->Arg(1000)->Arg(10000);
+
+void
+BM_OracleRecord(benchmark::State &state)
+{
+    // Cold-path cost of one full measurement (accuracy simulation +
+    // 7-platform cost model). A fresh architecture every iteration.
+    nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    Rng rng(6);
+    for (auto _ : state) {
+        const auto a = nasbench::fbnet().sample(rng);
+        benchmark::DoNotOptimize(oracle.record(a));
+    }
+}
+BENCHMARK(BM_OracleRecord);
+
+void
+BM_GcnEncode(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<nasbench::Architecture> archs;
+    for (int i = 0; i < 64; ++i)
+        archs.push_back(nasbench::nasBench201().sample(rng));
+    core::EncoderConfig cfg;
+    core::ArchEncoder enc(core::EncodingKind::GCN, cfg,
+                          nasbench::DatasetId::Cifar10, archs, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(enc.encode(archs));
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_GcnEncode);
+
+void
+BM_LstmEncode(benchmark::State &state)
+{
+    Rng rng(8);
+    std::vector<nasbench::Architecture> archs;
+    for (int i = 0; i < 64; ++i)
+        archs.push_back(nasbench::fbnet().sample(rng));
+    core::EncoderConfig cfg;
+    core::ArchEncoder enc(core::EncodingKind::LSTM, cfg,
+                          nasbench::DatasetId::Cifar10, archs, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(enc.encode(archs));
+    state.SetItemsProcessed(int64_t(state.iterations()) * 64);
+}
+BENCHMARK(BM_LstmEncode);
+
+void
+BM_ListMleLossBackward(benchmark::State &state)
+{
+    Rng rng(9);
+    const std::size_t n = 128;
+    std::vector<int> ranks(n);
+    for (auto &r : ranks)
+        r = rng.intIn(1, 10);
+    for (auto _ : state) {
+        nn::Tensor s =
+            nn::Tensor::param(randomMatrix(n, 1, rng), "s");
+        nn::Tensor loss = nn::listMleParetoLoss(s, ranks);
+        nn::backward(loss);
+        benchmark::DoNotOptimize(s.grad());
+    }
+}
+BENCHMARK(BM_ListMleLossBackward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Section III-E reproduction: cross-platform latency correlation
+ * study. Prints the 7x7 Kendall correlation matrix over a sample of
+ * both search spaces, highlights the paper's observations (the two
+ * FPGAs correlate weakly, ~0.23; {RaspberryPi4, Pixel3, FPGA-ZC706}
+ * form a correlated family), and repeats the measurement on
+ * ImageNet16-120 to show the family decorrelating when the input size
+ * changes.
+ */
+
+#include "bench_common.h"
+
+using namespace hwpr;
+using namespace hwpr::benchx;
+
+namespace
+{
+
+/**
+ * Per-platform latency columns over a NAS-Bench-201 sample (the
+ * paper's correlation study is within one search space; across the
+ * NB201/FBNet union, total model size dominates and every platform
+ * correlates trivially).
+ */
+std::vector<std::vector<double>>
+latencyColumns(nasbench::DatasetId dataset, std::size_t n,
+               std::uint64_t seed)
+{
+    nasbench::Oracle oracle(dataset);
+    Rng rng(seed);
+    std::vector<std::vector<double>> lat(hw::kNumPlatforms);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &rec =
+            oracle.record(nasbench::nasBench201().sample(rng));
+        for (std::size_t p = 0; p < hw::kNumPlatforms; ++p)
+            lat[p].push_back(rec.latencyMs[p]);
+    }
+    return lat;
+}
+
+void
+printMatrix(const std::string &title,
+            const std::vector<std::vector<double>> &lat,
+            CsvWriter &csv, const std::string &dataset_name)
+{
+    std::vector<std::string> header = {""};
+    for (hw::PlatformId p : hw::allPlatforms())
+        header.push_back(hw::platformName(p));
+    AsciiTable table(header);
+    for (std::size_t i = 0; i < hw::kNumPlatforms; ++i) {
+        std::vector<std::string> row = {
+            hw::platformName(hw::allPlatforms()[i])};
+        for (std::size_t j = 0; j < hw::kNumPlatforms; ++j) {
+            const double tau = kendallTau(lat[i], lat[j]);
+            row.push_back(AsciiTable::num(tau, 2));
+            csv.addRow({dataset_name,
+                        hw::platformName(hw::allPlatforms()[i]),
+                        hw::platformName(hw::allPlatforms()[j]),
+                        AsciiTable::num(tau, 4)});
+        }
+        table.addRow(row);
+    }
+    std::cout << title << "\n" << table.render() << std::endl;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Budget budget = Budget::fromEnv();
+    std::cout << "=== Sec. III-E: cross-platform latency correlation "
+                 "===\n"
+              << std::endl;
+    const std::size_t n = budget.referenceCloud / 4;
+
+    CsvWriter csv(outDir() + "/platform_correlation.csv",
+                  {"dataset", "platform_a", "platform_b",
+                   "kendall_tau"});
+
+    const auto lat32 =
+        latencyColumns(nasbench::DatasetId::Cifar10, n, 41);
+    printMatrix("Latency Kendall tau, CIFAR-10 (32x32 inputs):",
+                lat32, csv, "CIFAR-10");
+
+    const auto idx = [](hw::PlatformId p) {
+        return hw::platformIndex(p);
+    };
+    const double fpga_pair =
+        kendallTau(lat32[idx(hw::PlatformId::FpgaZC706)],
+                   lat32[idx(hw::PlatformId::FpgaZCU102)]);
+    const double family_a =
+        kendallTau(lat32[idx(hw::PlatformId::RaspberryPi4)],
+                   lat32[idx(hw::PlatformId::Pixel3)]);
+    const double family_b =
+        kendallTau(lat32[idx(hw::PlatformId::RaspberryPi4)],
+                   lat32[idx(hw::PlatformId::FpgaZC706)]);
+    std::cout << "Observations (paper Sec. III-E):\n"
+              << "  FPGA ZC706 vs ZCU102 tau = "
+              << AsciiTable::num(fpga_pair, 2)
+              << " (paper: weak, 0.23)\n"
+              << "  Pi4 vs Pixel3 tau = "
+              << AsciiTable::num(family_a, 2)
+              << ", Pi4 vs ZC706 tau = "
+              << AsciiTable::num(family_b, 2)
+              << " (paper: a correlated family)\n"
+              << std::endl;
+
+    // Input-size study: the family decorrelates on 16x16 inputs.
+    const auto lat16 =
+        latencyColumns(nasbench::DatasetId::ImageNet16, n, 42);
+    printMatrix(
+        "Latency Kendall tau, ImageNet16-120 (16x16 inputs):", lat16,
+        csv, "ImageNet16-120");
+    const double family_a16 =
+        kendallTau(lat16[idx(hw::PlatformId::RaspberryPi4)],
+                   lat16[idx(hw::PlatformId::Pixel3)]);
+    const double family_b16 =
+        kendallTau(lat16[idx(hw::PlatformId::RaspberryPi4)],
+                   lat16[idx(hw::PlatformId::FpgaZC706)]);
+    std::cout << "With 16x16 inputs: Pi4 vs Pixel3 tau = "
+              << AsciiTable::num(family_a16, 2)
+              << ", Pi4 vs ZC706 tau = "
+              << AsciiTable::num(family_b16, 2)
+              << " -> family correlation drops when the input size "
+                 "changes, motivating the duplicated multi-platform "
+                 "latency predictor.\n";
+    return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Run every table/figure harness, logging to bench/logs/.
+cd "$(dirname "$0")/.." || exit 1
+mkdir -p bench/logs
+for b in bench_platform_correlation bench_table1_regressors \
+         bench_fig1_overview bench_fig4_encodings \
+         bench_fig9_three_objectives bench_fig7_search_time \
+         bench_fig8_architectures bench_fig6_pareto_fronts \
+         bench_table4_proportions bench_ablations \
+         bench_table3_hypervolume; do
+    echo "=== $b ==="
+    ./build/bench/$b > "bench/logs/$b.log" 2>&1 && echo OK || echo FAILED
+done
+echo ALL_DONE

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Predictor playground: train single-metric performance predictors
+ * with different encodings (AF / LSTM / GCN, paper Fig. 4) and
+ * regressors (MLP / XGBoost / LGBoost, paper Table I) and compare
+ * their ranking quality — the workflow for choosing the surrogate
+ * ingredients before assembling a full HW-PR-NAS model.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "core/predictor.h"
+
+using namespace hwpr;
+
+int
+main()
+{
+    const auto dataset_id = nasbench::DatasetId::Cifar10;
+    const auto platform = hw::PlatformId::Pixel3;
+    const std::size_t pidx = hw::platformIndex(platform);
+
+    nasbench::Oracle oracle(dataset_id);
+    Rng rng(13);
+    const auto data = nasbench::SampledDataset::sample(
+        {&nasbench::nasBench201()}, oracle, 900, 600, 150, rng);
+    const auto train = data.select(data.trainIdx);
+    const auto val = data.select(data.valIdx);
+    const auto test = data.select(data.testIdx);
+
+    const core::TargetFn accuracy =
+        [](const nasbench::ArchRecord &r) { return r.accuracy; };
+    const core::TargetFn latency =
+        [pidx](const nasbench::ArchRecord &r) {
+            return std::log(r.latencyMs[pidx]);
+        };
+
+    core::PredictorTrainConfig cfg;
+    cfg.epochs = 30;
+    cfg.lr = 1.5e-3;
+
+    AsciiTable table({"predictor", "encoding", "regressor",
+                      "Kendall tau", "RMSE"});
+    std::uint64_t seed = 50;
+
+    const auto run = [&](const std::string &label,
+                         core::EncodingKind enc,
+                         core::RegressorKind reg,
+                         const core::TargetFn &target) {
+        core::MetricPredictor pred(enc, core::EncoderConfig::fast(),
+                                   reg, dataset_id, ++seed);
+        pred.train(train, val, target, cfg);
+        const auto q = core::evaluatePredictor(pred, test, target);
+        table.addRow({label, core::encodingName(enc),
+                      core::regressorName(reg),
+                      AsciiTable::num(q.kendall, 3),
+                      AsciiTable::num(q.rmse, 3)});
+    };
+
+    std::cout << "Training accuracy predictors (3 encodings x MLP, "
+                 "plus tree regressors)..."
+              << std::endl;
+    run("accuracy", core::EncodingKind::AF, core::RegressorKind::Mlp,
+        accuracy);
+    run("accuracy", core::EncodingKind::GCN, core::RegressorKind::Mlp,
+        accuracy);
+    run("accuracy", core::EncodingKind::GCN_AF,
+        core::RegressorKind::Mlp, accuracy);
+    run("accuracy", core::EncodingKind::GCN_AF,
+        core::RegressorKind::XGBoost, accuracy);
+
+    std::cout << "Training latency predictors for "
+              << hw::platformName(platform) << "..." << std::endl;
+    run("latency", core::EncodingKind::AF, core::RegressorKind::Mlp,
+        latency);
+    run("latency", core::EncodingKind::LSTM_AF,
+        core::RegressorKind::Mlp, latency);
+    run("latency", core::EncodingKind::LSTM_AF,
+        core::RegressorKind::LGBoost, latency);
+
+    std::cout << "\n" << table.render()
+              << "\nThe paper's recipe: GCN(+AF) encodes accuracy "
+                 "best (it sees the cell wiring), LSTM(+AF) encodes "
+                 "latency best, and tree regressors are competitive "
+                 "with the MLP at a fraction of the training cost.\n";
+    return 0;
+}

@@ -1,0 +1,6 @@
+#!/bin/sh
+cd /root/repo || exit 1
+cmake --build build > /dev/null 2>&1
+ctest --test-dir build 2>&1 | tee /root/repo/test_output.txt
+for b in build/bench/*; do $b; done 2>&1 | tee /root/repo/bench_output.txt
+echo FINAL_RUN_DONE

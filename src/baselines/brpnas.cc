@@ -1,0 +1,89 @@
+#include "baselines/brpnas.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hwpr::baselines
+{
+
+BrpNas::BrpNas(const core::EncoderConfig &enc_cfg,
+               nasbench::DatasetId dataset, std::uint64_t seed)
+    : encCfg_(enc_cfg), dataset_(dataset), seed_(seed)
+{
+}
+
+void
+BrpNas::train(const std::vector<const nasbench::ArchRecord *> &train,
+              const std::vector<const nasbench::ArchRecord *> &val,
+              hw::PlatformId platform,
+              const core::PredictorTrainConfig &base_cfg)
+{
+    platform_ = platform;
+    const std::size_t pidx = hw::platformIndex(platform);
+
+    accuracy_ = std::make_unique<core::MetricPredictor>(
+        core::EncodingKind::GCN, encCfg_, core::RegressorKind::Mlp,
+        dataset_, seed_ ^ 0xaccull);
+    core::PredictorTrainConfig acc_cfg = base_cfg;
+    acc_cfg.loss = core::LossKind::MseHinge;
+    accuracy_->train(
+        train, val,
+        [](const nasbench::ArchRecord &rec) { return rec.accuracy; },
+        acc_cfg);
+
+    latency_ = std::make_unique<core::MetricPredictor>(
+        core::EncodingKind::GCN, encCfg_, core::RegressorKind::Mlp,
+        dataset_, seed_ ^ 0x1a7ull);
+    core::PredictorTrainConfig lat_cfg = base_cfg;
+    lat_cfg.loss = core::LossKind::Mse;
+    // Latencies span orders of magnitude across the union space;
+    // regress log-latency (a monotone transform, so dominance
+    // comparisons downstream are unaffected).
+    latency_->train(
+        train, val,
+        [pidx](const nasbench::ArchRecord &rec) {
+            return std::log(rec.latencyMs[pidx]);
+        },
+        lat_cfg);
+}
+
+std::vector<double>
+BrpNas::predictAccuracy(
+    const std::vector<nasbench::Architecture> &a) const
+{
+    HWPR_CHECK(accuracy_, "predictAccuracy() before train()");
+    return accuracy_->predict(a);
+}
+
+std::vector<double>
+BrpNas::predictLatency(
+    const std::vector<nasbench::Architecture> &a) const
+{
+    HWPR_CHECK(latency_, "predictLatency() before train()");
+    std::vector<double> out = latency_->predict(a);
+    for (double &v : out)
+        v = std::exp(v); // back to milliseconds
+    return out;
+}
+
+search::VectorSurrogateEvaluator
+BrpNas::evaluator() const
+{
+    HWPR_CHECK(accuracy_ && latency_, "evaluator() before train()");
+    return search::VectorSurrogateEvaluator(
+        "BRP-NAS",
+        {
+            [this](const std::vector<nasbench::Architecture> &archs) {
+                std::vector<double> acc = predictAccuracy(archs);
+                for (double &v : acc)
+                    v = 100.0 - v;
+                return acc;
+            },
+            [this](const std::vector<nasbench::Architecture> &archs) {
+                return predictLatency(archs);
+            },
+        });
+}
+
+} // namespace hwpr::baselines

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * BRP-NAS-style baseline (Dudziak et al., NeurIPS'20): two independent
+ * GCN-based surrogates — an accuracy predictor and a per-device
+ * latency predictor — whose predictions are combined inside the search
+ * by non-dominated sorting. This is the "two surrogate models"
+ * configuration HW-PR-NAS is compared against throughout the paper
+ * (Fig. 1, Fig. 6, Table III, Fig. 7).
+ */
+
+#ifndef HWPR_BASELINES_BRPNAS_H
+#define HWPR_BASELINES_BRPNAS_H
+
+#include <memory>
+
+#include "core/predictor.h"
+#include "search/surrogate_evaluator.h"
+
+namespace hwpr::baselines
+{
+
+/** Two-surrogate BRP-NAS baseline. */
+class BrpNas
+{
+  public:
+    BrpNas(const core::EncoderConfig &enc_cfg,
+           nasbench::DatasetId dataset, std::uint64_t seed);
+
+    /**
+     * Train both predictors. Accuracy uses GCN encoding with the
+     * binary-relation-style ranking objective (hinge) plus MSE;
+     * latency uses GCN encoding with MSE (BRP-NAS trains a GCN
+     * regressor per device).
+     */
+    void train(const std::vector<const nasbench::ArchRecord *> &train,
+               const std::vector<const nasbench::ArchRecord *> &val,
+               hw::PlatformId platform,
+               const core::PredictorTrainConfig &base_cfg = {});
+
+    std::vector<double>
+    predictAccuracy(const std::vector<nasbench::Architecture> &a) const;
+    std::vector<double>
+    predictLatency(const std::vector<nasbench::Architecture> &a) const;
+
+    /**
+     * Objective-vector evaluator (100 - predicted accuracy, predicted
+     * latency). The BrpNas object must outlive the evaluator.
+     */
+    search::VectorSurrogateEvaluator evaluator() const;
+
+    hw::PlatformId platform() const { return platform_; }
+
+  private:
+    core::EncoderConfig encCfg_;
+    nasbench::DatasetId dataset_;
+    std::uint64_t seed_;
+    hw::PlatformId platform_ = hw::PlatformId::EdgeGpu;
+    std::unique_ptr<core::MetricPredictor> accuracy_;
+    std::unique_ptr<core::MetricPredictor> latency_;
+};
+
+} // namespace hwpr::baselines
+
+#endif // HWPR_BASELINES_BRPNAS_H

@@ -1,0 +1,80 @@
+#include "baselines/gates.h"
+
+#include "common/logging.h"
+
+namespace hwpr::baselines
+{
+
+Gates::Gates(const core::EncoderConfig &enc_cfg,
+             nasbench::DatasetId dataset, std::uint64_t seed)
+    : encCfg_(enc_cfg), dataset_(dataset), seed_(seed)
+{
+}
+
+void
+Gates::train(const std::vector<const nasbench::ArchRecord *> &train,
+             const std::vector<const nasbench::ArchRecord *> &val,
+             hw::PlatformId platform,
+             const core::PredictorTrainConfig &base_cfg)
+{
+    platform_ = platform;
+    const std::size_t pidx = hw::platformIndex(platform);
+
+    core::PredictorTrainConfig cfg = base_cfg;
+    cfg.loss = core::LossKind::Hinge;
+    cfg.hingeMargin = 0.1;
+
+    accuracy_ = std::make_unique<core::MetricPredictor>(
+        core::EncodingKind::GCN, encCfg_, core::RegressorKind::Mlp,
+        dataset_, seed_ ^ 0x6a7e5ull);
+    accuracy_->train(
+        train, val,
+        [](const nasbench::ArchRecord &rec) { return rec.accuracy; },
+        cfg);
+
+    latency_ = std::make_unique<core::MetricPredictor>(
+        core::EncodingKind::GCN, encCfg_, core::RegressorKind::Mlp,
+        dataset_, seed_ ^ 0x6a7e51ull);
+    latency_->train(
+        train, val,
+        [pidx](const nasbench::ArchRecord &rec) {
+            return rec.latencyMs[pidx];
+        },
+        cfg);
+}
+
+std::vector<double>
+Gates::accuracyScores(
+    const std::vector<nasbench::Architecture> &a) const
+{
+    HWPR_CHECK(accuracy_, "accuracyScores() before train()");
+    return accuracy_->predict(a);
+}
+
+std::vector<double>
+Gates::latencyScores(const std::vector<nasbench::Architecture> &a) const
+{
+    HWPR_CHECK(latency_, "latencyScores() before train()");
+    return latency_->predict(a);
+}
+
+search::VectorSurrogateEvaluator
+Gates::evaluator() const
+{
+    HWPR_CHECK(accuracy_ && latency_, "evaluator() before train()");
+    return search::VectorSurrogateEvaluator(
+        "GATES",
+        {
+            [this](const std::vector<nasbench::Architecture> &archs) {
+                std::vector<double> s = accuracyScores(archs);
+                for (double &v : s)
+                    v = -v; // maximize accuracy score
+                return s;
+            },
+            [this](const std::vector<nasbench::Architecture> &archs) {
+                return latencyScores(archs);
+            },
+        });
+}
+
+} // namespace hwpr::baselines

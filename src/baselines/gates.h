@@ -1,0 +1,62 @@
+/**
+ * @file
+ * GATES-style baseline (Ning et al., ECCV'20): a graph-based encoding
+ * through a GCN with predictors trained purely as *ranking* models
+ * using the pairwise hinge loss with margin 0.1. The predicted scores
+ * carry no unit — only their order matters — which is exactly what
+ * non-dominated sorting consumes.
+ */
+
+#ifndef HWPR_BASELINES_GATES_H
+#define HWPR_BASELINES_GATES_H
+
+#include <memory>
+
+#include "core/predictor.h"
+#include "search/surrogate_evaluator.h"
+
+namespace hwpr::baselines
+{
+
+/** Pairwise-ranking GCN baseline. */
+class Gates
+{
+  public:
+    Gates(const core::EncoderConfig &enc_cfg,
+          nasbench::DatasetId dataset, std::uint64_t seed);
+
+    /** Train the accuracy and latency ranking predictors. */
+    void train(const std::vector<const nasbench::ArchRecord *> &train,
+               const std::vector<const nasbench::ArchRecord *> &val,
+               hw::PlatformId platform,
+               const core::PredictorTrainConfig &base_cfg = {});
+
+    /** Accuracy ranking scores (higher = more accurate). */
+    std::vector<double>
+    accuracyScores(const std::vector<nasbench::Architecture> &a) const;
+
+    /** Latency ranking scores (higher = slower). */
+    std::vector<double>
+    latencyScores(const std::vector<nasbench::Architecture> &a) const;
+
+    /**
+     * Objective-vector evaluator (-accuracy score, latency score);
+     * both objectives are minimized by the search. The Gates object
+     * must outlive the evaluator.
+     */
+    search::VectorSurrogateEvaluator evaluator() const;
+
+    hw::PlatformId platform() const { return platform_; }
+
+  private:
+    core::EncoderConfig encCfg_;
+    nasbench::DatasetId dataset_;
+    std::uint64_t seed_;
+    hw::PlatformId platform_ = hw::PlatformId::EdgeGpu;
+    std::unique_ptr<core::MetricPredictor> accuracy_;
+    std::unique_ptr<core::MetricPredictor> latency_;
+};
+
+} // namespace hwpr::baselines
+
+#endif // HWPR_BASELINES_GATES_H

@@ -1,0 +1,79 @@
+#include "baselines/lut.h"
+
+#include "nasbench/space.h"
+
+namespace hwpr::baselines
+{
+
+LatencyLut::LatencyLut(nasbench::DatasetId dataset,
+                       hw::PlatformId platform)
+    : dataset_(dataset), platform_(platform),
+      model_(hw::costModelFor(platform))
+{
+}
+
+std::uint64_t
+LatencyLut::key(const hw::OpWorkload &op)
+{
+    // FNV-1a over the discrete signature fields.
+    std::uint64_t x = 1469598103934665603ull;
+    auto mix = [&x](std::uint64_t v) {
+        x ^= v + 0x9e3779b97f4a7c15ull;
+        x *= 1099511628211ull;
+    };
+    mix(std::uint64_t(op.kind));
+    mix(std::uint64_t(op.h));
+    mix(std::uint64_t(op.w));
+    mix(std::uint64_t(op.cin));
+    mix(std::uint64_t(op.cout));
+    mix(std::uint64_t(op.kernel));
+    mix(std::uint64_t(op.stride));
+    mix(std::uint64_t(op.groups));
+    return x;
+}
+
+double
+LatencyLut::opLatencySec(const hw::OpWorkload &op) const
+{
+    const std::uint64_t k = key(op);
+    auto it = table_.find(k);
+    if (it != table_.end())
+        return it->second;
+    // "Measure" the operator in isolation on the device.
+    const double lat = model_.opCost(op).latencySec;
+    table_.emplace(k, lat);
+    return lat;
+}
+
+void
+LatencyLut::build(
+    const std::vector<nasbench::Architecture> &calibration)
+{
+    for (const auto &arch : calibration)
+        for (const auto &op :
+             nasbench::spaceFor(arch.space).lower(arch, dataset_))
+            opLatencySec(op);
+}
+
+double
+LatencyLut::estimateMs(const nasbench::Architecture &arch) const
+{
+    double total = model_.spec().baseLatencySec;
+    for (const auto &op :
+         nasbench::spaceFor(arch.space).lower(arch, dataset_))
+        total += opLatencySec(op);
+    return total * 1e3;
+}
+
+std::vector<double>
+LatencyLut::estimate(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    std::vector<double> out;
+    out.reserve(archs.size());
+    for (const auto &arch : archs)
+        out.push_back(estimateMs(arch));
+    return out;
+}
+
+} // namespace hwpr::baselines

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Layer-wise lookup-table (LUT) latency estimator — the classic
+ * baseline the paper's related work criticizes (Sec. II): each
+ * operator in the search space is benchmarked once in isolation, and
+ * an architecture's end-to-end latency is estimated as the sum of its
+ * operators' isolated latencies.
+ *
+ * The known limitation reproduces here: isolated per-op costs miss
+ * the cross-operator pipeline overlap of real executions
+ * (hw::CostModel::networkCost), so the LUT systematically
+ * overestimates and mis-ranks architectures whose schedules overlap
+ * differently — which is exactly why learned sequence models (the
+ * LSTM latency predictor) outperform it.
+ */
+
+#ifndef HWPR_BASELINES_LUT_H
+#define HWPR_BASELINES_LUT_H
+
+#include <unordered_map>
+
+#include "hw/cost_model.h"
+#include "nasbench/dataset.h"
+
+namespace hwpr::baselines
+{
+
+/** Layer-wise latency lookup table for one platform. */
+class LatencyLut
+{
+  public:
+    LatencyLut(nasbench::DatasetId dataset, hw::PlatformId platform);
+
+    /**
+     * Pre-profile every operator appearing in a calibration set of
+     * architectures (one isolated measurement per unique signature).
+     */
+    void build(const std::vector<nasbench::Architecture> &calibration);
+
+    /**
+     * Estimated end-to-end latency (ms): sum of per-op LUT entries
+     * plus the per-inference base latency. Unseen operators are
+     * profiled on demand, as deployed LUT flows do.
+     */
+    double estimateMs(const nasbench::Architecture &arch) const;
+
+    /** Batch variant of estimateMs. */
+    std::vector<double>
+    estimate(const std::vector<nasbench::Architecture> &archs) const;
+
+    /** Number of distinct operator signatures profiled so far. */
+    std::size_t numEntries() const { return table_.size(); }
+
+    hw::PlatformId platform() const { return platform_; }
+
+  private:
+    /** Canonical signature of an operator workload. */
+    static std::uint64_t key(const hw::OpWorkload &op);
+
+    /** Isolated latency of one operator (memoized). */
+    double opLatencySec(const hw::OpWorkload &op) const;
+
+    nasbench::DatasetId dataset_;
+    hw::PlatformId platform_;
+    hw::CostModel model_;
+    mutable std::unordered_map<std::uint64_t, double> table_;
+};
+
+} // namespace hwpr::baselines
+
+#endif // HWPR_BASELINES_LUT_H

@@ -1,0 +1,62 @@
+#include "common/csv.h"
+
+#include <filesystem>
+
+#include "common/logging.h"
+
+namespace hwpr
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+{
+    const std::filesystem::path p(path);
+    if (p.has_parent_path())
+        ensureDirectory(p.parent_path().string());
+    out_.open(path);
+    ok_ = out_.is_open();
+    if (!ok_) {
+        warn("could not open CSV file ", path, "; output discarded");
+        return;
+    }
+    writeRow(header);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    if (ok_)
+        writeRow(row);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            out_ << ",";
+        // Quote cells containing separators.
+        if (row[i].find_first_of(",\"\n") != std::string::npos) {
+            out_ << '"';
+            for (char c : row[i]) {
+                if (c == '"')
+                    out_ << '"';
+                out_ << c;
+            }
+            out_ << '"';
+        } else {
+            out_ << row[i];
+        }
+    }
+    out_ << "\n";
+}
+
+bool
+ensureDirectory(const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    return !ec;
+}
+
+} // namespace hwpr

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV writer. The bench harnesses dump the series behind every
+ * reproduced table/figure so results can be re-plotted externally.
+ */
+
+#ifndef HWPR_COMMON_CSV_H
+#define HWPR_COMMON_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hwpr
+{
+
+/** Writes rows of string/number cells to a CSV file. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+
+    /** Append one row of preformatted cells. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Whether the file opened successfully. */
+    bool ok() const { return ok_; }
+
+  private:
+    void writeRow(const std::vector<std::string> &row);
+
+    std::ofstream out_;
+    bool ok_ = false;
+};
+
+/** Create a directory (and parents) if missing; returns success. */
+bool ensureDirectory(const std::string &path);
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_CSV_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Error-handling and status-message primitives.
+ *
+ * Mirrors the gem5 fatal/panic distinction:
+ *  - HWPR_CHECK / fatal(): the condition is the *user's* fault (bad
+ *    configuration, invalid argument). Exits with status 1.
+ *  - HWPR_PANIC / panic(): an internal invariant was violated (a bug in
+ *    this library). Calls std::abort() so a core dump / debugger can
+ *    capture the state.
+ */
+
+#ifndef HWPR_COMMON_LOGGING_H
+#define HWPR_COMMON_LOGGING_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hwpr
+{
+
+namespace detail
+{
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report a user-caused error and terminate with exit code 1. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::cerr << "fatal: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+    std::exit(1);
+}
+
+/** Report a library bug and abort so the state can be inspected. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::cerr << "panic: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+    std::abort();
+}
+
+/** Informative status message; never stops execution. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::cerr << "info: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Warn about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::cerr << "warn: "
+              << detail::composeMessage(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+} // namespace hwpr
+
+/** Validate a user-facing precondition; exits cleanly when violated. */
+#define HWPR_CHECK(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::hwpr::fatal("check failed: ", #cond, " — ", __VA_ARGS__);  \
+        }                                                                 \
+    } while (0)
+
+/** Validate an internal invariant; aborts when violated. */
+#define HWPR_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::hwpr::panic("assert failed: ", #cond, " at ", __FILE__,    \
+                          ":", __LINE__, " — ", __VA_ARGS__);            \
+        }                                                                 \
+    } while (0)
+
+#endif // HWPR_COMMON_LOGGING_H

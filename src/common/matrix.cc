@@ -1,0 +1,229 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+namespace hwpr
+{
+
+Matrix &
+Matrix::operator+=(const Matrix &o)
+{
+    HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += o.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &o)
+{
+    HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                "shape mismatch in -=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= o.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(double s)
+{
+    for (double &v : data_)
+        v *= s;
+    return *this;
+}
+
+Matrix
+Matrix::operator+(const Matrix &o) const
+{
+    Matrix r = *this;
+    r += o;
+    return r;
+}
+
+Matrix
+Matrix::operator-(const Matrix &o) const
+{
+    Matrix r = *this;
+    r -= o;
+    return r;
+}
+
+Matrix
+Matrix::hadamard(const Matrix &o) const
+{
+    HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                "shape mismatch in hadamard");
+    Matrix r = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        r.data_[i] *= o.data_[i];
+    return r;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix r = *this;
+    r *= s;
+    return r;
+}
+
+Matrix
+Matrix::matmul(const Matrix &o) const
+{
+    HWPR_ASSERT(cols_ == o.rows_, "matmul inner-dim mismatch: ", cols_,
+                " vs ", o.rows_);
+    Matrix r(rows_, o.cols_);
+    const std::size_t n = o.cols_;
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *arow = &data_[i * cols_];
+        double *rrow = &r.data_[i * n];
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = arow[k];
+            if (a == 0.0)
+                continue;
+            const double *brow = &o.data_[k * n];
+            for (std::size_t j = 0; j < n; ++j)
+                rrow[j] += a * brow[j];
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::transposedMatmul(const Matrix &o) const
+{
+    // (this^T * o): this is (k x m), o is (k x n), result (m x n).
+    HWPR_ASSERT(rows_ == o.rows_, "transposedMatmul row mismatch");
+    Matrix r(cols_, o.cols_);
+    const std::size_t n = o.cols_;
+    for (std::size_t k = 0; k < rows_; ++k) {
+        const double *arow = &data_[k * cols_];
+        const double *brow = &o.data_[k * n];
+        for (std::size_t i = 0; i < cols_; ++i) {
+            const double a = arow[i];
+            if (a == 0.0)
+                continue;
+            double *rrow = &r.data_[i * n];
+            for (std::size_t j = 0; j < n; ++j)
+                rrow[j] += a * brow[j];
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::matmulTransposed(const Matrix &o) const
+{
+    // (this * o^T): this is (m x k), o is (n x k), result (m x n).
+    HWPR_ASSERT(cols_ == o.cols_, "matmulTransposed col mismatch");
+    Matrix r(rows_, o.rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double *arow = &data_[i * cols_];
+        for (std::size_t j = 0; j < o.rows_; ++j) {
+            const double *brow = &o.data_[j * cols_];
+            double acc = 0.0;
+            for (std::size_t k = 0; k < cols_; ++k)
+                acc += arow[k] * brow[k];
+            r.data_[i * o.rows_ + j] = acc;
+        }
+    }
+    return r;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix r(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r(j, i) = (*this)(i, j);
+    return r;
+}
+
+Matrix
+Matrix::map(const std::function<double(double)> &f) const
+{
+    Matrix r = *this;
+    for (double &v : r.data_)
+        v = f(v);
+    return r;
+}
+
+Matrix
+Matrix::addRowBroadcast(const Matrix &row) const
+{
+    HWPR_ASSERT(row.rows_ == 1 && row.cols_ == cols_,
+                "broadcast row shape mismatch");
+    Matrix r = *this;
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r(i, j) += row(0, j);
+    return r;
+}
+
+Matrix
+Matrix::columnSums() const
+{
+    Matrix r(1, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            r(0, j) += (*this)(i, j);
+    return r;
+}
+
+double
+Matrix::sum() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v;
+    return acc;
+}
+
+Matrix
+Matrix::rowSlice(std::size_t begin, std::size_t end) const
+{
+    HWPR_ASSERT(begin <= end && end <= rows_, "rowSlice out of range");
+    Matrix r(end - begin, cols_);
+    std::copy(data_.begin() + begin * cols_, data_.begin() + end * cols_,
+              r.data_.begin());
+    return r;
+}
+
+Matrix
+Matrix::hconcat(const Matrix &a, const Matrix &b)
+{
+    HWPR_ASSERT(a.rows_ == b.rows_, "hconcat row mismatch");
+    Matrix r(a.rows_, a.cols_ + b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+        std::copy(&a.data_[i * a.cols_], &a.data_[(i + 1) * a.cols_],
+                  &r.data_[i * r.cols_]);
+        std::copy(&b.data_[i * b.cols_], &b.data_[(i + 1) * b.cols_],
+                  &r.data_[i * r.cols_ + a.cols_]);
+    }
+    return r;
+}
+
+Matrix
+Matrix::vconcat(const Matrix &a, const Matrix &b)
+{
+    HWPR_ASSERT(a.cols_ == b.cols_, "vconcat col mismatch");
+    Matrix r(a.rows_ + b.rows_, a.cols_);
+    std::copy(a.data_.begin(), a.data_.end(), r.data_.begin());
+    std::copy(b.data_.begin(), b.data_.end(),
+              r.data_.begin() + a.data_.size());
+    return r;
+}
+
+Matrix
+Matrix::xavier(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    Matrix r(rows, cols);
+    const double bound = std::sqrt(6.0 / double(rows + cols));
+    for (double &v : r.raw())
+        v = rng.uniform(-bound, bound);
+    return r;
+}
+
+} // namespace hwpr

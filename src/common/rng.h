@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic random-number generation.
+ *
+ * Every stochastic component in the library draws from an explicitly
+ * seeded Rng so that experiments are reproducible bit-for-bit. There is
+ * intentionally no global generator.
+ */
+
+#ifndef HWPR_COMMON_RNG_H
+#define HWPR_COMMON_RNG_H
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hwpr
+{
+
+/**
+ * Seeded wrapper around std::mt19937_64 with the handful of draw
+ * shapes the library needs.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int
+    intIn(int lo, int hi)
+    {
+        HWPR_ASSERT(lo <= hi, "empty integer range");
+        return std::uniform_int_distribution<int>(lo, hi)(engine_);
+    }
+
+    /** Uniform index in [0, n). */
+    std::size_t
+    index(std::size_t n)
+    {
+        HWPR_ASSERT(n > 0, "index() over empty range");
+        return std::uniform_int_distribution<std::size_t>(0, n - 1)(
+            engine_);
+    }
+
+    /** Bernoulli draw with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /** Sample k distinct indices from [0, n) without replacement. */
+    std::vector<std::size_t>
+    sampleIndices(std::size_t n, std::size_t k)
+    {
+        HWPR_CHECK(k <= n, "cannot sample ", k, " from ", n);
+        std::vector<std::size_t> idx(n);
+        for (std::size_t i = 0; i < n; ++i)
+            idx[i] = i;
+        // Partial Fisher-Yates: only the first k slots are needed.
+        for (std::size_t i = 0; i < k; ++i) {
+            std::size_t j = i + index(n - i);
+            std::swap(idx[i], idx[j]);
+        }
+        idx.resize(k);
+        return idx;
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng
+    fork()
+    {
+        return Rng(engine_());
+    }
+
+    /** Access the underlying engine (for std:: distributions). */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_RNG_H

@@ -1,0 +1,160 @@
+#include "common/serialize.h"
+
+#include <cstring>
+
+namespace hwpr
+{
+
+namespace
+{
+
+constexpr std::uint64_t kMagic = 0x485750524e415331ull; // "HWPRNAS1"
+
+/** Sanity bound on serialized container sizes (corruption guard). */
+constexpr std::uint64_t kMaxElements = 1ull << 32;
+
+} // namespace
+
+void
+BinaryWriter::writeU64(std::uint64_t v)
+{
+    out_.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeI64(std::int64_t v)
+{
+    out_.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeDouble(double v)
+{
+    out_.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+BinaryWriter::writeString(const std::string &s)
+{
+    writeU64(s.size());
+    out_.write(s.data(), std::streamsize(s.size()));
+}
+
+void
+BinaryWriter::writeDoubles(const std::vector<double> &v)
+{
+    writeU64(v.size());
+    out_.write(reinterpret_cast<const char *>(v.data()),
+               std::streamsize(v.size() * sizeof(double)));
+}
+
+void
+BinaryWriter::writeMatrix(const Matrix &m)
+{
+    writeU64(m.rows());
+    writeU64(m.cols());
+    out_.write(reinterpret_cast<const char *>(m.data()),
+               std::streamsize(m.size() * sizeof(double)));
+}
+
+std::uint64_t
+BinaryReader::readU64()
+{
+    std::uint64_t v = 0;
+    in_.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in_.good())
+        ok_ = false;
+    return v;
+}
+
+std::int64_t
+BinaryReader::readI64()
+{
+    std::int64_t v = 0;
+    in_.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in_.good())
+        ok_ = false;
+    return v;
+}
+
+double
+BinaryReader::readDouble()
+{
+    double v = 0.0;
+    in_.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!in_.good())
+        ok_ = false;
+    return v;
+}
+
+std::string
+BinaryReader::readString()
+{
+    const std::uint64_t n = readU64();
+    if (!ok_ || n > kMaxElements) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(n, '\0');
+    in_.read(s.data(), std::streamsize(n));
+    if (!in_.good())
+        ok_ = false;
+    return s;
+}
+
+std::vector<double>
+BinaryReader::readDoubles()
+{
+    const std::uint64_t n = readU64();
+    if (!ok_ || n > kMaxElements) {
+        ok_ = false;
+        return {};
+    }
+    std::vector<double> v(n);
+    in_.read(reinterpret_cast<char *>(v.data()),
+             std::streamsize(n * sizeof(double)));
+    if (!in_.good())
+        ok_ = false;
+    return v;
+}
+
+Matrix
+BinaryReader::readMatrix()
+{
+    const std::uint64_t rows = readU64();
+    const std::uint64_t cols = readU64();
+    if (!ok_ || rows * cols > kMaxElements) {
+        ok_ = false;
+        return Matrix();
+    }
+    Matrix m(rows, cols);
+    in_.read(reinterpret_cast<char *>(m.data()),
+             std::streamsize(rows * cols * sizeof(double)));
+    if (!in_.good())
+        ok_ = false;
+    return m;
+}
+
+void
+writeHeader(BinaryWriter &w, const std::string &kind,
+            std::uint32_t version)
+{
+    w.writeU64(kMagic);
+    w.writeString(kind);
+    w.writeU64(version);
+}
+
+std::uint32_t
+readHeader(BinaryReader &r, const std::string &kind)
+{
+    if (r.readU64() != kMagic)
+        return 0;
+    if (r.readString() != kind)
+        return 0;
+    const std::uint64_t version = r.readU64();
+    if (!r.ok())
+        return 0;
+    return std::uint32_t(version);
+}
+
+} // namespace hwpr

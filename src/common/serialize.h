@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal binary serialization primitives used for model
+ * checkpointing: little-endian fixed-width integers, doubles, strings
+ * and matrices, wrapped in a magic/version header with basic
+ * corruption checks.
+ */
+
+#ifndef HWPR_COMMON_SERIALIZE_H
+#define HWPR_COMMON_SERIALIZE_H
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hwpr
+{
+
+/** Binary writer over an ostream. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(std::ostream &out) : out_(out) {}
+
+    void writeU64(std::uint64_t v);
+    void writeI64(std::int64_t v);
+    void writeDouble(double v);
+    void writeString(const std::string &s);
+    void writeDoubles(const std::vector<double> &v);
+    void writeMatrix(const Matrix &m);
+
+    bool ok() const { return out_.good(); }
+
+  private:
+    std::ostream &out_;
+};
+
+/** Binary reader over an istream; read failures set ok() false. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(std::istream &in) : in_(in) {}
+
+    std::uint64_t readU64();
+    std::int64_t readI64();
+    double readDouble();
+    std::string readString();
+    std::vector<double> readDoubles();
+    Matrix readMatrix();
+
+    bool ok() const { return ok_ && in_.good(); }
+
+  private:
+    std::istream &in_;
+    bool ok_ = true;
+};
+
+/** Write the standard checkpoint header. */
+void writeHeader(BinaryWriter &w, const std::string &kind,
+                 std::uint32_t version);
+
+/**
+ * Validate the checkpoint header; returns the version or 0 when the
+ * magic/kind does not match.
+ */
+std::uint32_t readHeader(BinaryReader &r, const std::string &kind);
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_SERIALIZE_H

@@ -1,0 +1,241 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hwpr
+{
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) / double(v.size());
+}
+
+double
+stddev(const std::vector<double> &v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / double(v.size() - 1));
+}
+
+double
+stdError(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return stddev(v) / std::sqrt(double(v.size()));
+}
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    HWPR_CHECK(x.size() == y.size(), "pearson length mismatch");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+    const double mx = mean(x), my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx, dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+averageRanks(const std::vector<double> &v)
+{
+    const std::size_t n = v.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && v[order[j + 1]] == v[order[i]])
+            ++j;
+        // Tied block [i, j]: all members get the average 1-based rank.
+        const double r = 0.5 * double(i + j) + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = r;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    HWPR_CHECK(x.size() == y.size(), "spearman length mismatch");
+    return pearson(averageRanks(x), averageRanks(y));
+}
+
+namespace
+{
+
+/**
+ * Count inversions in v via bottom-up merge sort. Used by kendallTau
+ * to count discordant pairs in O(n log n).
+ */
+std::uint64_t
+countInversions(std::vector<double> &v)
+{
+    const std::size_t n = v.size();
+    std::vector<double> buf(n);
+    std::uint64_t inversions = 0;
+    for (std::size_t width = 1; width < n; width *= 2) {
+        for (std::size_t lo = 0; lo + width < n; lo += 2 * width) {
+            const std::size_t mid = lo + width;
+            const std::size_t hi = std::min(lo + 2 * width, n);
+            std::size_t i = lo, j = mid, k = lo;
+            while (i < mid && j < hi) {
+                if (v[j] < v[i]) {
+                    inversions += mid - i;
+                    buf[k++] = v[j++];
+                } else {
+                    buf[k++] = v[i++];
+                }
+            }
+            while (i < mid)
+                buf[k++] = v[i++];
+            while (j < hi)
+                buf[k++] = v[j++];
+            std::copy(buf.begin() + lo, buf.begin() + hi,
+                      v.begin() + lo);
+        }
+    }
+    return inversions;
+}
+
+/** Sum over tied groups of t*(t-1)/2. Input must be sorted. */
+std::uint64_t
+tiePairs(const std::vector<double> &sorted)
+{
+    std::uint64_t acc = 0;
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+        std::size_t j = i;
+        while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i])
+            ++j;
+        const std::uint64_t t = j - i + 1;
+        acc += t * (t - 1) / 2;
+        i = j + 1;
+    }
+    return acc;
+}
+
+} // namespace
+
+double
+kendallTau(const std::vector<double> &x, const std::vector<double> &y)
+{
+    HWPR_CHECK(x.size() == y.size(), "kendallTau length mismatch");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    // Sort pairs by x (breaking x-ties by y); discordant pairs are then
+    // exactly the y-inversions, minus pairs tied in both.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                              std::size_t b) {
+        if (x[a] != x[b])
+            return x[a] < x[b];
+        return y[a] < y[b];
+    });
+
+    std::vector<double> ysorted(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ysorted[i] = y[order[i]];
+
+    // Joint ties (same x and same y).
+    std::uint64_t tiesXY = 0;
+    {
+        std::size_t i = 0;
+        while (i < n) {
+            std::size_t j = i;
+            while (j + 1 < n && x[order[j + 1]] == x[order[i]] &&
+                   y[order[j + 1]] == y[order[i]])
+                ++j;
+            const std::uint64_t t = j - i + 1;
+            tiesXY += t * (t - 1) / 2;
+            i = j + 1;
+        }
+    }
+
+    // Ties in x alone.
+    std::vector<double> xsorted(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xsorted[i] = x[order[i]];
+    const std::uint64_t tiesX = tiePairs(xsorted);
+
+    // Ties in y alone.
+    std::vector<double> ycopy = y;
+    std::sort(ycopy.begin(), ycopy.end());
+    const std::uint64_t tiesY = tiePairs(ycopy);
+
+    std::vector<double> ywork = ysorted;
+    const std::uint64_t discordant = countInversions(ywork);
+
+    const std::uint64_t total = std::uint64_t(n) * (n - 1) / 2;
+    // Concordant = total - discordant - (pairs tied in x or y),
+    // where ties in x with differing y were ordered by y and thus do
+    // not contribute inversions.
+    const double num =
+        double(total) - double(tiesX) - double(tiesY) + double(tiesXY) -
+        2.0 * double(discordant);
+    const double den = std::sqrt(double(total - tiesX)) *
+                       std::sqrt(double(total - tiesY));
+    if (den == 0.0)
+        return 0.0;
+    return num / den;
+}
+
+double
+rmse(const std::vector<double> &pred, const std::vector<double> &target)
+{
+    HWPR_CHECK(pred.size() == target.size(), "rmse length mismatch");
+    if (pred.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double d = pred[i] - target[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / double(pred.size()));
+}
+
+double
+minOf(const std::vector<double> &v)
+{
+    HWPR_CHECK(!v.empty(), "minOf on empty vector");
+    return *std::min_element(v.begin(), v.end());
+}
+
+double
+maxOf(const std::vector<double> &v)
+{
+    HWPR_CHECK(!v.empty(), "maxOf on empty vector");
+    return *std::max_element(v.begin(), v.end());
+}
+
+} // namespace hwpr

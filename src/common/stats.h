@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Statistics used across the experiments: summary statistics, rank
+ * correlations (Pearson, Spearman, Kendall tau) and regression error
+ * metrics (RMSE). Kendall tau is the headline metric the paper uses to
+ * compare encodings and regressors.
+ */
+
+#ifndef HWPR_COMMON_STATS_H
+#define HWPR_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hwpr
+{
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &v);
+
+/** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+double stddev(const std::vector<double> &v);
+
+/** Standard error of the mean: stddev / sqrt(n). */
+double stdError(const std::vector<double> &v);
+
+/** Pearson linear correlation coefficient. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Spearman rank correlation (Pearson over average ranks). */
+double spearman(const std::vector<double> &x,
+                const std::vector<double> &y);
+
+/**
+ * Kendall tau-b rank correlation, the metric used in Fig. 4 and
+ * Table I. Computed in O(n log n) via merge-sort inversion counting,
+ * with the tau-b tie correction so tied predictions are not rewarded.
+ */
+double kendallTau(const std::vector<double> &x,
+                  const std::vector<double> &y);
+
+/** Root-mean-square error between predictions and targets. */
+double rmse(const std::vector<double> &pred,
+            const std::vector<double> &target);
+
+/** Average ranks (1-based, ties share the average rank). */
+std::vector<double> averageRanks(const std::vector<double> &v);
+
+/** Min and max of a non-empty vector. */
+double minOf(const std::vector<double> &v);
+double maxOf(const std::vector<double> &v);
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_STATS_H

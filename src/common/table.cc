@@ -1,0 +1,182 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace hwpr
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    HWPR_CHECK(row.size() == headers_.size(),
+               "row width ", row.size(), " != header width ",
+               headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << v;
+    return oss.str();
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto fmt_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        oss << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << " " << row[c]
+                << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        oss << "\n";
+        return oss.str();
+    };
+
+    std::ostringstream rule;
+    rule << "+";
+    for (std::size_t w : widths)
+        rule << std::string(w + 2, '-') << "+";
+    rule << "\n";
+
+    std::ostringstream out;
+    out << rule.str() << fmt_row(headers_) << rule.str();
+    for (const auto &row : rows_)
+        out << fmt_row(row);
+    out << rule.str();
+    return out.str();
+}
+
+AsciiBarChart::AsciiBarChart(std::string title, int width)
+    : title_(std::move(title)), width_(width)
+{
+}
+
+void
+AsciiBarChart::addBar(const std::string &label, double value)
+{
+    bars_.emplace_back(label, value);
+}
+
+std::string
+AsciiBarChart::render() const
+{
+    std::ostringstream out;
+    out << title_ << "\n";
+    if (bars_.empty())
+        return out.str();
+
+    double max_v = 0.0;
+    std::size_t max_label = 0;
+    for (const auto &[label, v] : bars_) {
+        max_v = std::max(max_v, v);
+        max_label = std::max(max_label, label.size());
+    }
+    for (const auto &[label, v] : bars_) {
+        const int len =
+            max_v > 0.0 ? int(std::lround(v / max_v * width_)) : 0;
+        out << "  " << label
+            << std::string(max_label - label.size(), ' ') << " | "
+            << std::string(len, '#') << " " << AsciiTable::num(v, 3)
+            << "\n";
+    }
+    return out.str();
+}
+
+AsciiScatter::AsciiScatter(std::string title, std::string x_label,
+                           std::string y_label, int width, int height)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label)), width_(width), height_(height)
+{
+}
+
+void
+AsciiScatter::addSeries(const std::string &name,
+                        const std::vector<double> &xs,
+                        const std::vector<double> &ys)
+{
+    HWPR_CHECK(xs.size() == ys.size(), "series length mismatch");
+    static const char glyphs[] = {'*', 'o', '+', 'x', '@', '%', '&'};
+    Series s;
+    s.name = name;
+    s.glyph = glyphs[series_.size() % sizeof(glyphs)];
+    s.xs = xs;
+    s.ys = ys;
+    series_.push_back(std::move(s));
+}
+
+std::string
+AsciiScatter::render() const
+{
+    double xmin = 1e300, xmax = -1e300, ymin = 1e300, ymax = -1e300;
+    bool any = false;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            xmin = std::min(xmin, s.xs[i]);
+            xmax = std::max(xmax, s.xs[i]);
+            ymin = std::min(ymin, s.ys[i]);
+            ymax = std::max(ymax, s.ys[i]);
+            any = true;
+        }
+    }
+    std::ostringstream out;
+    out << title_ << "\n";
+    if (!any) {
+        out << "  (no points)\n";
+        return out.str();
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1.0;
+    if (ymax == ymin)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    // Later series overwrite earlier ones so the reference front (added
+    // first) does not mask the approximations.
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            const int cx = int((s.xs[i] - xmin) / (xmax - xmin) *
+                               (width_ - 1));
+            const int cy = int((s.ys[i] - ymin) / (ymax - ymin) *
+                               (height_ - 1));
+            grid[height_ - 1 - cy][cx] = s.glyph;
+        }
+    }
+
+    out << "  " << yLabel_ << "\n";
+    for (int r = 0; r < height_; ++r) {
+        const double yv =
+            ymax - (ymax - ymin) * double(r) / double(height_ - 1);
+        out << (r % 4 == 0 ? AsciiTable::num(yv, 1) : std::string())
+            << "\t|" << grid[r] << "\n";
+    }
+    out << "\t+" << std::string(width_, '-') << "\n";
+    out << "\t " << AsciiTable::num(xmin, 1) << std::string(width_ - 16, ' ')
+        << AsciiTable::num(xmax, 1) << "  (" << xLabel_ << ")\n";
+    for (const auto &s : series_)
+        out << "\t  '" << s.glyph << "' = " << s.name << "\n";
+    return out.str();
+}
+
+} // namespace hwpr

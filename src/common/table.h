@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ASCII renderers used by the bench harnesses to print the paper's
+ * tables and figures on a terminal: aligned tables, horizontal bar
+ * charts (Fig. 1b/1c, Fig. 7) and scatter plots (Pareto fronts,
+ * Fig. 1a / Fig. 6 / Fig. 9).
+ */
+
+#ifndef HWPR_COMMON_TABLE_H
+#define HWPR_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace hwpr
+{
+
+/** Aligned ASCII table with a header row. */
+class AsciiTable
+{
+  public:
+    /** Create with column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column separators and a header rule. */
+    std::string render() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Horizontal bar chart, one labelled bar per entry. */
+class AsciiBarChart
+{
+  public:
+    /** @p width is the maximum bar length in characters. */
+    explicit AsciiBarChart(std::string title, int width = 50);
+
+    /** Append one bar. */
+    void addBar(const std::string &label, double value);
+
+    /** Render; bars are scaled to the maximum value. */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    int width_;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+/**
+ * Character scatter plot for 2-D fronts. Multiple series are drawn
+ * with distinct glyphs; a legend is printed below the axes.
+ */
+class AsciiScatter
+{
+  public:
+    AsciiScatter(std::string title, std::string x_label,
+                 std::string y_label, int width = 70, int height = 22);
+
+    /** Add a named series of (x, y) points; glyph is auto-assigned. */
+    void addSeries(const std::string &name,
+                   const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+    std::string render() const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        char glyph;
+        std::vector<double> xs, ys;
+    };
+
+    std::string title_, xLabel_, yLabel_;
+    int width_, height_;
+    std::vector<Series> series_;
+};
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_TABLE_H

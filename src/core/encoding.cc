@@ -1,0 +1,166 @@
+#include "core/encoding.h"
+
+#include "common/logging.h"
+#include "nasbench/space.h"
+
+namespace hwpr::core
+{
+
+std::string
+encodingName(EncodingKind kind)
+{
+    switch (kind) {
+      case EncodingKind::AF:
+        return "AF";
+      case EncodingKind::LSTM:
+        return "LSTM";
+      case EncodingKind::GCN:
+        return "GCN";
+      case EncodingKind::LSTM_AF:
+        return "LSTM+AF";
+      case EncodingKind::GCN_AF:
+        return "GCN+AF";
+      case EncodingKind::ALL:
+        return "AF+LSTM+GCN";
+    }
+    panic("unknown EncodingKind");
+}
+
+EncoderConfig
+EncoderConfig::paper()
+{
+    EncoderConfig cfg;
+    cfg.gcnHidden = 600;
+    cfg.lstmHidden = 225;
+    cfg.embedDim = 32;
+    return cfg;
+}
+
+EncoderConfig
+EncoderConfig::fast()
+{
+    return EncoderConfig{};
+}
+
+bool
+ArchEncoder::usesAf() const
+{
+    return kind_ == EncodingKind::AF || kind_ == EncodingKind::LSTM_AF ||
+           kind_ == EncodingKind::GCN_AF || kind_ == EncodingKind::ALL;
+}
+
+bool
+ArchEncoder::usesLstm() const
+{
+    return kind_ == EncodingKind::LSTM ||
+           kind_ == EncodingKind::LSTM_AF || kind_ == EncodingKind::ALL;
+}
+
+bool
+ArchEncoder::usesGcn() const
+{
+    return kind_ == EncodingKind::GCN || kind_ == EncodingKind::GCN_AF ||
+           kind_ == EncodingKind::ALL;
+}
+
+ArchEncoder::ArchEncoder(
+    EncodingKind kind, const EncoderConfig &cfg,
+    nasbench::DatasetId dataset,
+    const std::vector<nasbench::Architecture> &scaler_fit, Rng &rng)
+    : kind_(kind), dataset_(dataset)
+{
+    if (usesAf()) {
+        HWPR_CHECK(!scaler_fit.empty(),
+                   "AF encoding needs architectures to fit the scaler");
+        std::vector<std::vector<double>> feats;
+        feats.reserve(scaler_fit.size());
+        for (const auto &a : scaler_fit)
+            feats.push_back(nasbench::archFeatures(a, dataset_));
+        scaler_ = nasbench::FeatureScaler::fit(feats);
+        dim_ += nasbench::kNumArchFeatures;
+    }
+    if (usesLstm()) {
+        nn::LstmConfig lc;
+        lc.vocab = nasbench::category::kNumCategories;
+        lc.embedDim = cfg.embedDim;
+        lc.hidden = cfg.lstmHidden;
+        lc.layers = cfg.lstmLayers;
+        lstm_ = std::make_unique<nn::LstmEncoder>(lc, rng);
+        dim_ += cfg.lstmHidden;
+    }
+    if (usesGcn()) {
+        nn::GcnConfig gc;
+        gc.featDim = nasbench::category::kNumCategories;
+        gc.hidden = cfg.gcnHidden;
+        gc.layers = cfg.gcnLayers;
+        gc.useGlobalNode = cfg.gcnGlobalNode;
+        gcn_ = std::make_unique<nn::GcnEncoder>(gc, rng);
+        dim_ += cfg.gcnHidden;
+    }
+    HWPR_CHECK(dim_ > 0, "encoder produces no features");
+}
+
+nn::GraphInput
+ArchEncoder::graphInput(const nasbench::Architecture &arch)
+{
+    const auto graph = nasbench::spaceFor(arch.space).toGraph(arch);
+    nn::GraphInput g;
+    g.adjacency = nn::GcnEncoder::normalizeAdjacency(graph.adjacency);
+    g.globalNode = graph.globalNode;
+    g.features = Matrix(graph.nodeCategories.size(),
+                        nasbench::category::kNumCategories);
+    for (std::size_t i = 0; i < graph.nodeCategories.size(); ++i)
+        g.features(i, std::size_t(graph.nodeCategories[i])) = 1.0;
+    return g;
+}
+
+nn::Tensor
+ArchEncoder::encode(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(!archs.empty(), "empty encoding batch");
+    nn::Tensor out;
+
+    if (usesAf()) {
+        Matrix af(archs.size(), nasbench::kNumArchFeatures);
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            const auto scaled = scaler_.apply(
+                nasbench::archFeatures(archs[i], dataset_));
+            for (std::size_t j = 0; j < scaled.size(); ++j)
+                af(i, j) = scaled[j];
+        }
+        out = nn::Tensor::constant(std::move(af), "af");
+    }
+    if (usesLstm()) {
+        std::vector<std::vector<std::size_t>> seqs;
+        seqs.reserve(archs.size());
+        for (const auto &a : archs)
+            seqs.push_back(nasbench::spaceFor(a.space).tokenize(a));
+        nn::Tensor enc = lstm_->forward(seqs);
+        out = out.valid() ? nn::concatCols(out, enc) : enc;
+    }
+    if (usesGcn()) {
+        std::vector<nn::GraphInput> graphs;
+        graphs.reserve(archs.size());
+        for (const auto &a : archs)
+            graphs.push_back(graphInput(a));
+        nn::Tensor enc = gcn_->forward(graphs);
+        out = out.valid() ? nn::concatCols(out, enc) : enc;
+    }
+    return out;
+}
+
+std::vector<nn::Tensor>
+ArchEncoder::params() const
+{
+    std::vector<nn::Tensor> out;
+    if (lstm_)
+        for (const auto &p : lstm_->params())
+            out.push_back(p);
+    if (gcn_)
+        for (const auto &p : gcn_->params())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace hwpr::core

@@ -1,0 +1,635 @@
+#include "core/hwprnas.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "pareto/pareto.h"
+#include "search/evaluator.h"
+
+namespace hwpr::core
+{
+
+HwPrNas::HwPrNas(const HwPrNasConfig &cfg, nasbench::DatasetId dataset,
+                 std::uint64_t seed)
+    : cfg_(cfg), dataset_(dataset), rng_(seed)
+{
+}
+
+std::size_t
+HwPrNas::headIndex(hw::PlatformId platform) const
+{
+    return cfg_.sharedLatencyHead ? 0 : hw::platformIndex(platform);
+}
+
+void
+HwPrNas::buildModel(
+    const std::vector<nasbench::Architecture> &scaler_fit,
+    double dropout)
+{
+    // Branch encodings follow the ablation winners: GCN(+AF) for
+    // accuracy, LSTM(+AF) for latency.
+    accEncoder_ = std::make_unique<ArchEncoder>(
+        cfg_.useArchFeatures ? EncodingKind::GCN_AF : EncodingKind::GCN,
+        cfg_.encoder, dataset_, scaler_fit, rng_);
+    latEncoder_ = std::make_unique<ArchEncoder>(
+        cfg_.useArchFeatures ? EncodingKind::LSTM_AF
+                             : EncodingKind::LSTM,
+        cfg_.encoder, dataset_, scaler_fit, rng_);
+
+    nn::MlpConfig acc_mlp;
+    acc_mlp.inDim = accEncoder_->dim();
+    acc_mlp.hidden = cfg_.headHidden;
+    acc_mlp.outDim = 1;
+    acc_mlp.dropout = dropout;
+    accHead_ = std::make_unique<nn::Mlp>(acc_mlp, rng_, "acc_head");
+
+    nn::MlpConfig lat_mlp;
+    lat_mlp.inDim = latEncoder_->dim();
+    lat_mlp.hidden = cfg_.headHidden;
+    lat_mlp.outDim = 1;
+    lat_mlp.dropout = dropout;
+    latHeads_.clear();
+    const std::size_t num_heads =
+        cfg_.sharedLatencyHead ? 1 : hw::kNumPlatforms;
+    for (std::size_t h = 0; h < num_heads; ++h)
+        latHeads_.push_back(std::make_unique<nn::Mlp>(
+            lat_mlp, rng_, "lat_head" + std::to_string(h)));
+    nn::MlpConfig comb_cfg;
+    comb_cfg.inDim = 2;
+    comb_cfg.hidden = cfg_.combinerHidden;
+    comb_cfg.outDim = 1;
+    comb_cfg.activation = nn::Activation::Tanh;
+    combiner_ =
+        std::make_unique<nn::Mlp>(comb_cfg, rng_, "combiner");
+}
+
+HwPrNas::Forward
+HwPrNas::forward(const std::vector<nasbench::Architecture> &archs,
+                 std::size_t head, bool training, Rng &rng) const
+{
+    Forward out;
+    const nn::Tensor acc_enc = accEncoder_->encode(archs);
+    out.accPred = accHead_->forward(acc_enc, training, rng);
+    const nn::Tensor lat_enc = latEncoder_->encode(archs);
+    out.latPred = latHeads_[head]->forward(lat_enc, training, rng);
+    out.score = combiner_->forward(
+        nn::concatCols(out.accPred, out.latPred), training, rng);
+    return out;
+}
+
+void
+HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
+               const std::vector<const nasbench::ArchRecord *> &val,
+               hw::PlatformId platform, const TrainConfig &cfg)
+{
+    HWPR_CHECK(!train.empty() && !val.empty(),
+               "HW-PR-NAS training needs train and validation data");
+    platform_ = platform;
+    const std::size_t pidx = hw::platformIndex(platform);
+
+    // Targets: accuracy (%) and log-latency, both standardized.
+    std::vector<nasbench::Architecture> train_archs, val_archs;
+    std::vector<double> train_acc, train_lat, val_acc, val_lat;
+    for (const auto *rec : train) {
+        train_archs.push_back(rec->arch);
+        train_acc.push_back(rec->accuracy);
+        train_lat.push_back(std::log(rec->latencyMs[pidx]));
+    }
+    for (const auto *rec : val) {
+        val_archs.push_back(rec->arch);
+        val_acc.push_back(rec->accuracy);
+        val_lat.push_back(std::log(rec->latencyMs[pidx]));
+    }
+    accScaler_ = TargetScaler::fit(train_acc);
+    TargetScaler &lat_scaler = latScalers_[headIndex(platform)];
+    lat_scaler = TargetScaler::fit(train_lat);
+    const auto train_accn = accScaler_.normAll(train_acc);
+    const auto train_latn = lat_scaler.normAll(train_lat);
+    const auto val_accn = accScaler_.normAll(val_acc);
+    const auto val_latn = lat_scaler.normAll(val_lat);
+
+    buildModel(train_archs, cfg.dropout);
+
+    const std::size_t head = headIndex(platform);
+
+    // Only the active latency head is optimized: AdamW's decoupled
+    // decay would otherwise shrink untrained heads.
+    std::vector<nn::Tensor> params = accEncoder_->params();
+    for (const auto &p : latEncoder_->params())
+        params.push_back(p);
+    for (const auto &p : accHead_->params())
+        params.push_back(p);
+    for (const auto &p : latHeads_[head]->params())
+        params.push_back(p);
+    for (const auto &p : combiner_->params())
+        params.push_back(p);
+    nn::AdamW opt(params, cfg.learningRate, cfg.weightDecay);
+
+    const std::size_t steps_per_epoch = std::max<std::size_t>(
+        1, (train_archs.size() + cfg.batchSize - 1) / cfg.batchSize);
+    nn::CosineAnnealing schedule(cfg.learningRate,
+                                 cfg.epochs * steps_per_epoch);
+
+    // Pre-computed true objective points for Pareto-rank labelling.
+    auto batch_ranks = [&](const std::vector<std::size_t> &batch,
+                           const std::vector<const nasbench::ArchRecord
+                                                 *> &recs) {
+        std::vector<pareto::Point> pts;
+        pts.reserve(batch.size());
+        for (std::size_t idx : batch)
+            pts.push_back(
+                search::trueObjectives(*recs[idx], platform_));
+        return pareto::paretoRanks(pts);
+    };
+
+    auto joint_loss = [&](const Forward &f,
+                          const std::vector<int> &ranks,
+                          const std::vector<double> &acc_t,
+                          const std::vector<double> &lat_t) {
+        nn::Tensor aux = nn::add(nn::mseLoss(f.accPred, acc_t),
+                                 nn::mseLoss(f.latPred, lat_t));
+        if (!cfg.listwiseLoss)
+            return aux;
+        nn::Tensor listwise =
+            nn::listMleParetoLoss(f.score, ranks);
+        return nn::add(listwise, nn::scale(aux, cfg_.rmseWeight));
+    };
+
+    // Validation list: global Pareto ranks over the whole val set.
+    std::vector<std::size_t> val_all(val_archs.size());
+    for (std::size_t i = 0; i < val_all.size(); ++i)
+        val_all[i] = i;
+    const std::vector<int> val_ranks = batch_ranks(val_all, val);
+
+    double best_val = 1e300;
+    std::size_t since_best = 0;
+    std::vector<Matrix> best_params = snapshotParams(params);
+    std::size_t step = 0;
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (const auto &batch :
+             makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
+            std::vector<nasbench::Architecture> archs;
+            std::vector<double> acc_t, lat_t;
+            for (std::size_t idx : batch) {
+                archs.push_back(train_archs[idx]);
+                acc_t.push_back(train_accn[idx]);
+                lat_t.push_back(train_latn[idx]);
+            }
+            const std::vector<int> ranks = batch_ranks(batch, train);
+            if (cfg.cosineAnnealing)
+                opt.setLearningRate(schedule.at(step));
+            ++step;
+            opt.zeroGrad();
+            const Forward f = forward(archs, head, true, rng_);
+            nn::Tensor loss = joint_loss(f, ranks, acc_t, lat_t);
+            nn::backward(loss);
+            opt.step();
+        }
+
+        const Forward vf = forward(val_archs, head, false, rng_);
+        const double vloss =
+            joint_loss(vf, val_ranks, val_accn, val_latn)
+                .value()(0, 0);
+        if (vloss < best_val - 1e-9) {
+            best_val = vloss;
+            since_best = 0;
+            best_params = snapshotParams(params);
+        } else if (++since_best >= cfg.patience) {
+            break;
+        }
+    }
+    restoreParams(params, best_params);
+
+    // Final combiner-only fine-tuning on the listwise loss.
+    if (cfg.listwiseLoss && cfg.combinerEpochs > 0) {
+        nn::AdamW comb_opt(combiner_->params(), cfg.learningRate,
+                           cfg.weightDecay);
+        for (std::size_t epoch = 0; epoch < cfg.combinerEpochs;
+             ++epoch) {
+            for (const auto &batch : makeBatches(
+                     train_archs.size(), cfg.batchSize, rng_)) {
+                std::vector<nasbench::Architecture> archs;
+                for (std::size_t idx : batch)
+                    archs.push_back(train_archs[idx]);
+                const std::vector<int> ranks =
+                    batch_ranks(batch, train);
+                comb_opt.zeroGrad();
+                const Forward f = forward(archs, head, false, rng_);
+                nn::Tensor loss =
+                    nn::listMleParetoLoss(f.score, ranks);
+                nn::backward(loss);
+                comb_opt.step();
+            }
+        }
+    }
+    trained_ = true;
+}
+
+void
+HwPrNas::trainMultiPlatform(
+    const std::vector<const nasbench::ArchRecord *> &train,
+    const std::vector<const nasbench::ArchRecord *> &val,
+    const std::vector<hw::PlatformId> &platforms,
+    const TrainConfig &cfg)
+{
+    HWPR_CHECK(!train.empty() && !val.empty(),
+               "multi-platform training needs train and val data");
+    HWPR_CHECK(!platforms.empty(), "no platforms given");
+    HWPR_CHECK(!cfg_.sharedLatencyHead,
+               "multi-platform training requires per-platform heads");
+    platform_ = platforms.front();
+
+    std::vector<nasbench::Architecture> train_archs, val_archs;
+    std::vector<double> train_acc, val_acc;
+    for (const auto *rec : train) {
+        train_archs.push_back(rec->arch);
+        train_acc.push_back(rec->accuracy);
+    }
+    for (const auto *rec : val) {
+        val_archs.push_back(rec->arch);
+        val_acc.push_back(rec->accuracy);
+    }
+    accScaler_ = TargetScaler::fit(train_acc);
+    const auto train_accn = accScaler_.normAll(train_acc);
+    const auto val_accn = accScaler_.normAll(val_acc);
+
+    // Per-platform standardized log-latency targets.
+    std::vector<std::vector<double>> train_latn(platforms.size());
+    std::vector<std::vector<double>> val_latn(platforms.size());
+    for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+        const std::size_t pidx = hw::platformIndex(platforms[pi]);
+        std::vector<double> t, v;
+        for (const auto *rec : train)
+            t.push_back(std::log(rec->latencyMs[pidx]));
+        for (const auto *rec : val)
+            v.push_back(std::log(rec->latencyMs[pidx]));
+        TargetScaler &scaler = latScalers_[pidx];
+        scaler = TargetScaler::fit(t);
+        train_latn[pi] = scaler.normAll(t);
+        val_latn[pi] = scaler.normAll(v);
+    }
+
+    buildModel(train_archs, cfg.dropout);
+
+    std::vector<nn::Tensor> params = accEncoder_->params();
+    for (const auto &p : latEncoder_->params())
+        params.push_back(p);
+    for (const auto &p : accHead_->params())
+        params.push_back(p);
+    for (hw::PlatformId platform : platforms)
+        for (const auto &p :
+             latHeads_[hw::platformIndex(platform)]->params())
+            params.push_back(p);
+    for (const auto &p : combiner_->params())
+        params.push_back(p);
+    nn::AdamW opt(params, cfg.learningRate, cfg.weightDecay);
+
+    const std::size_t steps_per_epoch = std::max<std::size_t>(
+        1, (train_archs.size() + cfg.batchSize - 1) / cfg.batchSize);
+    nn::CosineAnnealing schedule(cfg.learningRate,
+                                 cfg.epochs * steps_per_epoch);
+
+    auto ranks_for = [&](const std::vector<std::size_t> &batch,
+                         const std::vector<const nasbench::ArchRecord
+                                               *> &recs,
+                         hw::PlatformId platform) {
+        std::vector<pareto::Point> pts;
+        pts.reserve(batch.size());
+        for (std::size_t idx : batch)
+            pts.push_back(
+                search::trueObjectives(*recs[idx], platform));
+        return pareto::paretoRanks(pts);
+    };
+
+    // Joint loss over all platforms: the shared encoders/acc branch
+    // see the sum of every platform's listwise + RMSE terms.
+    auto joint_loss = [&](const std::vector<nasbench::Architecture>
+                              &archs,
+                          const std::vector<std::size_t> &batch,
+                          const std::vector<const nasbench::ArchRecord
+                                                *> &recs,
+                          const std::vector<double> &acc_t,
+                          const std::vector<std::vector<double>>
+                              &lat_t,
+                          bool training) {
+        const nn::Tensor acc_enc = accEncoder_->encode(archs);
+        const nn::Tensor acc_pred =
+            accHead_->forward(acc_enc, training, rng_);
+        const nn::Tensor lat_enc = latEncoder_->encode(archs);
+
+        nn::Tensor total = nn::scale(
+            nn::mseLoss(acc_pred, acc_t), cfg_.rmseWeight);
+        const double inv_p = 1.0 / double(platforms.size());
+        for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+            const std::size_t pidx =
+                hw::platformIndex(platforms[pi]);
+            const nn::Tensor lat_pred =
+                latHeads_[pidx]->forward(lat_enc, training, rng_);
+            total = nn::add(
+                total, nn::scale(nn::mseLoss(lat_pred, lat_t[pi]),
+                                 cfg_.rmseWeight * inv_p));
+            if (cfg.listwiseLoss) {
+                const nn::Tensor score = combiner_->forward(
+                    nn::concatCols(acc_pred, lat_pred), training,
+                    rng_);
+                total = nn::add(
+                    total,
+                    nn::scale(nn::listMleParetoLoss(
+                                  score, ranks_for(batch, recs,
+                                                   platforms[pi])),
+                              inv_p));
+            }
+        }
+        return total;
+    };
+
+    std::vector<std::size_t> val_all(val_archs.size());
+    for (std::size_t i = 0; i < val_all.size(); ++i)
+        val_all[i] = i;
+
+    double best_val = 1e300;
+    std::size_t since_best = 0;
+    std::vector<Matrix> best_params = snapshotParams(params);
+    std::size_t step = 0;
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (const auto &batch :
+             makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
+            std::vector<nasbench::Architecture> archs;
+            std::vector<double> acc_t;
+            std::vector<std::vector<double>> lat_t(platforms.size());
+            for (std::size_t idx : batch) {
+                archs.push_back(train_archs[idx]);
+                acc_t.push_back(train_accn[idx]);
+                for (std::size_t pi = 0; pi < platforms.size(); ++pi)
+                    lat_t[pi].push_back(train_latn[pi][idx]);
+            }
+            if (cfg.cosineAnnealing)
+                opt.setLearningRate(schedule.at(step));
+            ++step;
+            opt.zeroGrad();
+            nn::Tensor loss = joint_loss(archs, batch, train, acc_t,
+                                         lat_t, true);
+            nn::backward(loss);
+            opt.step();
+        }
+        const double vloss =
+            joint_loss(val_archs, val_all, val, val_accn, val_latn,
+                       false)
+                .value()(0, 0);
+        if (vloss < best_val - 1e-9) {
+            best_val = vloss;
+            since_best = 0;
+            best_params = snapshotParams(params);
+        } else if (++since_best >= cfg.patience) {
+            break;
+        }
+    }
+    restoreParams(params, best_params);
+    trained_ = true;
+}
+
+std::vector<double>
+HwPrNas::scores(const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(trained_, "scores() before train()");
+    Rng dummy(0);
+    const Forward f =
+        forward(archs, headIndex(platform_), false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = f.score.value()(i, 0);
+    return out;
+}
+
+std::vector<double>
+HwPrNas::scoresFor(const std::vector<nasbench::Architecture> &archs,
+                   hw::PlatformId platform) const
+{
+    HWPR_CHECK(trained_, "scoresFor() before train()");
+    Rng dummy(0);
+    const Forward f =
+        forward(archs, headIndex(platform), false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = f.score.value()(i, 0);
+    return out;
+}
+
+std::vector<double>
+HwPrNas::predictLatencyFor(
+    const std::vector<nasbench::Architecture> &archs,
+    hw::PlatformId platform) const
+{
+    HWPR_CHECK(trained_, "predictLatencyFor() before train()");
+    Rng dummy(0);
+    const Forward f =
+        forward(archs, headIndex(platform), false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = std::exp(latScalers_[headIndex(platform)].denorm(
+            f.latPred.value()(i, 0)));
+    return out;
+}
+
+std::vector<double>
+HwPrNas::predictAccuracy(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(trained_, "predictAccuracy() before train()");
+    Rng dummy(0);
+    const Forward f =
+        forward(archs, headIndex(platform_), false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = accScaler_.denorm(f.accPred.value()(i, 0));
+    return out;
+}
+
+std::vector<double>
+HwPrNas::predictLatency(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(trained_, "predictLatency() before train()");
+    Rng dummy(0);
+    const Forward f =
+        forward(archs, headIndex(platform_), false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = std::exp(latScalers_[headIndex(platform_)].denorm(
+            f.latPred.value()(i, 0)));
+    return out;
+}
+
+namespace
+{
+
+void
+writeFeatureScaler(BinaryWriter &w,
+                   const nasbench::FeatureScaler &scaler)
+{
+    w.writeDoubles(scaler.mean);
+    w.writeDoubles(scaler.std);
+}
+
+nasbench::FeatureScaler
+readFeatureScaler(BinaryReader &r)
+{
+    nasbench::FeatureScaler s;
+    s.mean = r.readDoubles();
+    s.std = r.readDoubles();
+    return s;
+}
+
+void
+writeTargetScaler(BinaryWriter &w, const TargetScaler &scaler)
+{
+    w.writeDouble(scaler.mu);
+    w.writeDouble(scaler.sigma);
+}
+
+TargetScaler
+readTargetScaler(BinaryReader &r)
+{
+    TargetScaler s;
+    s.mu = r.readDouble();
+    s.sigma = r.readDouble();
+    return s;
+}
+
+} // namespace
+
+bool
+HwPrNas::save(const std::string &path) const
+{
+    HWPR_CHECK(trained_, "save() before train()");
+    std::ofstream out(path, std::ios::binary);
+    if (!out.is_open())
+        return false;
+    BinaryWriter w(out);
+    writeHeader(w, "hwprnas", 2);
+
+    // Configuration.
+    w.writeU64(cfg_.encoder.gcnHidden);
+    w.writeU64(cfg_.encoder.gcnLayers);
+    w.writeU64(cfg_.encoder.lstmHidden);
+    w.writeU64(cfg_.encoder.lstmLayers);
+    w.writeU64(cfg_.encoder.embedDim);
+    w.writeU64(cfg_.headHidden.size());
+    for (std::size_t h : cfg_.headHidden)
+        w.writeU64(h);
+    w.writeU64(cfg_.combinerHidden.size());
+    for (std::size_t h : cfg_.combinerHidden)
+        w.writeU64(h);
+    w.writeU64(cfg_.useArchFeatures ? 1 : 0);
+    w.writeDouble(cfg_.rmseWeight);
+    w.writeU64(cfg_.sharedLatencyHead ? 1 : 0);
+    w.writeU64(std::uint64_t(dataset_));
+    w.writeU64(std::uint64_t(platform_));
+
+    // Scalers.
+    writeTargetScaler(w, accScaler_);
+    for (const auto &scaler : latScalers_)
+        writeTargetScaler(w, scaler);
+    writeFeatureScaler(w, accEncoder_->scaler());
+    writeFeatureScaler(w, latEncoder_->scaler());
+
+    // Parameters, in params() order (construction-deterministic).
+    const auto all = params();
+    w.writeU64(all.size());
+    for (const auto &p : all)
+        w.writeMatrix(p.value());
+    return w.ok();
+}
+
+std::unique_ptr<HwPrNas>
+HwPrNas::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return nullptr;
+    BinaryReader r(in);
+    if (readHeader(r, "hwprnas") != 2)
+        return nullptr;
+
+    HwPrNasConfig cfg;
+    cfg.encoder.gcnHidden = std::size_t(r.readU64());
+    cfg.encoder.gcnLayers = std::size_t(r.readU64());
+    cfg.encoder.lstmHidden = std::size_t(r.readU64());
+    cfg.encoder.lstmLayers = std::size_t(r.readU64());
+    cfg.encoder.embedDim = std::size_t(r.readU64());
+    cfg.headHidden.resize(r.readU64());
+    if (!r.ok() || cfg.headHidden.size() > 64)
+        return nullptr;
+    for (auto &h : cfg.headHidden)
+        h = std::size_t(r.readU64());
+    cfg.combinerHidden.resize(r.readU64());
+    if (!r.ok() || cfg.combinerHidden.size() > 64)
+        return nullptr;
+    for (auto &h : cfg.combinerHidden)
+        h = std::size_t(r.readU64());
+    cfg.useArchFeatures = r.readU64() != 0;
+    cfg.rmseWeight = r.readDouble();
+    cfg.sharedLatencyHead = r.readU64() != 0;
+    const auto dataset = nasbench::DatasetId(r.readU64());
+    const auto platform = hw::PlatformId(r.readU64());
+    if (!r.ok())
+        return nullptr;
+
+    auto model = std::make_unique<HwPrNas>(cfg, dataset, 0);
+    model->platform_ = platform;
+    model->accScaler_ = readTargetScaler(r);
+    for (auto &scaler : model->latScalers_)
+        scaler = readTargetScaler(r);
+    const auto acc_scaler = readFeatureScaler(r);
+    const auto lat_scaler = readFeatureScaler(r);
+    if (!r.ok())
+        return nullptr;
+
+    // Build the skeleton (the temporary scaler fitted on one dummy
+    // architecture is replaced by the loaded one).
+    Rng dummy_rng(0);
+    model->buildModel({nasbench::nasBench201().sample(dummy_rng)},
+                      0.0);
+    model->accEncoder_->setScaler(acc_scaler);
+    model->latEncoder_->setScaler(lat_scaler);
+
+    auto all = model->params();
+    if (r.readU64() != all.size())
+        return nullptr;
+    for (auto &p : all) {
+        Matrix m = r.readMatrix();
+        if (!r.ok() || m.rows() != p.value().rows() ||
+            m.cols() != p.value().cols())
+            return nullptr;
+        p.valueMut() = std::move(m);
+    }
+    model->trained_ = true;
+    return model;
+}
+
+std::vector<nn::Tensor>
+HwPrNas::params() const
+{
+    std::vector<nn::Tensor> out;
+    if (!accEncoder_)
+        return out;
+    for (const auto &p : accEncoder_->params())
+        out.push_back(p);
+    for (const auto &p : latEncoder_->params())
+        out.push_back(p);
+    for (const auto &p : accHead_->params())
+        out.push_back(p);
+    for (const auto &head : latHeads_)
+        for (const auto &p : head->params())
+            out.push_back(p);
+    for (const auto &p : combiner_->params())
+        out.push_back(p);
+    return out;
+}
+
+} // namespace hwpr::core

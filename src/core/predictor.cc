@@ -1,0 +1,244 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "nasbench/space.h"
+
+namespace hwpr::core
+{
+
+std::string
+regressorName(RegressorKind kind)
+{
+    switch (kind) {
+      case RegressorKind::Mlp:
+        return "MLP";
+      case RegressorKind::XGBoost:
+        return "XGBoost";
+      case RegressorKind::LGBoost:
+        return "LGBoost";
+    }
+    panic("unknown RegressorKind");
+}
+
+MetricPredictor::MetricPredictor(EncodingKind encoding,
+                                 const EncoderConfig &enc_cfg,
+                                 RegressorKind regressor,
+                                 nasbench::DatasetId dataset,
+                                 std::uint64_t seed)
+    : encoding_(encoding), encCfg_(enc_cfg), regressor_(regressor),
+      dataset_(dataset), rng_(seed)
+{
+    // The encoder itself is built lazily in train() because the AF
+    // scaler needs the training architectures.
+}
+
+Matrix
+MetricPredictor::gbdtFeatures(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    // GBDT input: scaled AF concatenated with the genome as ordinal
+    // features padded to the longest genome. (The paper feeds the
+    // architecture encoding through a dense layer and concatenates AF;
+    // trees consume the categorical genome directly instead — see
+    // DESIGN.md substitutions.)
+    const std::size_t max_genome = nasbench::kTokenLength;
+    const std::size_t d = nasbench::kNumArchFeatures + max_genome + 1;
+    Matrix x(archs.size(), d);
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        const auto af = gbdtScaler_.apply(
+            nasbench::archFeatures(archs[i], dataset_));
+        for (std::size_t j = 0; j < af.size(); ++j)
+            x(i, j) = af[j];
+        for (std::size_t j = 0; j < archs[i].genome.size(); ++j)
+            x(i, nasbench::kNumArchFeatures + j) =
+                double(archs[i].genome[j] + 1);
+        // Space indicator so union-space datasets remain separable.
+        x(i, d - 1) = archs[i].space == nasbench::SpaceId::NasBench201
+                          ? 0.0
+                          : 1.0;
+    }
+    return x;
+}
+
+nn::Tensor
+MetricPredictor::forwardNn(
+    const std::vector<nasbench::Architecture> &archs, bool training,
+    Rng &rng) const
+{
+    const nn::Tensor enc = encoder_->encode(archs);
+    return head_->forward(enc, training, rng);
+}
+
+void
+MetricPredictor::train(
+    const std::vector<const nasbench::ArchRecord *> &train,
+    const std::vector<const nasbench::ArchRecord *> &val,
+    const TargetFn &target, const PredictorTrainConfig &cfg)
+{
+    HWPR_CHECK(!train.empty() && !val.empty(),
+               "predictor training needs train and validation data");
+
+    std::vector<nasbench::Architecture> train_archs, val_archs;
+    std::vector<double> train_y, val_y;
+    for (const auto *rec : train) {
+        train_archs.push_back(rec->arch);
+        train_y.push_back(target(*rec));
+    }
+    for (const auto *rec : val) {
+        val_archs.push_back(rec->arch);
+        val_y.push_back(target(*rec));
+    }
+    targetScaler_ = TargetScaler::fit(train_y);
+    const std::vector<double> train_yn =
+        targetScaler_.normAll(train_y);
+    const std::vector<double> val_yn = targetScaler_.normAll(val_y);
+
+    if (regressor_ != RegressorKind::Mlp) {
+        // Tree ensembles: fit the AF scaler, then boost.
+        std::vector<std::vector<double>> feats;
+        for (const auto &a : train_archs)
+            feats.push_back(nasbench::archFeatures(a, dataset_));
+        gbdtScaler_ = nasbench::FeatureScaler::fit(feats);
+
+        const Matrix x = gbdtFeatures(train_archs);
+        const Matrix xv = gbdtFeatures(val_archs);
+        trees_ = std::make_unique<gbdt::Gbdt>(
+            regressor_ == RegressorKind::XGBoost
+                ? gbdt::xgboostConfig()
+                : gbdt::lgboostConfig());
+        trees_->fit(x, train_yn, rng_, &xv, &val_yn);
+        trained_ = true;
+        return;
+    }
+
+    // NN path: encoder + MLP head trained with AdamW.
+    encoder_ = std::make_unique<ArchEncoder>(
+        encoding_, encCfg_, dataset_, train_archs, rng_);
+    nn::MlpConfig mlp_cfg;
+    mlp_cfg.inDim = encoder_->dim();
+    mlp_cfg.hidden = {64, 32};
+    mlp_cfg.outDim = 1;
+    mlp_cfg.dropout = cfg.dropout;
+    head_ = std::make_unique<nn::Mlp>(mlp_cfg, rng_, "pred");
+
+    std::vector<nn::Tensor> params = encoder_->params();
+    for (const auto &p : head_->params())
+        params.push_back(p);
+    nn::AdamW opt(params, cfg.lr, cfg.weightDecay);
+
+    const std::size_t steps_per_epoch = std::max<std::size_t>(
+        1, (train_archs.size() + cfg.batchSize - 1) / cfg.batchSize);
+    nn::CosineAnnealing schedule(cfg.lr,
+                                 cfg.epochs * steps_per_epoch);
+
+    double best_val = 1e300;
+    std::size_t since_best = 0;
+    std::vector<Matrix> best_params = snapshotParams(params);
+    std::size_t step = 0;
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (const auto &batch :
+             makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
+            std::vector<nasbench::Architecture> archs;
+            std::vector<double> y;
+            for (std::size_t idx : batch) {
+                archs.push_back(train_archs[idx]);
+                y.push_back(train_yn[idx]);
+            }
+            if (cfg.cosineAnnealing)
+                opt.setLearningRate(schedule.at(step));
+            ++step;
+            opt.zeroGrad();
+            const nn::Tensor pred = forwardNn(archs, true, rng_);
+            nn::Tensor loss;
+            switch (cfg.loss) {
+              case LossKind::Mse:
+                loss = nn::mseLoss(pred, y);
+                break;
+              case LossKind::Hinge:
+                loss = nn::pairwiseHingeLoss(pred, y,
+                                             cfg.hingeMargin);
+                break;
+              case LossKind::MseHinge:
+                loss = nn::add(
+                    nn::mseLoss(pred, y),
+                    nn::scale(nn::pairwiseHingeLoss(
+                                  pred, y, cfg.hingeMargin),
+                              cfg.hingeWeight));
+                break;
+            }
+            nn::backward(loss);
+            opt.step();
+        }
+
+        // Validation loss (same objective, no dropout).
+        const nn::Tensor vp = forwardNn(val_archs, false, rng_);
+        double vloss = 0.0;
+        switch (cfg.loss) {
+          case LossKind::Mse:
+            vloss = nn::mseLoss(vp, val_yn).value()(0, 0);
+            break;
+          case LossKind::Hinge:
+            vloss = nn::pairwiseHingeLoss(vp, val_yn,
+                                          cfg.hingeMargin)
+                        .value()(0, 0);
+            break;
+          case LossKind::MseHinge:
+            vloss = nn::mseLoss(vp, val_yn).value()(0, 0) +
+                    cfg.hingeWeight *
+                        nn::pairwiseHingeLoss(vp, val_yn,
+                                              cfg.hingeMargin)
+                            .value()(0, 0);
+            break;
+        }
+        if (vloss < best_val - 1e-9) {
+            best_val = vloss;
+            since_best = 0;
+            best_params = snapshotParams(params);
+        } else if (++since_best >= cfg.patience) {
+            break;
+        }
+    }
+    restoreParams(params, best_params);
+    trained_ = true;
+}
+
+std::vector<double>
+MetricPredictor::predict(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(trained_, "predict() before train()");
+    if (regressor_ != RegressorKind::Mlp) {
+        const Matrix x = gbdtFeatures(archs);
+        return targetScaler_.denormAll(trees_->predict(x));
+    }
+    Rng dummy(0);
+    const nn::Tensor pred = forwardNn(archs, false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = targetScaler_.denorm(pred.value()(i, 0));
+    return out;
+}
+
+PredictorQuality
+evaluatePredictor(const MetricPredictor &predictor,
+                  const std::vector<const nasbench::ArchRecord *> &test,
+                  const TargetFn &target)
+{
+    std::vector<nasbench::Architecture> archs;
+    std::vector<double> truth;
+    for (const auto *rec : test) {
+        archs.push_back(rec->arch);
+        truth.push_back(target(*rec));
+    }
+    const std::vector<double> pred = predictor.predict(archs);
+    PredictorQuality q;
+    q.kendall = kendallTau(pred, truth);
+    q.rmse = rmse(pred, truth);
+    return q;
+}
+
+} // namespace hwpr::core

@@ -1,0 +1,261 @@
+#include "core/scalable.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "pareto/pareto.h"
+#include "search/evaluator.h"
+
+namespace hwpr::core
+{
+
+ScalableHwPrNas::ScalableHwPrNas(const ScalableConfig &cfg,
+                                 nasbench::DatasetId dataset,
+                                 std::uint64_t seed)
+    : cfg_(cfg), dataset_(dataset), rng_(seed)
+{
+}
+
+void
+ScalableHwPrNas::buildModel(
+    const std::vector<nasbench::Architecture> &scaler_fit,
+    double dropout)
+{
+    encoder_ = std::make_unique<ArchEncoder>(
+        EncodingKind::ALL, cfg_.encoder, dataset_, scaler_fit, rng_);
+    nn::MlpConfig mlp_cfg;
+    mlp_cfg.inDim = encoder_->dim();
+    mlp_cfg.hidden = cfg_.mlpHidden;
+    mlp_cfg.outDim = 1;
+    mlp_cfg.dropout = dropout;
+    mlp_ = std::make_unique<nn::Mlp>(mlp_cfg, rng_, "scalable_mlp");
+}
+
+nn::Tensor
+ScalableHwPrNas::forward(
+    const std::vector<nasbench::Architecture> &archs, bool training,
+    Rng &rng) const
+{
+    return mlp_->forward(encoder_->encode(archs), training, rng);
+}
+
+bool
+ScalableHwPrNas::save(const std::string &path) const
+{
+    HWPR_CHECK(trained_, "save() before train()");
+    std::ofstream out(path, std::ios::binary);
+    if (!out.is_open())
+        return false;
+    BinaryWriter w(out);
+    writeHeader(w, "hwpr-scalable", 1);
+
+    w.writeU64(cfg_.encoder.gcnHidden);
+    w.writeU64(cfg_.encoder.gcnLayers);
+    w.writeU64(cfg_.encoder.lstmHidden);
+    w.writeU64(cfg_.encoder.lstmLayers);
+    w.writeU64(cfg_.encoder.embedDim);
+    w.writeU64(cfg_.encoder.gcnGlobalNode ? 1 : 0);
+    w.writeU64(cfg_.mlpHidden.size());
+    for (std::size_t h : cfg_.mlpHidden)
+        w.writeU64(h);
+    w.writeU64(std::uint64_t(dataset_));
+    w.writeU64(std::uint64_t(platform_));
+    w.writeU64(energyAware_ ? 1 : 0);
+    w.writeDoubles(encoder_->scaler().mean);
+    w.writeDoubles(encoder_->scaler().std);
+
+    std::vector<nn::Tensor> params = encoder_->params();
+    for (const auto &p : mlp_->params())
+        params.push_back(p);
+    w.writeU64(params.size());
+    for (const auto &p : params)
+        w.writeMatrix(p.value());
+    return w.ok();
+}
+
+std::unique_ptr<ScalableHwPrNas>
+ScalableHwPrNas::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return nullptr;
+    BinaryReader r(in);
+    if (readHeader(r, "hwpr-scalable") != 1)
+        return nullptr;
+
+    ScalableConfig cfg;
+    cfg.encoder.gcnHidden = std::size_t(r.readU64());
+    cfg.encoder.gcnLayers = std::size_t(r.readU64());
+    cfg.encoder.lstmHidden = std::size_t(r.readU64());
+    cfg.encoder.lstmLayers = std::size_t(r.readU64());
+    cfg.encoder.embedDim = std::size_t(r.readU64());
+    cfg.encoder.gcnGlobalNode = r.readU64() != 0;
+    cfg.mlpHidden.resize(r.readU64());
+    if (!r.ok() || cfg.mlpHidden.size() > 64)
+        return nullptr;
+    for (auto &h : cfg.mlpHidden)
+        h = std::size_t(r.readU64());
+    const auto dataset = nasbench::DatasetId(r.readU64());
+    const auto platform = hw::PlatformId(r.readU64());
+    const bool energy_aware = r.readU64() != 0;
+    nasbench::FeatureScaler scaler;
+    scaler.mean = r.readDoubles();
+    scaler.std = r.readDoubles();
+    if (!r.ok())
+        return nullptr;
+
+    auto model = std::make_unique<ScalableHwPrNas>(cfg, dataset, 0);
+    model->platform_ = platform;
+    model->energyAware_ = energy_aware;
+    Rng dummy_rng(0);
+    model->buildModel({nasbench::nasBench201().sample(dummy_rng)},
+                      0.0);
+    model->encoder_->setScaler(std::move(scaler));
+
+    std::vector<nn::Tensor> params = model->encoder_->params();
+    for (const auto &p : model->mlp_->params())
+        params.push_back(p);
+    if (r.readU64() != params.size())
+        return nullptr;
+    for (auto &p : params) {
+        Matrix m = r.readMatrix();
+        if (!r.ok() || m.rows() != p.value().rows() ||
+            m.cols() != p.value().cols())
+            return nullptr;
+        p.valueMut() = std::move(m);
+    }
+    model->trained_ = true;
+    return model;
+}
+
+std::vector<int>
+ScalableHwPrNas::ranksOf(
+    const std::vector<const nasbench::ArchRecord *> &recs,
+    const std::vector<std::size_t> &batch, bool with_energy) const
+{
+    std::vector<pareto::Point> pts;
+    pts.reserve(batch.size());
+    for (std::size_t idx : batch)
+        pts.push_back(search::trueObjectives(*recs[idx], platform_,
+                                             with_energy));
+    return pareto::paretoRanks(pts);
+}
+
+void
+ScalableHwPrNas::train(
+    const std::vector<const nasbench::ArchRecord *> &train,
+    const std::vector<const nasbench::ArchRecord *> &val,
+    hw::PlatformId platform, const TrainConfig &cfg)
+{
+    HWPR_CHECK(!train.empty() && !val.empty(),
+               "scalable model needs train and validation data");
+    platform_ = platform;
+
+    std::vector<nasbench::Architecture> train_archs, val_archs;
+    for (const auto *rec : train)
+        train_archs.push_back(rec->arch);
+    for (const auto *rec : val)
+        val_archs.push_back(rec->arch);
+
+    buildModel(train_archs, cfg.dropout);
+
+    std::vector<nn::Tensor> params = encoder_->params();
+    for (const auto &p : mlp_->params())
+        params.push_back(p);
+    nn::AdamW opt(params, cfg.learningRate, cfg.weightDecay);
+    const std::size_t steps_per_epoch = std::max<std::size_t>(
+        1, (train_archs.size() + cfg.batchSize - 1) / cfg.batchSize);
+    nn::CosineAnnealing schedule(cfg.learningRate,
+                                 cfg.epochs * steps_per_epoch);
+
+    std::vector<std::size_t> val_all(val_archs.size());
+    for (std::size_t i = 0; i < val_all.size(); ++i)
+        val_all[i] = i;
+    const std::vector<int> val_ranks = ranksOf(val, val_all, false);
+
+    double best_val = 1e300;
+    std::size_t since_best = 0;
+    std::vector<Matrix> best_params = snapshotParams(params);
+    std::size_t step = 0;
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        for (const auto &batch :
+             makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
+            std::vector<nasbench::Architecture> archs;
+            for (std::size_t idx : batch)
+                archs.push_back(train_archs[idx]);
+            const std::vector<int> ranks =
+                ranksOf(train, batch, false);
+            if (cfg.cosineAnnealing)
+                opt.setLearningRate(schedule.at(step));
+            ++step;
+            opt.zeroGrad();
+            nn::Tensor loss = nn::listMleParetoLoss(
+                forward(archs, true, rng_), ranks);
+            nn::backward(loss);
+            opt.step();
+        }
+        const double vloss =
+            nn::listMleParetoLoss(forward(val_archs, false, rng_),
+                                  val_ranks)
+                .value()(0, 0);
+        if (vloss < best_val - 1e-9) {
+            best_val = vloss;
+            since_best = 0;
+            best_params = snapshotParams(params);
+        } else if (++since_best >= cfg.patience) {
+            break;
+        }
+    }
+    restoreParams(params, best_params);
+    trained_ = true;
+    energyAware_ = false;
+}
+
+void
+ScalableHwPrNas::addEnergyObjective(
+    const std::vector<const nasbench::ArchRecord *> &train,
+    std::size_t epochs, double lr, std::size_t batch_size)
+{
+    HWPR_CHECK(trained_, "addEnergyObjective() before train()");
+    std::vector<nasbench::Architecture> train_archs;
+    for (const auto *rec : train)
+        train_archs.push_back(rec->arch);
+
+    // Fine-tune only the MLP; the encoding component stays frozen
+    // (paper Sec. III-F).
+    nn::AdamW opt(mlp_->params(), lr, 0.0);
+    for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+        for (const auto &batch :
+             makeBatches(train_archs.size(), batch_size, rng_)) {
+            std::vector<nasbench::Architecture> archs;
+            for (std::size_t idx : batch)
+                archs.push_back(train_archs[idx]);
+            const std::vector<int> ranks = ranksOf(train, batch, true);
+            opt.zeroGrad();
+            nn::Tensor loss = nn::listMleParetoLoss(
+                forward(archs, false, rng_), ranks);
+            nn::backward(loss);
+            opt.step();
+        }
+    }
+    energyAware_ = true;
+}
+
+std::vector<double>
+ScalableHwPrNas::scores(
+    const std::vector<nasbench::Architecture> &archs) const
+{
+    HWPR_CHECK(trained_, "scores() before train()");
+    Rng dummy(0);
+    const nn::Tensor s = forward(archs, false, dummy);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = s.value()(i, 0);
+    return out;
+}
+
+} // namespace hwpr::core

@@ -1,0 +1,121 @@
+#include "gbdt/gbdt.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace hwpr::gbdt
+{
+
+GbdtConfig
+xgboostConfig()
+{
+    GbdtConfig cfg;
+    cfg.tree.growth = Growth::LevelWise;
+    cfg.tree.maxDepth = 6;
+    cfg.tree.lambda = 1.0;
+    cfg.rounds = 300;
+    cfg.learningRate = 0.08;
+    cfg.subsample = 0.9;
+    return cfg;
+}
+
+GbdtConfig
+lgboostConfig()
+{
+    GbdtConfig cfg;
+    cfg.tree.growth = Growth::LeafWise;
+    cfg.tree.maxLeaves = 31;
+    cfg.tree.bins = 32;
+    cfg.tree.lambda = 1.0;
+    cfg.rounds = 300;
+    cfg.learningRate = 0.08;
+    cfg.subsample = 0.9;
+    return cfg;
+}
+
+void
+Gbdt::fit(const Matrix &x, const std::vector<double> &y, Rng &rng,
+          const Matrix *x_val, const std::vector<double> *y_val)
+{
+    HWPR_CHECK(x.rows() == y.size(), "row/label count mismatch");
+    HWPR_CHECK(!y.empty(), "cannot fit on an empty dataset");
+    trees_.clear();
+
+    base_ = mean(y);
+    std::vector<double> pred(y.size(), base_);
+    std::vector<double> val_pred;
+    if (x_val) {
+        HWPR_CHECK(y_val && x_val->rows() == y_val->size(),
+                   "validation set mismatch");
+        val_pred.assign(y_val->size(), base_);
+    }
+
+    double best_val = 1e300;
+    std::size_t rounds_since_best = 0;
+    std::size_t best_size = 0;
+
+    std::vector<double> grad(y.size()), hess(y.size(), 1.0);
+    for (std::size_t round = 0; round < cfg_.rounds; ++round) {
+        // Squared-error: g = pred - y, h = 1.
+        for (std::size_t i = 0; i < y.size(); ++i)
+            grad[i] = pred[i] - y[i];
+
+        std::vector<std::size_t> rows;
+        if (cfg_.subsample < 1.0) {
+            const std::size_t k = std::max<std::size_t>(
+                1, std::size_t(cfg_.subsample * double(y.size())));
+            rows = rng.sampleIndices(y.size(), k);
+        } else {
+            rows.resize(y.size());
+            for (std::size_t i = 0; i < y.size(); ++i)
+                rows[i] = i;
+        }
+
+        RegressionTree tree;
+        tree.fit(x, grad, hess, rows, cfg_.tree);
+        if (!tree.fitted() || tree.numLeaves() < 2)
+            break; // nothing left to learn
+        trees_.push_back(std::move(tree));
+
+        const RegressionTree &t = trees_.back();
+        for (std::size_t i = 0; i < y.size(); ++i)
+            pred[i] += cfg_.learningRate * t.predictRow(x, i);
+
+        if (x_val && cfg_.earlyStopRounds > 0) {
+            for (std::size_t i = 0; i < val_pred.size(); ++i)
+                val_pred[i] +=
+                    cfg_.learningRate * t.predictRow(*x_val, i);
+            const double err = rmse(val_pred, *y_val);
+            if (err < best_val - 1e-12) {
+                best_val = err;
+                rounds_since_best = 0;
+                best_size = trees_.size();
+            } else if (++rounds_since_best >= cfg_.earlyStopRounds) {
+                trees_.resize(best_size);
+                break;
+            }
+        }
+    }
+}
+
+std::vector<double>
+Gbdt::predict(const Matrix &x) const
+{
+    std::vector<double> out(x.rows());
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        out[i] = predictRow(x, i);
+    return out;
+}
+
+double
+Gbdt::predictRow(const Matrix &x, std::size_t row) const
+{
+    double acc = base_;
+    for (const auto &tree : trees_)
+        acc += cfg_.learningRate * tree.predictRow(x, row);
+    return acc;
+}
+
+} // namespace hwpr::gbdt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Gradient-boosted tree ensembles with squared-error objective.
+ *
+ * Two presets mirror the regressors of the paper's Table I ablation:
+ *  - xgboostConfig(): level-wise exact trees ("XGBoost").
+ *  - lgboostConfig(): leaf-wise histogram trees ("LGBoost").
+ */
+
+#ifndef HWPR_GBDT_GBDT_H
+#define HWPR_GBDT_GBDT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "gbdt/tree.h"
+
+namespace hwpr::gbdt
+{
+
+/** Ensemble hyperparameters. */
+struct GbdtConfig
+{
+    TreeConfig tree;
+    /** Boosting rounds. */
+    std::size_t rounds = 200;
+    /** Shrinkage applied to each tree's contribution. */
+    double learningRate = 0.1;
+    /** Row subsample fraction per round (1.0 = no subsampling). */
+    double subsample = 1.0;
+    /** Early-stop after this many rounds without validation
+     *  improvement (0 disables; requires a validation set). */
+    std::size_t earlyStopRounds = 20;
+};
+
+/** XGBoost-style preset. */
+GbdtConfig xgboostConfig();
+
+/** LightGBM-style preset. */
+GbdtConfig lgboostConfig();
+
+/** Gradient-boosted regression ensemble. */
+class Gbdt
+{
+  public:
+    explicit Gbdt(const GbdtConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Fit to (x, y) with squared-error loss. If @p x_val is non-null,
+     * validation RMSE drives early stopping.
+     */
+    void fit(const Matrix &x, const std::vector<double> &y, Rng &rng,
+             const Matrix *x_val = nullptr,
+             const std::vector<double> *y_val = nullptr);
+
+    /** Predict all rows of @p x. */
+    std::vector<double> predict(const Matrix &x) const;
+
+    /** Predict a single row. */
+    double predictRow(const Matrix &x, std::size_t row) const;
+
+    std::size_t numTrees() const { return trees_.size(); }
+    const GbdtConfig &config() const { return cfg_; }
+
+  private:
+    GbdtConfig cfg_;
+    double base_ = 0.0;
+    std::vector<RegressionTree> trees_;
+};
+
+} // namespace hwpr::gbdt
+
+#endif // HWPR_GBDT_GBDT_H

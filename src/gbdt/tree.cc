@@ -1,0 +1,262 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace hwpr::gbdt
+{
+
+namespace
+{
+
+/** Regularized score of a node with gradient sum g and hessian sum h. */
+double
+nodeScore(double g, double h, double lambda)
+{
+    return g * g / (h + lambda);
+}
+
+double
+leafWeight(double g, double h, double lambda)
+{
+    return -g / (h + lambda);
+}
+
+} // namespace
+
+RegressionTree::SplitResult
+RegressionTree::findBestSplitExact(const Matrix &x,
+                                   const std::vector<double> &grad,
+                                   const std::vector<double> &hess,
+                                   const std::vector<std::size_t> &rows,
+                                   const TreeConfig &cfg) const
+{
+    SplitResult best;
+    double gtot = 0.0, htot = 0.0;
+    for (std::size_t r : rows) {
+        gtot += grad[r];
+        htot += hess[r];
+    }
+    const double parent_score = nodeScore(gtot, htot, cfg.lambda);
+
+    std::vector<std::size_t> sorted = rows;
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return x(a, f) < x(b, f);
+                  });
+        double gl = 0.0, hl = 0.0;
+        for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+            gl += grad[sorted[i]];
+            hl += hess[sorted[i]];
+            // Split only between distinct feature values.
+            if (x(sorted[i], f) == x(sorted[i + 1], f))
+                continue;
+            const std::size_t nl = i + 1;
+            const std::size_t nr = sorted.size() - nl;
+            if (nl < cfg.minSamplesLeaf || nr < cfg.minSamplesLeaf)
+                continue;
+            const double gain =
+                0.5 * (nodeScore(gl, hl, cfg.lambda) +
+                       nodeScore(gtot - gl, htot - hl, cfg.lambda) -
+                       parent_score);
+            if (gain > best.gain + cfg.minGain) {
+                best.found = true;
+                best.gain = gain;
+                best.feature = f;
+                best.threshold =
+                    0.5 * (x(sorted[i], f) + x(sorted[i + 1], f));
+            }
+        }
+    }
+    return best;
+}
+
+RegressionTree::SplitResult
+RegressionTree::findBestSplitHistogram(
+    const Matrix &x, const std::vector<double> &grad,
+    const std::vector<double> &hess,
+    const std::vector<std::size_t> &rows, const TreeConfig &cfg) const
+{
+    SplitResult best;
+    double gtot = 0.0, htot = 0.0;
+    for (std::size_t r : rows) {
+        gtot += grad[r];
+        htot += hess[r];
+    }
+    const double parent_score = nodeScore(gtot, htot, cfg.lambda);
+    const std::size_t bins = std::max<std::size_t>(2, cfg.bins);
+
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+        double lo = 1e300, hi = -1e300;
+        for (std::size_t r : rows) {
+            lo = std::min(lo, x(r, f));
+            hi = std::max(hi, x(r, f));
+        }
+        if (hi <= lo)
+            continue;
+        const double scale = double(bins) / (hi - lo);
+        std::vector<double> gbin(bins, 0.0), hbin(bins, 0.0);
+        std::vector<std::size_t> cbin(bins, 0);
+        for (std::size_t r : rows) {
+            std::size_t b = std::min(
+                bins - 1, std::size_t((x(r, f) - lo) * scale));
+            gbin[b] += grad[r];
+            hbin[b] += hess[r];
+            ++cbin[b];
+        }
+        double gl = 0.0, hl = 0.0;
+        std::size_t nl = 0;
+        for (std::size_t b = 0; b + 1 < bins; ++b) {
+            gl += gbin[b];
+            hl += hbin[b];
+            nl += cbin[b];
+            const std::size_t nr = rows.size() - nl;
+            if (nl < cfg.minSamplesLeaf || nr < cfg.minSamplesLeaf)
+                continue;
+            const double gain =
+                0.5 * (nodeScore(gl, hl, cfg.lambda) +
+                       nodeScore(gtot - gl, htot - hl, cfg.lambda) -
+                       parent_score);
+            if (gain > best.gain + cfg.minGain) {
+                best.found = true;
+                best.gain = gain;
+                best.feature = f;
+                best.threshold = lo + double(b + 1) / scale;
+            }
+        }
+    }
+    return best;
+}
+
+void
+RegressionTree::fit(const Matrix &x, const std::vector<double> &grad,
+                    const std::vector<double> &hess,
+                    const std::vector<std::size_t> &rows,
+                    const TreeConfig &cfg)
+{
+    HWPR_CHECK(!rows.empty(), "cannot fit a tree on zero rows");
+    nodes_.clear();
+
+    struct Work
+    {
+        int node;
+        std::vector<std::size_t> rows;
+        std::size_t depth;
+        SplitResult split;
+    };
+
+    auto make_leaf_weight = [&](const std::vector<std::size_t> &rs) {
+        double g = 0.0, h = 0.0;
+        for (std::size_t r : rs) {
+            g += grad[r];
+            h += hess[r];
+        }
+        return leafWeight(g, h, cfg.lambda);
+    };
+
+    auto find_split = [&](const std::vector<std::size_t> &rs) {
+        return cfg.growth == Growth::LevelWise
+                   ? findBestSplitExact(x, grad, hess, rs, cfg)
+                   : findBestSplitHistogram(x, grad, hess, rs, cfg);
+    };
+
+    nodes_.push_back(Node{});
+    nodes_[0].weight = make_leaf_weight(rows);
+
+    // Priority queue ordered by split gain. LevelWise uses depth as a
+    // (negated) priority so it degenerates to BFS; LeafWise uses gain
+    // so the most profitable leaf is expanded first.
+    auto cmp = [&](const Work &a, const Work &b) {
+        if (cfg.growth == Growth::LeafWise)
+            return a.split.gain < b.split.gain;
+        return a.depth > b.depth;
+    };
+    std::priority_queue<Work, std::vector<Work>, decltype(cmp)> queue(
+        cmp);
+
+    {
+        Work w{0, rows, 0, find_split(rows)};
+        if (w.split.found)
+            queue.push(std::move(w));
+    }
+
+    std::size_t leaves = 1;
+    const std::size_t max_leaves = cfg.growth == Growth::LeafWise
+                                       ? cfg.maxLeaves
+                                       : std::size_t(1)
+                                             << cfg.maxDepth;
+    while (!queue.empty() && leaves < max_leaves) {
+        Work w = queue.top();
+        queue.pop();
+        if (cfg.growth == Growth::LevelWise && w.depth >= cfg.maxDepth)
+            continue;
+
+        std::vector<std::size_t> left_rows, right_rows;
+        for (std::size_t r : w.rows) {
+            if (x(r, w.split.feature) <= w.split.threshold)
+                left_rows.push_back(r);
+            else
+                right_rows.push_back(r);
+        }
+        if (left_rows.empty() || right_rows.empty())
+            continue; // histogram threshold can be degenerate
+
+        Node &parent = nodes_[w.node];
+        parent.leaf = false;
+        parent.feature = w.split.feature;
+        parent.threshold = w.split.threshold;
+        parent.left = int(nodes_.size());
+        parent.right = int(nodes_.size() + 1);
+
+        Node left_node, right_node;
+        left_node.weight = make_leaf_weight(left_rows);
+        right_node.weight = make_leaf_weight(right_rows);
+        nodes_.push_back(left_node);
+        nodes_.push_back(right_node);
+        ++leaves;
+
+        const int li = int(nodes_.size()) - 2;
+        const int ri = int(nodes_.size()) - 1;
+        if (left_rows.size() >= 2 * cfg.minSamplesLeaf) {
+            Work lw{li, std::move(left_rows), w.depth + 1, {}};
+            lw.split = find_split(lw.rows);
+            if (lw.split.found)
+                queue.push(std::move(lw));
+        }
+        if (right_rows.size() >= 2 * cfg.minSamplesLeaf) {
+            Work rw{ri, std::move(right_rows), w.depth + 1, {}};
+            rw.split = find_split(rw.rows);
+            if (rw.split.found)
+                queue.push(std::move(rw));
+        }
+    }
+}
+
+double
+RegressionTree::predictRow(const Matrix &x, std::size_t row) const
+{
+    HWPR_ASSERT(fitted(), "predict on an unfitted tree");
+    int idx = 0;
+    while (!nodes_[idx].leaf) {
+        idx = x(row, nodes_[idx].feature) <= nodes_[idx].threshold
+                  ? nodes_[idx].left
+                  : nodes_[idx].right;
+    }
+    return nodes_[idx].weight;
+}
+
+std::size_t
+RegressionTree::numLeaves() const
+{
+    std::size_t n = 0;
+    for (const auto &node : nodes_)
+        if (node.leaf)
+            ++n;
+    return n;
+}
+
+} // namespace hwpr::gbdt

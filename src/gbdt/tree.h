@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Single gradient-boosted regression tree.
+ *
+ * Trees are fit to first/second-order gradient statistics (XGBoost
+ * formulation): a split's gain is
+ *   0.5 [ GL^2/(HL+l) + GR^2/(HR+l) - G^2/(H+l) ] - gamma
+ * and a leaf's weight is -G/(H+l). Two growth policies are provided:
+ *  - LevelWise: exact greedy splits over sorted feature values,
+ *    expanded breadth-first to a depth limit (XGBoost style).
+ *  - LeafWise: histogram-binned splits, expanded best-gain-first to a
+ *    leaf-count limit (LightGBM style).
+ */
+
+#ifndef HWPR_GBDT_TREE_H
+#define HWPR_GBDT_TREE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hwpr::gbdt
+{
+
+/** How the tree is grown. */
+enum class Growth
+{
+    LevelWise, ///< XGBoost-style: exact splits, depth-bounded BFS.
+    LeafWise,  ///< LightGBM-style: histogram splits, best-first.
+};
+
+/** Tree-fitting hyperparameters. */
+struct TreeConfig
+{
+    Growth growth = Growth::LevelWise;
+    /** Depth bound for LevelWise growth. */
+    std::size_t maxDepth = 6;
+    /** Leaf bound for LeafWise growth. */
+    std::size_t maxLeaves = 31;
+    /** Minimum samples per child. */
+    std::size_t minSamplesLeaf = 2;
+    /** L2 regularization on leaf weights (lambda). */
+    double lambda = 1.0;
+    /** Minimum gain to accept a split (gamma). */
+    double minGain = 1e-8;
+    /** Histogram bins for LeafWise growth. */
+    std::size_t bins = 32;
+};
+
+/** A fitted regression tree over dense features. */
+class RegressionTree
+{
+  public:
+    /**
+     * Fit to gradient statistics.
+     * @param x (n x d) features.
+     * @param grad first-order gradients, one per row.
+     * @param hess second-order gradients, one per row.
+     * @param rows subset of row indices to fit on (supports row
+     *   subsampling by the ensemble).
+     */
+    void fit(const Matrix &x, const std::vector<double> &grad,
+             const std::vector<double> &hess,
+             const std::vector<std::size_t> &rows,
+             const TreeConfig &cfg);
+
+    /** Predict the leaf weight for one feature row. */
+    double predictRow(const Matrix &x, std::size_t row) const;
+
+    /** Number of leaves in the fitted tree. */
+    std::size_t numLeaves() const;
+
+    /** Whether fit() produced at least a root. */
+    bool fitted() const { return !nodes_.empty(); }
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        double weight = 0.0;
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        int left = -1;
+        int right = -1;
+    };
+
+    struct SplitResult
+    {
+        bool found = false;
+        double gain = 0.0;
+        std::size_t feature = 0;
+        double threshold = 0.0;
+    };
+
+    SplitResult findBestSplitExact(
+        const Matrix &x, const std::vector<double> &grad,
+        const std::vector<double> &hess,
+        const std::vector<std::size_t> &rows,
+        const TreeConfig &cfg) const;
+
+    SplitResult findBestSplitHistogram(
+        const Matrix &x, const std::vector<double> &grad,
+        const std::vector<double> &hess,
+        const std::vector<std::size_t> &rows,
+        const TreeConfig &cfg) const;
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace hwpr::gbdt
+
+#endif // HWPR_GBDT_TREE_H

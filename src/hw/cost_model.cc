@@ -1,0 +1,132 @@
+#include "hw/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hwpr::hw
+{
+
+double
+CostModel::efficiency(const OpWorkload &op) const
+{
+    switch (op.kind) {
+      case OpKind::Conv:
+        if (op.isDepthwise())
+            return spec_.depthwiseEff;
+        if (op.kernel == 1)
+            return spec_.conv1x1Eff;
+        return spec_.conv3x3Eff;
+      case OpKind::Linear:
+        return spec_.conv1x1Eff; // GEMM-shaped, same path as 1x1
+      default:
+        return spec_.memOpEff;
+    }
+}
+
+double
+CostModel::utilization(const OpWorkload &op) const
+{
+    const int width = std::max(1, spec_.parallelWidth);
+    const int ch = std::max(1, op.cout);
+    const int padded = ((ch + width - 1) / width) * width;
+    return double(ch) / double(padded);
+}
+
+CostBreakdown
+CostModel::opCost(const OpWorkload &op) const
+{
+    CostBreakdown out;
+    if (op.kind == OpKind::Zero)
+        return out; // dropped edge: nothing executes
+    if (op.kind == OpKind::Skip)
+        return out; // identity: fused into the consumer
+
+    const double macs = op.macs();
+    const double eff = efficiency(op);
+    const double util = utilization(op);
+    out.computeSec =
+        macs / (spec_.peakMacsPerSec * std::max(1e-6, eff * util));
+
+    const double bytes =
+        (op.inputElems() + op.outputElems() + op.weightElems()) *
+        spec_.bytesPerElem;
+    // Memory-bound ops (pooling, elementwise) stream through the
+    // platform's vector/pooling units; memOpEff models how well those
+    // units sustain the DRAM bandwidth (systolic arrays are poor at
+    // this, CPUs are near-perfect).
+    const bool mem_op = op.kind != OpKind::Conv &&
+                        op.kind != OpKind::Linear;
+    double bw_eff = mem_op ? spec_.memOpEff : 1.0;
+    // Depthwise convolutions are bandwidth-bound and stream with the
+    // same (in)efficiency as their compute on dataflow platforms —
+    // they cannot amortize weight reuse across channels.
+    if (op.isDepthwise())
+        bw_eff = std::max(spec_.depthwiseEff, 0.3);
+    out.memorySec = bytes / (spec_.memBandwidthBps * bw_eff);
+
+    // Platforms whose dataflow cannot map depthwise convolutions
+    // (systolic arrays, row-stationary ASICs, implicit-GEMM GPUs)
+    // fall back to slow paths with extra per-op scheduling cost.
+    double overhead = spec_.opOverheadSec;
+    if (op.isDepthwise())
+        overhead *= spec_.dwOverheadFactor;
+    out.latencySec =
+        std::max(out.computeSec, out.memorySec) + overhead;
+    out.energyJ = macs * spec_.energyPerMacJ +
+                  bytes * spec_.energyPerByteJ +
+                  out.latencySec * spec_.idlePowerW;
+    return out;
+}
+
+CostBreakdown
+CostModel::networkCost(const std::vector<OpWorkload> &net) const
+{
+    CostBreakdown total;
+    bool have_prev = false;
+    bool prev_compute_bound = false;
+    double prev_latency = 0.0;
+    for (const auto &op : net) {
+        const CostBreakdown c = opCost(op);
+        if (c.latencySec <= 0.0)
+            continue; // skip/zero: nothing scheduled
+        total.latencySec += c.latencySec;
+        total.energyJ += c.energyJ;
+        total.computeSec += c.computeSec;
+        total.memorySec += c.memorySec;
+
+        // Cross-op overlap: a compute-bound op can hide (part of)
+        // the DMA of an adjacent memory-bound op and vice versa.
+        const bool compute_bound = c.computeSec >= c.memorySec;
+        if (have_prev && compute_bound != prev_compute_bound) {
+            total.latencySec -=
+                spec_.overlapEff *
+                std::min(prev_latency, c.latencySec);
+        }
+        have_prev = true;
+        prev_compute_bound = compute_bound;
+        prev_latency = c.latencySec;
+    }
+    total.latencySec += spec_.baseLatencySec;
+    total.energyJ += spec_.baseLatencySec * spec_.idlePowerW;
+    return total;
+}
+
+double
+CostModel::latencyMs(const std::vector<OpWorkload> &net) const
+{
+    return networkCost(net).latencySec * 1e3;
+}
+
+double
+CostModel::energyMj(const std::vector<OpWorkload> &net) const
+{
+    return networkCost(net).energyJ * 1e3;
+}
+
+CostModel
+costModelFor(PlatformId id)
+{
+    return CostModel(platformSpec(id));
+}
+
+} // namespace hwpr::hw

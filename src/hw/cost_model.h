@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Analytical per-operator latency and energy model.
+ *
+ * Latency of one operator is a roofline: the maximum of its compute
+ * time (MACs over effective throughput) and its memory time (activation
+ * + weight traffic over DRAM bandwidth), plus a fixed per-op scheduling
+ * overhead. Effective throughput applies the platform's efficiency for
+ * the operator class (depthwise / 1x1 / dense conv / memory-bound op)
+ * and a utilization factor that penalizes channel counts that do not
+ * fill the platform's parallel width.
+ *
+ * Energy integrates switching energy per MAC, DRAM energy per byte and
+ * static power over the operator latency.
+ */
+
+#ifndef HWPR_HW_COST_MODEL_H
+#define HWPR_HW_COST_MODEL_H
+
+#include <vector>
+
+#include "hw/platform.h"
+#include "hw/workload.h"
+
+namespace hwpr::hw
+{
+
+/** Latency + energy of one op or one network on one platform. */
+struct CostBreakdown
+{
+    double latencySec = 0.0;
+    double energyJ = 0.0;
+    double computeSec = 0.0;
+    double memorySec = 0.0;
+};
+
+/** Analytical cost model over a PlatformSpec. */
+class CostModel
+{
+  public:
+    explicit CostModel(const PlatformSpec &spec) : spec_(spec) {}
+
+    /** Cost of a single operator (in isolation, no overlap). */
+    CostBreakdown opCost(const OpWorkload &op) const;
+
+    /**
+     * End-to-end cost of a network. Sequential op execution with
+     * cross-op overlap: when consecutive operators are bound by
+     * opposite resources (compute vs memory), the platform hides
+     * overlapEff of the shorter phase. End-to-end latency is thus
+     * NOT the plain sum of opCost() latencies.
+     */
+    CostBreakdown networkCost(const std::vector<OpWorkload> &net) const;
+
+    /** Convenience: end-to-end latency in milliseconds. */
+    double latencyMs(const std::vector<OpWorkload> &net) const;
+
+    /** Convenience: end-to-end energy in millijoules. */
+    double energyMj(const std::vector<OpWorkload> &net) const;
+
+    const PlatformSpec &spec() const { return spec_; }
+
+  private:
+    /** Efficiency multiplier for an operator class. */
+    double efficiency(const OpWorkload &op) const;
+
+    /** Utilization of the parallel width by cout channels. */
+    double utilization(const OpWorkload &op) const;
+
+    PlatformSpec spec_;
+};
+
+/** Cost model for a platform id (uses the built-in profile). */
+CostModel costModelFor(PlatformId id);
+
+} // namespace hwpr::hw
+
+#endif // HWPR_HW_COST_MODEL_H

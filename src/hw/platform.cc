@@ -1,0 +1,268 @@
+#include "hw/platform.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace hwpr::hw
+{
+
+const std::vector<PlatformId> &
+allPlatforms()
+{
+    static const std::vector<PlatformId> ids = {
+        PlatformId::EdgeGpu,      PlatformId::EdgeTpu,
+        PlatformId::RaspberryPi4, PlatformId::FpgaZC706,
+        PlatformId::FpgaZCU102,   PlatformId::Pixel3,
+        PlatformId::Eyeriss,
+    };
+    return ids;
+}
+
+std::size_t
+platformIndex(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::EdgeGpu:
+        return 0;
+      case PlatformId::EdgeTpu:
+        return 1;
+      case PlatformId::RaspberryPi4:
+        return 2;
+      case PlatformId::FpgaZC706:
+        return 3;
+      case PlatformId::FpgaZCU102:
+        return 4;
+      case PlatformId::Pixel3:
+        return 5;
+      case PlatformId::Eyeriss:
+        return 6;
+    }
+    panic("unknown PlatformId");
+}
+
+std::string
+platformName(PlatformId id)
+{
+    switch (id) {
+      case PlatformId::EdgeGpu:
+        return "EdgeGPU";
+      case PlatformId::EdgeTpu:
+        return "EdgeTPU";
+      case PlatformId::RaspberryPi4:
+        return "RaspberryPi4";
+      case PlatformId::FpgaZC706:
+        return "FPGA-ZC706";
+      case PlatformId::FpgaZCU102:
+        return "FPGA-ZCU102";
+      case PlatformId::Pixel3:
+        return "Pixel3";
+      case PlatformId::Eyeriss:
+        return "Eyeriss";
+    }
+    panic("unknown PlatformId");
+}
+
+bool
+platformFromName(const std::string &name, PlatformId &out)
+{
+    auto canon = [](const std::string &v) {
+        std::string r;
+        for (char c : v)
+            if (c != '-' && c != '_')
+                r += char(std::tolower(c));
+        return r;
+    };
+    const std::string wanted = canon(name);
+    for (PlatformId p : allPlatforms()) {
+        if (canon(platformName(p)) == wanted) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+std::array<PlatformSpec, kNumPlatforms>
+buildSpecs()
+{
+    std::array<PlatformSpec, kNumPlatforms> specs;
+
+    // Jetson-class edge GPU: high fp16 peak, kernel-launch overhead,
+    // depthwise convs starve the SMs.
+    PlatformSpec gpu;
+    gpu.id = PlatformId::EdgeGpu;
+    gpu.name = platformName(gpu.id);
+    gpu.peakMacsPerSec = 500e9;
+    gpu.memBandwidthBps = 25e9;
+    gpu.bytesPerElem = 2.0; // fp16
+    gpu.depthwiseEff = 0.15;
+    gpu.conv1x1Eff = 0.60;
+    gpu.conv3x3Eff = 0.90;
+    gpu.memOpEff = 0.50;
+    gpu.parallelWidth = 32;
+    gpu.dwOverheadFactor = 1.5;
+    gpu.overlapEff = 0.10;
+    gpu.opOverheadSec = 10e-6;
+    gpu.baseLatencySec = 200e-6;
+    gpu.energyPerMacJ = 3e-12;
+    gpu.energyPerByteJ = 2e-11;
+    gpu.idlePowerW = 2.0;
+    specs[platformIndex(gpu.id)] = gpu;
+
+    // Edge TPU: wide int8 systolic array behind a thin host link;
+    // strong on dense convs, weak on depthwise and pooling, channel
+    // counts quantized to the array width.
+    PlatformSpec tpu;
+    tpu.id = PlatformId::EdgeTpu;
+    tpu.name = platformName(tpu.id);
+    tpu.peakMacsPerSec = 2000e9;
+    tpu.memBandwidthBps = 4e9;
+    tpu.bytesPerElem = 1.0; // int8
+    tpu.depthwiseEff = 0.25;
+    tpu.conv1x1Eff = 0.70;
+    tpu.conv3x3Eff = 0.95;
+    tpu.memOpEff = 0.20;
+    tpu.parallelWidth = 64;
+    tpu.dwOverheadFactor = 1.2;
+    tpu.overlapEff = 0.25;
+    tpu.opOverheadSec = 15e-6;
+    tpu.baseLatencySec = 500e-6;
+    tpu.energyPerMacJ = 0.5e-12;
+    tpu.energyPerByteJ = 1.5e-11;
+    tpu.idlePowerW = 0.5;
+    specs[platformIndex(tpu.id)] = tpu;
+
+    // Raspberry Pi 4: NEON CPU, bandwidth-bound, depthwise runs at
+    // near-full efficiency (low arithmetic intensity fits the core).
+    PlatformSpec pi;
+    pi.id = PlatformId::RaspberryPi4;
+    pi.name = platformName(pi.id);
+    pi.peakMacsPerSec = 12e9;
+    pi.memBandwidthBps = 4e9;
+    pi.bytesPerElem = 4.0; // fp32
+    pi.depthwiseEff = 0.90;
+    pi.conv1x1Eff = 0.85;
+    pi.conv3x3Eff = 0.60;
+    pi.memOpEff = 0.90;
+    pi.parallelWidth = 4;
+    pi.overlapEff = 0.10;
+    pi.opOverheadSec = 5e-6;
+    pi.baseLatencySec = 50e-6;
+    pi.energyPerMacJ = 20e-12;
+    pi.energyPerByteJ = 5e-11;
+    pi.idlePowerW = 2.0;
+    specs[platformIndex(pi.id)] = pi;
+
+    // Xilinx ZC706: modest HLS accelerator with balanced per-op
+    // efficiencies (CPU-like), compute-bound on 32x32 workloads so it
+    // orders architectures by MACs — the same family as the ARM CPUs
+    // (paper Sec. III-E) — but its narrow DDR makes small-input
+    // workloads weight-traffic-bound, decorrelating the family when
+    // the input size shrinks.
+    PlatformSpec zc706;
+    zc706.id = PlatformId::FpgaZC706;
+    zc706.name = platformName(zc706.id);
+    zc706.peakMacsPerSec = 15e9;
+    zc706.memBandwidthBps = 2.5e9;
+    zc706.bytesPerElem = 2.0; // fixed-point 16
+    zc706.depthwiseEff = 0.85;
+    zc706.conv1x1Eff = 0.80;
+    zc706.conv3x3Eff = 0.85;
+    zc706.memOpEff = 0.90;
+    zc706.parallelWidth = 8;
+    zc706.overlapEff = 0.35;
+    zc706.opOverheadSec = 30e-6;
+    zc706.baseLatencySec = 100e-6;
+    zc706.energyPerMacJ = 5e-12;
+    zc706.energyPerByteJ = 3e-11;
+    zc706.idlePowerW = 1.0;
+    specs[platformIndex(zc706.id)] = zc706;
+
+    // Xilinx ZCU102: compute-rich UltraScale+ part with a 3x3
+    // systolic dataflow: dense 3x3 convs are nearly free, everything
+    // else (1x1, depthwise, pooling) underutilizes the array. The
+    // efficiency vector is orthogonal to the ZC706's, so the two
+    // FPGAs correlate weakly (paper reports 0.23).
+    PlatformSpec zcu102;
+    zcu102.id = PlatformId::FpgaZCU102;
+    zcu102.name = platformName(zcu102.id);
+    zcu102.peakMacsPerSec = 1200e9;
+    zcu102.memBandwidthBps = 19e9;
+    zcu102.bytesPerElem = 2.0;
+    zcu102.depthwiseEff = 0.08;
+    zcu102.conv1x1Eff = 0.15;
+    zcu102.conv3x3Eff = 0.95;
+    zcu102.memOpEff = 0.08;
+    zcu102.parallelWidth = 64;
+    zcu102.dwOverheadFactor = 2.0;
+    zcu102.overlapEff = 0.40;
+    zcu102.opOverheadSec = 1e-6;
+    zcu102.baseLatencySec = 150e-6;
+    zcu102.energyPerMacJ = 4e-12;
+    zcu102.energyPerByteJ = 2.5e-11;
+    zcu102.idlePowerW = 3.0;
+    specs[platformIndex(zcu102.id)] = zcu102;
+
+    // Pixel 3: mobile ARM big cores; same family behaviour as the Pi
+    // with a slightly higher peak — depthwise convolutions are the
+    // cheapest way to spend FLOPs here.
+    PlatformSpec pixel;
+    pixel.id = PlatformId::Pixel3;
+    pixel.name = platformName(pixel.id);
+    pixel.peakMacsPerSec = 20e9;
+    pixel.memBandwidthBps = 6e9;
+    pixel.bytesPerElem = 4.0;
+    pixel.depthwiseEff = 0.95;
+    pixel.conv1x1Eff = 0.90;
+    pixel.conv3x3Eff = 0.30;
+    pixel.memOpEff = 0.90;
+    pixel.parallelWidth = 4;
+    pixel.overlapEff = 0.10;
+    pixel.opOverheadSec = 4e-6;
+    pixel.baseLatencySec = 40e-6;
+    pixel.energyPerMacJ = 15e-12;
+    pixel.energyPerByteJ = 4e-11;
+    pixel.idlePowerW = 1.0;
+    specs[platformIndex(pixel.id)] = pixel;
+
+    // Eyeriss: row-stationary ASIC; moderate throughput, by far the
+    // best energy per MAC, but the RS dataflow cannot fill its PE
+    // array with depthwise convolutions.
+    PlatformSpec eyeriss;
+    eyeriss.id = PlatformId::Eyeriss;
+    eyeriss.name = platformName(eyeriss.id);
+    eyeriss.peakMacsPerSec = 70e9;
+    eyeriss.memBandwidthBps = 1.5e9;
+    eyeriss.bytesPerElem = 2.0;
+    eyeriss.depthwiseEff = 0.20;
+    eyeriss.conv1x1Eff = 0.50;
+    eyeriss.conv3x3Eff = 0.95;
+    eyeriss.memOpEff = 0.40;
+    eyeriss.parallelWidth = 14; // 12x14 PE array columns
+    eyeriss.dwOverheadFactor = 2.0;
+    eyeriss.overlapEff = 0.45;
+    eyeriss.opOverheadSec = 8e-6;
+    eyeriss.baseLatencySec = 80e-6;
+    eyeriss.energyPerMacJ = 0.8e-12;
+    eyeriss.energyPerByteJ = 1e-11;
+    eyeriss.idlePowerW = 0.1;
+    specs[platformIndex(eyeriss.id)] = eyeriss;
+
+    return specs;
+}
+
+} // namespace
+
+const PlatformSpec &
+platformSpec(PlatformId id)
+{
+    static const auto specs = buildSpecs();
+    return specs[platformIndex(id)];
+}
+
+} // namespace hwpr::hw

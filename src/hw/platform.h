@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Hardware platform descriptors for the paper's seven targets.
+ *
+ * The paper measures latency/energy on physical boards via
+ * HW-NAS-Bench. Those measurements are not reproducible offline, so
+ * each platform is modelled by a parametric profile feeding an
+ * analytical roofline cost model (cost_model.h). The profiles are
+ * differentiated so the paper's empirical cross-platform structure
+ * emerges:
+ *  - ARM CPUs (Pi4, Pixel3) are bandwidth-bound and execute depthwise
+ *    convolutions at near-full efficiency.
+ *  - The Edge GPU has high peak throughput but poor depthwise
+ *    efficiency and noticeable per-op launch overhead.
+ *  - The Edge TPU has a wide systolic array that quantizes channel
+ *    counts and dislikes depthwise/pooling ops.
+ *  - The two FPGAs run different dataflows: the ZC706 profile is
+ *    bandwidth-limited (correlates with the ARM family, Sec. III-E),
+ *    the ZCU102 profile is compute-rich with strong 3x3 specialization
+ *    (weakly correlated with the ZC706, ~0.23 in the paper).
+ *  - Eyeriss (ASIC) is row-stationary: modest speed, lowest energy,
+ *    weak on depthwise.
+ */
+
+#ifndef HWPR_HW_PLATFORM_H
+#define HWPR_HW_PLATFORM_H
+
+#include <string>
+#include <vector>
+
+namespace hwpr::hw
+{
+
+/** The seven hardware targets of the paper. */
+enum class PlatformId
+{
+    EdgeGpu,      ///< NVIDIA Jetson-class edge GPU
+    EdgeTpu,      ///< Google Edge TPU
+    RaspberryPi4, ///< Raspberry Pi 4 (ARM CPU)
+    FpgaZC706,    ///< Xilinx Zynq ZC706
+    FpgaZCU102,   ///< Xilinx Zynq UltraScale+ ZCU102
+    Pixel3,       ///< Google Pixel 3 (mobile ARM CPU)
+    Eyeriss,      ///< Eyeriss ASIC accelerator
+};
+
+/** Number of supported platforms. */
+inline constexpr std::size_t kNumPlatforms = 7;
+
+/** All platform ids, in a stable order. */
+const std::vector<PlatformId> &allPlatforms();
+
+/** Display name of a platform. */
+std::string platformName(PlatformId id);
+
+/** Stable dense index in [0, kNumPlatforms). */
+std::size_t platformIndex(PlatformId id);
+
+/**
+ * Case-insensitive lookup by display name (e.g. "edgegpu",
+ * "FPGA-ZC706"); returns false when the name matches no platform.
+ */
+bool platformFromName(const std::string &name, PlatformId &out);
+
+/** Parametric device profile consumed by the cost model. */
+struct PlatformSpec
+{
+    PlatformId id;
+    std::string name;
+
+    /** Peak dense-conv MACs per second. */
+    double peakMacsPerSec = 1e9;
+    /** DRAM bandwidth in bytes per second. */
+    double memBandwidthBps = 1e9;
+    /** Bytes per tensor element (precision). */
+    double bytesPerElem = 1.0;
+
+    /** Relative efficiency of depthwise convolutions (0..1]. */
+    double depthwiseEff = 1.0;
+    /** Relative efficiency of 1x1 convolutions. */
+    double conv1x1Eff = 1.0;
+    /** Relative efficiency of 3x3+ dense convolutions. */
+    double conv3x3Eff = 1.0;
+    /** Relative efficiency of pooling/elementwise ops. */
+    double memOpEff = 1.0;
+
+    /**
+     * Multiplier on opOverheadSec for depthwise convolutions on
+     * platforms whose kernels/dataflows fall back to slow paths for
+     * them (1.0 = no penalty).
+     */
+    double dwOverheadFactor = 1.0;
+
+    /**
+     * Channel-parallelism width; compute utilization degrades when
+     * cout is not a multiple of this (systolic arrays, SIMD lanes).
+     */
+    int parallelWidth = 1;
+
+    /**
+     * Fraction of the shorter phase hidden when two consecutive
+     * operators have opposite boundedness (compute-bound next to
+     * memory-bound): double-buffered dataflows overlap DMA with
+     * compute. Layer-wise latency LUTs cannot see this, which is why
+     * they trail learned sequence predictors (paper Sec. II).
+     */
+    double overlapEff = 0.0;
+
+    /** Fixed scheduling/launch overhead per operator, seconds. */
+    double opOverheadSec = 0.0;
+    /** Fixed per-inference overhead, seconds. */
+    double baseLatencySec = 0.0;
+
+    /** Energy per MAC at full efficiency, joules. */
+    double energyPerMacJ = 1e-12;
+    /** Energy per byte of DRAM traffic, joules. */
+    double energyPerByteJ = 1e-11;
+    /** Idle/static power integrated over latency, watts. */
+    double idlePowerW = 0.0;
+};
+
+/** Profile for one platform (calibrated constants; see DESIGN.md). */
+const PlatformSpec &platformSpec(PlatformId id);
+
+} // namespace hwpr::hw
+
+#endif // HWPR_HW_PLATFORM_H

@@ -1,0 +1,148 @@
+#include "nasbench/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nasbench/analysis.h"
+#include "nasbench/fbnet.h"
+#include "nasbench/nasbench201.h"
+
+namespace hwpr::nasbench
+{
+
+namespace
+{
+
+/** Per-dataset calibration of the saturating accuracy curve. */
+struct DatasetCurve
+{
+    double floor;     ///< accuracy of the weakest conv-bearing net
+    double range;     ///< span up to the best achievable accuracy
+    double linFloor;  ///< accuracy of conv-free but connected nets
+    double linRange;  ///< span for conv-free nets
+    double noiseSd;   ///< training-seed noise (percent)
+};
+
+DatasetCurve
+curveFor(DatasetId dataset)
+{
+    switch (dataset) {
+      case DatasetId::Cifar10:
+        return {75.0, 19.5, 48.0, 14.0, 0.35};
+      case DatasetId::Cifar100:
+        return {42.0, 31.5, 22.0, 12.0, 0.55};
+      case DatasetId::ImageNet16:
+        return {21.0, 25.5, 9.0, 8.0, 0.75};
+    }
+    panic("unknown dataset");
+}
+
+/** Deterministic per-(arch, dataset) noise draw. */
+double
+archNoise(const Architecture &a, DatasetId dataset, double sd)
+{
+    Rng rng(a.hash(0x5eedull + 0x100ull * std::uint64_t(dataset)));
+    return rng.normal(0.0, sd);
+}
+
+double
+nb201Capacity(const Architecture &a, const Nb201CellAnalysis &cell)
+{
+    // Additive per-edge contributions with *position-specific*
+    // weights: how much an operator helps depends on which edge of
+    // the cell carries it (the 0->1 edge wants a strong conv, the
+    // long 0->3 shortcut prefers identity, ...). Real NAS-Bench-201
+    // accuracies are largely explained by such additive per-op
+    // effects — which is what lets graph/sequence encoders reach a
+    // high rank correlation while the count-based Architecture
+    // Features miss the positional structure entirely.
+    //
+    // Edge order: 1<-0; 2<-0, 2<-1; 3<-0, 3<-1, 3<-2.
+    static constexpr double kEdgeOpGain[NasBench201Space::kEdges]
+                                       [NasBench201Space::kOps] = {
+        // none  skip  c1x1  c3x3  pool
+        {0.00, 0.00, 1.00, 1.60, -0.30}, // 1 <- 0
+        {0.00, 0.70, 0.20, 0.40, 0.30},  // 2 <- 0
+        {0.00, 0.20, 0.60, 1.00, -0.20}, // 2 <- 1
+        {0.00, 0.90, 0.10, 0.20, 0.40},  // 3 <- 0
+        {0.00, 0.40, 0.50, 0.80, 0.00},  // 3 <- 1
+        {0.00, 0.00, 0.90, 1.40, -0.40}, // 3 <- 2
+    };
+
+    double cap = 0.0;
+    for (std::size_t e = 0; e < NasBench201Space::kEdges; ++e)
+        cap += kEdgeOpGain[e][std::size_t(a.genome[e])];
+    // Mild structural terms on top of the additive backbone.
+    cap += 1.00 * std::sqrt(double(cell.longestConvPath));
+    cap += 0.40 * std::log2(double(cell.numPaths) + 1.0);
+    return std::max(0.0, cap);
+}
+
+double
+fbnetCapacity(const FbnetChainAnalysis &chain)
+{
+    double cap = 0.20 * double(chain.activeBlocks) +
+                 0.25 * double(chain.totalExpansion) +
+                 0.30 * double(chain.kernel5Blocks) -
+                 0.30 * double(chain.groupedBlocks) -
+                 0.60 * double(chain.longestSkipRun);
+    return std::max(0.0, cap);
+}
+
+} // namespace
+
+double
+structuralAccuracy(const Architecture &a, DatasetId dataset)
+{
+    const DatasetCurve curve = curveFor(dataset);
+
+    if (a.space == SpaceId::NasBench201) {
+        const auto cell = analyzeNb201Cell(a);
+        if (!cell.connected) {
+            // Output never sees the input: random-chance classifier.
+            return 100.0 / double(numClasses(dataset));
+        }
+        if (!cell.hasConvOnPath) {
+            // Stem + classifier only (cell acts as pooling/identity):
+            // well above chance, far below any conv-bearing cell.
+            const double cap =
+                0.3 * double(cell.skips) + 0.15 * double(cell.pools);
+            return curve.linFloor +
+                   curve.linRange * (1.0 - std::exp(-cap));
+        }
+        const double quality =
+            1.0 - std::exp(-nb201Capacity(a, cell) / 3.5);
+        return curve.floor + curve.range * quality;
+    }
+
+    // FBNet: always connected; depthwise chain capacity model. The
+    // space's larger models land in the upper accuracy band, but its
+    // ceiling matches NAS-Bench-201's best cells (on CIFAR-10 both
+    // benchmarks top out around 94.5%), so neither space dominates
+    // the other on accuracy alone.
+    // Linear (unsaturated) quality over the typical capacity range,
+    // so the structural accuracy spread stays well above the
+    // training noise and the per-block choices remain learnable.
+    const auto chain = analyzeFbnetChain(a);
+    const double quality =
+        std::min(1.0, fbnetCapacity(chain) / 32.0);
+    const double fb_floor = curve.floor + 0.40 * curve.range;
+    const double fb_range = curve.range * 0.57;
+    return fb_floor + fb_range * quality;
+}
+
+double
+simulatedAccuracy(const Architecture &a, DatasetId dataset)
+{
+    const DatasetCurve curve = curveFor(dataset);
+    const double base = structuralAccuracy(a, dataset);
+    // Degenerate cells get noisier training outcomes.
+    const double sd =
+        base < curve.floor ? 2.0 * curve.noiseSd : curve.noiseSd;
+    const double acc = base + archNoise(a, dataset, sd);
+    return std::clamp(acc, 0.0, 100.0);
+}
+
+} // namespace hwpr::nasbench

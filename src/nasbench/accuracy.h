@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic structural accuracy simulator.
+ *
+ * Substitutes the benchmark tables of trained accuracies (NAS-Bench-201
+ * / FBNet via HW-NAS-Bench), which require GPU-weeks to regenerate.
+ * Accuracy is a smooth saturating function of structural capacity —
+ * parametric op counts, effective depth, path diversity, skip/depth
+ * interactions — plus per-architecture heteroscedastic noise seeded by
+ * the architecture hash, so repeated queries are reproducible.
+ *
+ * Calibration targets (see DESIGN.md):
+ *  - marginal distributions per dataset match the published ranges
+ *    (CIFAR-10 mostly 85-94.5%, degenerate cells near random chance);
+ *  - CIFAR-10 > CIFAR-100 > ImageNet16-120 for any fixed cell;
+ *  - AF features alone explain the accuracy only partially (the paper
+ *    measures Kendall tau ~= 0.63 for an AF-based predictor), because
+ *    several terms depend on topology that AF cannot see.
+ */
+
+#ifndef HWPR_NASBENCH_ACCURACY_H
+#define HWPR_NASBENCH_ACCURACY_H
+
+#include "nasbench/arch.h"
+#include "nasbench/dataset_id.h"
+
+namespace hwpr::nasbench
+{
+
+/**
+ * Simulated top-1 test accuracy (percent) of @p a trained on
+ * @p dataset. Deterministic in (architecture, dataset).
+ */
+double simulatedAccuracy(const Architecture &a, DatasetId dataset);
+
+/**
+ * The noise-free component of simulatedAccuracy. Exposed so tests can
+ * verify the structural monotonicities independent of noise.
+ */
+double structuralAccuracy(const Architecture &a, DatasetId dataset);
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_ACCURACY_H

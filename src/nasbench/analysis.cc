@@ -1,0 +1,125 @@
+#include "nasbench/analysis.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+#include "nasbench/fbnet.h"
+#include "nasbench/nasbench201.h"
+
+namespace hwpr::nasbench
+{
+
+Nb201CellAnalysis
+analyzeNb201Cell(const Architecture &a)
+{
+    HWPR_CHECK(a.space == SpaceId::NasBench201,
+               "analyzeNb201Cell on non-NB201 arch");
+    constexpr int n = NasBench201Space::kNodes;
+    Nb201CellAnalysis out;
+
+    auto op_at = [&](int src, int dst) {
+        return NasBench201Space::edgeOp(a, src, dst);
+    };
+    auto active = [&](int src, int dst) {
+        return op_at(src, dst) != Nb201Op::None;
+    };
+
+    // Forward reachability from node 0 and backward from node 3.
+    std::array<bool, n> fwd{}, bwd{};
+    fwd[0] = true;
+    for (int dst = 1; dst < n; ++dst)
+        for (int src = 0; src < dst; ++src)
+            if (fwd[src] && active(src, dst))
+                fwd[dst] = true;
+    bwd[n - 1] = true;
+    for (int src = n - 2; src >= 0; --src)
+        for (int dst = src + 1; dst < n; ++dst)
+            if (bwd[dst] && active(src, dst))
+                bwd[src] = true;
+    out.connected = fwd[n - 1];
+
+    // DP over the DAG (nodes are topologically ordered 0..3):
+    // path counts and longest paths, counting only edges whose both
+    // endpoints lie on some input->output path.
+    std::array<int, n> paths{}, longest{}, longest_conv{};
+    std::array<bool, n> conv_seen{};
+    paths[0] = 1;
+    for (int dst = 1; dst < n; ++dst) {
+        longest[dst] = -1;
+        for (int src = 0; src < dst; ++src) {
+            if (!active(src, dst) || paths[src] == 0)
+                continue;
+            const Nb201Op op = op_at(src, dst);
+            const bool on_path = fwd[src] && bwd[dst];
+            if (on_path) {
+                switch (op) {
+                  case Nb201Op::Conv3x3:
+                    ++out.convs3x3;
+                    break;
+                  case Nb201Op::Conv1x1:
+                    ++out.convs1x1;
+                    break;
+                  case Nb201Op::SkipConnect:
+                    ++out.skips;
+                    break;
+                  case Nb201Op::AvgPool3x3:
+                    ++out.pools;
+                    break;
+                  case Nb201Op::None:
+                    break;
+                }
+            }
+            paths[dst] += paths[src];
+            const int is_conv = op == Nb201Op::Conv3x3 ||
+                                        op == Nb201Op::Conv1x1
+                                    ? 1
+                                    : 0;
+            longest[dst] =
+                std::max(longest[dst], longest[src] + 1);
+            longest_conv[dst] = std::max(longest_conv[dst],
+                                         longest_conv[src] + is_conv);
+            conv_seen[dst] =
+                conv_seen[dst] || conv_seen[src] || is_conv;
+        }
+        if (longest[dst] < 0)
+            longest[dst] = 0;
+    }
+    out.numPaths = paths[n - 1];
+    out.longestPath = out.connected ? longest[n - 1] : 0;
+    out.longestConvPath = out.connected ? longest_conv[n - 1] : 0;
+    out.hasConvOnPath = out.connected && conv_seen[n - 1];
+
+    for (int dst = 1; dst < n; ++dst)
+        for (int src = 0; src < dst; ++src)
+            if (active(src, dst))
+                ++out.activeEdges;
+    return out;
+}
+
+FbnetChainAnalysis
+analyzeFbnetChain(const Architecture &a)
+{
+    HWPR_CHECK(a.space == SpaceId::FBNet,
+               "analyzeFbnetChain on non-FBNet arch");
+    FbnetChainAnalysis out;
+    int skip_run = 0;
+    for (std::size_t l = 0; l < FBNetSpace::kLayers; ++l) {
+        const FbnetBlock &b = FBNetSpace::effectiveBlock(l, a.genome[l]);
+        if (b.isSkip) {
+            ++skip_run;
+            out.longestSkipRun = std::max(out.longestSkipRun, skip_run);
+            continue;
+        }
+        skip_run = 0;
+        ++out.activeBlocks;
+        out.totalExpansion += b.expansion;
+        if (b.kernel == 5)
+            ++out.kernel5Blocks;
+        if (b.groups > 1)
+            ++out.groupedBlocks;
+    }
+    return out;
+}
+
+} // namespace hwpr::nasbench

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Structural analysis of architectures: cell-DAG connectivity for
+ * NAS-Bench-201 and chain statistics for FBNet. These quantities feed
+ * both the Architecture Features (AF) extractor and the accuracy
+ * simulator.
+ */
+
+#ifndef HWPR_NASBENCH_ANALYSIS_H
+#define HWPR_NASBENCH_ANALYSIS_H
+
+#include "nasbench/arch.h"
+
+namespace hwpr::nasbench
+{
+
+/** Topology summary of a NAS-Bench-201 cell. */
+struct Nb201CellAnalysis
+{
+    /** Input reaches output through non-zero edges. */
+    bool connected = false;
+    /** Input reaches output through at least one conv. */
+    bool hasConvOnPath = false;
+    /** Longest input->output path counting parametric ops (convs). */
+    int longestConvPath = 0;
+    /** Longest input->output path counting any non-zero op. */
+    int longestPath = 0;
+    /** Number of distinct input->output paths (non-zero edges). */
+    int numPaths = 0;
+    /** Reachable (on some input->output path) op counts. */
+    int convs3x3 = 0;
+    int convs1x1 = 0;
+    int skips = 0;
+    int pools = 0;
+    /** Total non-zero edges (reachable or not). */
+    int activeEdges = 0;
+};
+
+/** Analyze a NAS-Bench-201 architecture's cell. */
+Nb201CellAnalysis analyzeNb201Cell(const Architecture &a);
+
+/** Chain statistics of an FBNet architecture. */
+struct FbnetChainAnalysis
+{
+    /** Layers that execute a conv block (non-skip after legality). */
+    int activeBlocks = 0;
+    /** Sum of expansion ratios over active blocks. */
+    int totalExpansion = 0;
+    /** Number of kernel-5 blocks. */
+    int kernel5Blocks = 0;
+    /** Number of grouped-conv blocks. */
+    int groupedBlocks = 0;
+    /** Longest run of consecutive skip blocks. */
+    int longestSkipRun = 0;
+};
+
+/** Analyze an FBNet architecture's chain. */
+FbnetChainAnalysis analyzeFbnetChain(const Architecture &a);
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_ANALYSIS_H

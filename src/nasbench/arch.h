@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Architecture identity and its graph form.
+ *
+ * An Architecture is a (search space, genome) pair: the genome is the
+ * vector of categorical choices (6 edge ops for NAS-Bench-201, 22 block
+ * choices for FBNet). All derived representations — string form, token
+ * sequence, GCN graph, hardware workloads — are computed by the owning
+ * SearchSpace.
+ */
+
+#ifndef HWPR_NASBENCH_ARCH_H
+#define HWPR_NASBENCH_ARCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hwpr::nasbench
+{
+
+/** Which benchmark search space an architecture belongs to. */
+enum class SpaceId
+{
+    NasBench201,
+    FBNet,
+};
+
+/** A sampled architecture: search space + categorical genome. */
+struct Architecture
+{
+    SpaceId space = SpaceId::NasBench201;
+    std::vector<int> genome;
+
+    bool
+    operator==(const Architecture &o) const
+    {
+        return space == o.space && genome == o.genome;
+    }
+
+    /**
+     * Deterministic 64-bit hash (FNV-1a over space and genome), mixed
+     * with @p salt. Used both for container keys and for seeding the
+     * per-architecture noise of the accuracy simulator.
+     */
+    std::uint64_t
+    hash(std::uint64_t salt = 0) const
+    {
+        std::uint64_t x = 1469598103934665603ull ^ salt;
+        auto mix = [&x](std::uint64_t v) {
+            x ^= v;
+            x *= 1099511628211ull;
+        };
+        mix(std::uint64_t(space));
+        for (int g : genome)
+            mix(std::uint64_t(std::uint32_t(g)) + 0x9e3779b9ull);
+        return x;
+    }
+};
+
+/** Hash functor for unordered containers. */
+struct ArchHash
+{
+    std::size_t
+    operator()(const Architecture &a) const
+    {
+        return std::size_t(a.hash());
+    }
+};
+
+/**
+ * Graph form consumed by the GCN encoder: raw 0/1 adjacency (to be
+ * degree-normalized), per-node unified op-category ids, and the global
+ * aggregation node index.
+ */
+struct ArchGraph
+{
+    Matrix adjacency;
+    std::vector<int> nodeCategories;
+    std::size_t globalNode = 0;
+};
+
+/**
+ * Unified node/token categories shared by both search spaces so one
+ * encoder handles graphs (and strings) from either benchmark.
+ */
+namespace category
+{
+inline constexpr int kPad = 0;      ///< sequence padding token
+inline constexpr int kCellIn = 1;   ///< cell/chain input node
+inline constexpr int kCellMid = 2;  ///< intermediate feature node
+inline constexpr int kCellOut = 3;  ///< cell/chain output node
+inline constexpr int kGlobal = 4;   ///< GCN global aggregation node
+inline constexpr int kNb201Base = 5;  ///< +op (5 NAS-Bench-201 ops)
+inline constexpr int kFbnetBase = 10; ///< +block (9 FBNet blocks)
+inline constexpr int kCellMid2 = 19;  ///< second intermediate node
+inline constexpr int kNumCategories = 20;
+} // namespace category
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_ARCH_H

@@ -1,0 +1,101 @@
+#include "nasbench/dataset.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "hw/cost_model.h"
+
+namespace hwpr::nasbench
+{
+
+const ArchRecord &
+Oracle::record(const Architecture &a) const
+{
+    auto it = cache_.find(a);
+    if (it != cache_.end())
+        return it->second;
+
+    ArchRecord rec;
+    rec.arch = a;
+    rec.accuracy = simulatedAccuracy(a, dataset_);
+    const auto net = spaceFor(a.space).lower(a, dataset_);
+    for (hw::PlatformId p : hw::allPlatforms()) {
+        const hw::CostModel model = hw::costModelFor(p);
+        const auto cost = model.networkCost(net);
+        rec.latencyMs[hw::platformIndex(p)] = cost.latencySec * 1e3;
+        rec.energyMj[hw::platformIndex(p)] = cost.energyJ * 1e3;
+    }
+    return cache_.emplace(a, std::move(rec)).first->second;
+}
+
+double
+Oracle::accuracy(const Architecture &a) const
+{
+    return record(a).accuracy;
+}
+
+double
+Oracle::latencyMs(const Architecture &a, hw::PlatformId p) const
+{
+    return record(a).latencyMs[hw::platformIndex(p)];
+}
+
+double
+Oracle::energyMj(const Architecture &a, hw::PlatformId p) const
+{
+    return record(a).energyMj[hw::platformIndex(p)];
+}
+
+SampledDataset
+SampledDataset::sample(const std::vector<const SearchSpace *> &spaces,
+                       const Oracle &oracle, std::size_t total,
+                       std::size_t train_count, std::size_t val_count,
+                       Rng &rng)
+{
+    HWPR_CHECK(!spaces.empty(), "need at least one search space");
+    HWPR_CHECK(train_count + val_count <= total,
+               "splits exceed the sample budget");
+
+    SampledDataset out;
+    out.dataset = oracle.dataset();
+
+    std::unordered_set<Architecture, ArchHash> seen;
+    std::size_t space_cursor = 0;
+    std::size_t attempts = 0;
+    while (seen.size() < total) {
+        const SearchSpace *space =
+            spaces[space_cursor++ % spaces.size()];
+        const Architecture a = space->sample(rng);
+        HWPR_CHECK(++attempts < 100 * total,
+                   "search space too small for ", total,
+                   " distinct samples");
+        if (!seen.insert(a).second)
+            continue;
+        out.records.push_back(oracle.record(a));
+    }
+
+    std::vector<std::size_t> order(out.records.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    out.trainIdx.assign(order.begin(), order.begin() + train_count);
+    out.valIdx.assign(order.begin() + train_count,
+                      order.begin() + train_count + val_count);
+    out.testIdx.assign(order.begin() + train_count + val_count,
+                       order.end());
+    return out;
+}
+
+std::vector<const ArchRecord *>
+SampledDataset::select(const std::vector<std::size_t> &idx) const
+{
+    std::vector<const ArchRecord *> out;
+    out.reserve(idx.size());
+    for (std::size_t i : idx) {
+        HWPR_ASSERT(i < records.size(), "split index OOB");
+        out.push_back(&records[i]);
+    }
+    return out;
+}
+
+} // namespace hwpr::nasbench

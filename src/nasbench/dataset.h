@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Benchmark oracle and dataset assembly.
+ *
+ * The Oracle plays the role of HW-NAS-Bench's lookup tables: given any
+ * architecture it returns the "measured" accuracy (accuracy simulator)
+ * and per-platform latency/energy (hardware cost model), memoized so
+ * repeated queries are free. SampledDataset draws N architectures and
+ * splits them into train/validation/test sets for surrogate training,
+ * mirroring the paper's 4000-sample / 1000-validation protocol.
+ */
+
+#ifndef HWPR_NASBENCH_DATASET_H
+#define HWPR_NASBENCH_DATASET_H
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/platform.h"
+#include "nasbench/accuracy.h"
+#include "nasbench/space.h"
+
+namespace hwpr::nasbench
+{
+
+/** Full measurement record of one architecture on one dataset. */
+struct ArchRecord
+{
+    Architecture arch;
+    double accuracy = 0.0;
+    std::array<double, hw::kNumPlatforms> latencyMs{};
+    std::array<double, hw::kNumPlatforms> energyMj{};
+};
+
+/** Memoizing measurement oracle for one dataset. */
+class Oracle
+{
+  public:
+    explicit Oracle(DatasetId dataset) : dataset_(dataset) {}
+
+    /** Full record (computed once, cached). */
+    const ArchRecord &record(const Architecture &a) const;
+
+    /** Simulated trained accuracy, percent. */
+    double accuracy(const Architecture &a) const;
+
+    /** Measured latency on a platform, milliseconds. */
+    double latencyMs(const Architecture &a, hw::PlatformId p) const;
+
+    /** Measured energy on a platform, millijoules. */
+    double energyMj(const Architecture &a, hw::PlatformId p) const;
+
+    DatasetId dataset() const { return dataset_; }
+
+    /** Number of distinct architectures measured so far. */
+    std::size_t numEvaluated() const { return cache_.size(); }
+
+  private:
+    DatasetId dataset_;
+    mutable std::unordered_map<Architecture, ArchRecord, ArchHash>
+        cache_;
+};
+
+/** A sampled, measured and split dataset for surrogate training. */
+struct SampledDataset
+{
+    DatasetId dataset = DatasetId::Cifar10;
+    std::vector<ArchRecord> records;
+    std::vector<std::size_t> trainIdx;
+    std::vector<std::size_t> valIdx;
+    std::vector<std::size_t> testIdx;
+
+    /**
+     * Sample @p total distinct architectures from the given spaces
+     * (round-robin), measure them through @p oracle and split:
+     * @p train_count for training, @p val_count for validation, the
+     * rest for testing (paper: 4000 sampled, 1000 validation).
+     */
+    static SampledDataset
+    sample(const std::vector<const SearchSpace *> &spaces,
+           const Oracle &oracle, std::size_t total,
+           std::size_t train_count, std::size_t val_count, Rng &rng);
+
+    /** Records selected by an index list. */
+    std::vector<const ArchRecord *>
+    select(const std::vector<std::size_t> &idx) const;
+};
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_DATASET_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Image-classification datasets the benchmarks are trained on.
+ * NAS-Bench-201 provides CIFAR-10, CIFAR-100 and ImageNet16-120; the
+ * paper evaluates on all three.
+ */
+
+#ifndef HWPR_NASBENCH_DATASET_ID_H
+#define HWPR_NASBENCH_DATASET_ID_H
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace hwpr::nasbench
+{
+
+/** Dataset the architectures are (virtually) trained on. */
+enum class DatasetId
+{
+    Cifar10,
+    Cifar100,
+    ImageNet16, ///< ImageNet16-120 (16x16 inputs, 120 classes)
+};
+
+/** All datasets, in paper order. */
+inline const std::vector<DatasetId> &
+allDatasets()
+{
+    static const std::vector<DatasetId> ids = {
+        DatasetId::Cifar10, DatasetId::Cifar100, DatasetId::ImageNet16};
+    return ids;
+}
+
+/** Input spatial resolution (square). */
+inline int
+inputSize(DatasetId id)
+{
+    return id == DatasetId::ImageNet16 ? 16 : 32;
+}
+
+/** Number of classes. */
+inline int
+numClasses(DatasetId id)
+{
+    switch (id) {
+      case DatasetId::Cifar10:
+        return 10;
+      case DatasetId::Cifar100:
+        return 100;
+      case DatasetId::ImageNet16:
+        return 120;
+    }
+    return 0;
+}
+
+/** Display name. */
+inline std::string
+datasetName(DatasetId id)
+{
+    switch (id) {
+      case DatasetId::Cifar10:
+        return "CIFAR-10";
+      case DatasetId::Cifar100:
+        return "CIFAR-100";
+      case DatasetId::ImageNet16:
+        return "ImageNet16-120";
+    }
+    return "?";
+}
+
+/**
+ * Case-insensitive lookup by name ("cifar10", "CIFAR-100",
+ * "imagenet16"); returns false on no match.
+ */
+inline bool
+datasetFromName(const std::string &name, DatasetId &out)
+{
+    std::string canon;
+    for (char c : name)
+        if (c != '-' && c != '_')
+            canon += char(std::tolower(c));
+    if (canon == "cifar10") {
+        out = DatasetId::Cifar10;
+        return true;
+    }
+    if (canon == "cifar100") {
+        out = DatasetId::Cifar100;
+        return true;
+    }
+    if (canon == "imagenet16" || canon == "imagenet16120" ||
+        canon == "imagenet") {
+        out = DatasetId::ImageNet16;
+        return true;
+    }
+    return false;
+}
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_DATASET_ID_H

@@ -1,0 +1,201 @@
+#include "nasbench/fbnet.h"
+
+#include "common/logging.h"
+
+namespace hwpr::nasbench
+{
+
+const std::array<FbnetBlock, 9> &
+fbnetBlocks()
+{
+    static const std::array<FbnetBlock, 9> blocks = {{
+        {"k3_e1", 3, 1, 1, false},
+        {"k3_e1_g2", 3, 1, 2, false},
+        {"k3_e3", 3, 3, 1, false},
+        {"k3_e6", 3, 6, 1, false},
+        {"k5_e1", 5, 1, 1, false},
+        {"k5_e1_g2", 5, 1, 2, false},
+        {"k5_e3", 5, 3, 1, false},
+        {"k5_e6", 5, 6, 1, false},
+        {"skip", 0, 0, 1, true},
+    }};
+    return blocks;
+}
+
+const std::array<FBNetSpace::LayerSpec, FBNetSpace::kLayers> &
+FBNetSpace::layerSpecs()
+{
+    // FBNet stage schedule (CIFAR-adapted strides): widths follow the
+    // paper's macro-architecture, stage depths 1/4/4/4/4/4/1.
+    static const std::array<LayerSpec, kLayers> specs = {{
+        {16, 16, 1},                                    // stage 1
+        {16, 24, 2}, {24, 24, 1}, {24, 24, 1}, {24, 24, 1},   // stage 2
+        {24, 32, 2}, {32, 32, 1}, {32, 32, 1}, {32, 32, 1},   // stage 3
+        {32, 64, 2}, {64, 64, 1}, {64, 64, 1}, {64, 64, 1},   // stage 4
+        {64, 112, 1}, {112, 112, 1}, {112, 112, 1}, {112, 112, 1},
+        {112, 184, 2}, {184, 184, 1}, {184, 184, 1}, {184, 184, 1},
+        {184, 352, 1},                                  // stage 7
+    }};
+    return specs;
+}
+
+const FbnetBlock &
+FBNetSpace::effectiveBlock(std::size_t layer, int choice)
+{
+    const auto &blocks = fbnetBlocks();
+    HWPR_ASSERT(choice >= 0 && std::size_t(choice) < blocks.size(),
+                "block choice OOB");
+    const FbnetBlock &block = blocks[std::size_t(choice)];
+    const LayerSpec &spec = layerSpecs()[layer];
+    if (block.isSkip && (spec.stride != 1 || spec.cin != spec.cout))
+        return blocks[0]; // skip illegal here: degrade to k3_e1
+    return block;
+}
+
+std::string
+FBNetSpace::toString(const Architecture &a) const
+{
+    checkArch(a);
+    std::string out;
+    for (std::size_t l = 0; l < kLayers; ++l) {
+        out += "|";
+        out += effectiveBlock(l, a.genome[l]).name;
+        out += "~" + std::to_string(l);
+    }
+    out += "|";
+    return out;
+}
+
+Architecture
+FBNetSpace::fromString(const std::string &text) const
+{
+    Architecture a;
+    a.space = id();
+
+    std::size_t pos = 0;
+    while (pos < text.size() && a.genome.size() < kLayers) {
+        HWPR_CHECK(text[pos] == '|', "expected '|' at position ", pos,
+                   " of '", text, "'");
+        const std::size_t tilde = text.find('~', pos + 1);
+        HWPR_CHECK(tilde != std::string::npos, "missing '~' in '",
+                   text, "'");
+        const std::size_t close = text.find('|', tilde);
+        HWPR_CHECK(close != std::string::npos, "missing closing '|'");
+        const std::string name =
+            text.substr(pos + 1, tilde - pos - 1);
+        int choice = -1;
+        for (std::size_t b = 0; b < fbnetBlocks().size(); ++b)
+            if (name == fbnetBlocks()[b].name)
+                choice = int(b);
+        HWPR_CHECK(choice >= 0, "unknown block '", name, "'");
+        a.genome.push_back(choice);
+        pos = close;
+        if (pos + 1 >= text.size())
+            ++pos;
+    }
+    checkArch(a);
+    return a;
+}
+
+std::vector<std::size_t>
+FBNetSpace::tokenize(const Architecture &a) const
+{
+    checkArch(a);
+    std::vector<std::size_t> tokens(kTokenLength, category::kPad);
+    for (std::size_t l = 0; l < kLayers; ++l)
+        tokens[l] = std::size_t(category::kFbnetBase + a.genome[l]);
+    return tokens;
+}
+
+ArchGraph
+FBNetSpace::toGraph(const Architecture &a) const
+{
+    checkArch(a);
+    // Chain graph: input -> 22 block nodes -> output, plus the global
+    // node. FBNet's wiring is fixed; only node categories vary.
+    const std::size_t v = kLayers + 3;
+    ArchGraph g;
+    g.adjacency = Matrix(v, v);
+    g.nodeCategories.resize(v);
+    g.globalNode = v - 1;
+
+    g.nodeCategories[0] = category::kCellIn;
+    for (std::size_t l = 0; l < kLayers; ++l)
+        g.nodeCategories[1 + l] = category::kFbnetBase + a.genome[l];
+    g.nodeCategories[kLayers + 1] = category::kCellOut;
+    g.nodeCategories[g.globalNode] = category::kGlobal;
+
+    auto connect = [&g](std::size_t x, std::size_t y) {
+        g.adjacency(x, y) = 1.0;
+        g.adjacency(y, x) = 1.0;
+    };
+    for (std::size_t i = 0; i + 2 < v; ++i)
+        connect(i, i + 1);
+    for (std::size_t i = 0; i + 1 < v; ++i)
+        connect(i, g.globalNode);
+    return g;
+}
+
+std::vector<hw::OpWorkload>
+FBNetSpace::lower(const Architecture &a, DatasetId dataset) const
+{
+    checkArch(a);
+    using hw::OpKind;
+    using hw::OpWorkload;
+    std::vector<OpWorkload> net;
+
+    // FBNet executes at its native (ImageNet-style) resolution: the
+    // hardware benchmarks (HW-NAS-Bench) measure FBNet models at the
+    // resolution the macro-architecture was designed for, which is
+    // 2x the dataset crop (64x64 for CIFAR, 32x32 for ImageNet16).
+    int spatial = 2 * inputSize(dataset);
+    const int classes = numClasses(dataset);
+
+    // Stem: 3x3 conv, stride 2 (native FBNet stem).
+    net.push_back(OpWorkload{OpKind::Conv, spatial, spatial, 3,
+                             kStemChannels, 3, 2, 1});
+    spatial = (spatial + 1) / 2;
+
+    for (std::size_t l = 0; l < kLayers; ++l) {
+        const LayerSpec &spec = layerSpecs()[l];
+        const FbnetBlock &block = effectiveBlock(l, a.genome[l]);
+        if (block.isSkip) {
+            net.push_back(OpWorkload{OpKind::Skip, spatial, spatial,
+                                     spec.cin, spec.cout, 1, 1, 1});
+            continue;
+        }
+        const int expanded = spec.cin * block.expansion;
+        if (block.expansion > 1) {
+            // 1x1 expansion conv (optionally grouped).
+            net.push_back(OpWorkload{OpKind::Conv, spatial, spatial,
+                                     spec.cin, expanded, 1, 1,
+                                     block.groups});
+        }
+        // Depthwise kxk (carries the stride).
+        net.push_back(OpWorkload{OpKind::Conv, spatial, spatial,
+                                 expanded, expanded, block.kernel,
+                                 spec.stride, expanded});
+        spatial = (spatial + spec.stride - 1) / spec.stride;
+        // 1x1 projection conv.
+        net.push_back(OpWorkload{OpKind::Conv, spatial, spatial,
+                                 expanded, spec.cout, 1, 1,
+                                 block.groups});
+        if (spec.stride == 1 && spec.cin == spec.cout) {
+            // Residual add.
+            net.push_back(OpWorkload{OpKind::Add, spatial, spatial,
+                                     spec.cout, spec.cout, 1, 1, 1});
+        }
+    }
+
+    // Head: 1x1 conv to 1504 channels, global pool, classifier.
+    const int last = layerSpecs().back().cout;
+    net.push_back(OpWorkload{OpKind::Conv, spatial, spatial, last,
+                             kHeadChannels, 1, 1, 1});
+    net.push_back(OpWorkload{OpKind::GlobalAvgPool, spatial, spatial,
+                             kHeadChannels, kHeadChannels, 1, 1, 1});
+    net.push_back(OpWorkload{OpKind::Linear, 1, 1, kHeadChannels,
+                             classes, 1, 1, 1});
+    return net;
+}
+
+} // namespace hwpr::nasbench

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The FBNet macro search space.
+ *
+ * Unlike the cell-based NAS-Bench-201, FBNet searches a 22-layer chain
+ * where each layer independently picks one of 9 blocks — MBConv
+ * variants (expansion ratio x kernel size x group count) or a skip —
+ * over a fixed channel/stride schedule. The depthwise convolutions at
+ * the heart of the MBConv blocks are what make this space
+ * mobile-friendly (paper Table IV / Fig. 8).
+ */
+
+#ifndef HWPR_NASBENCH_FBNET_H
+#define HWPR_NASBENCH_FBNET_H
+
+#include <array>
+
+#include "nasbench/space.h"
+
+namespace hwpr::nasbench
+{
+
+/** One candidate block of the FBNet layer menu. */
+struct FbnetBlock
+{
+    const char *name;
+    int kernel;    ///< depthwise kernel size (0 for skip)
+    int expansion; ///< MBConv expansion ratio
+    int groups;    ///< groups of the 1x1 convs
+    bool isSkip;   ///< identity block
+};
+
+/** The 9 candidate blocks (FBNet's search menu). */
+const std::array<FbnetBlock, 9> &fbnetBlocks();
+
+/** FBNet chain search space. */
+class FBNetSpace : public SearchSpace
+{
+  public:
+    /** Searched layers. */
+    static constexpr std::size_t kLayers = 22;
+    /** Candidate blocks per layer. */
+    static constexpr std::size_t kChoices = 9;
+
+    /** Per-layer output channels and strides (CIFAR-adapted). */
+    struct LayerSpec
+    {
+        int cin;
+        int cout;
+        int stride;
+    };
+
+    SpaceId id() const override { return SpaceId::FBNet; }
+    std::string name() const override { return "FBNet"; }
+    std::size_t genomeLength() const override { return kLayers; }
+    std::size_t numOptions(std::size_t) const override
+    {
+        return kChoices;
+    }
+
+    std::string toString(const Architecture &a) const override;
+    /**
+     * Inverse of toString. Since toString prints *effective* blocks
+     * (illegal skips degrade to k3_e1), round-tripping a genome with
+     * degraded skips yields the equivalent effective genome.
+     */
+    Architecture fromString(const std::string &text) const override;
+    std::vector<std::size_t>
+    tokenize(const Architecture &a) const override;
+    ArchGraph toGraph(const Architecture &a) const override;
+    std::vector<hw::OpWorkload>
+    lower(const Architecture &a, DatasetId dataset) const override;
+
+    /** The fixed channel/stride schedule of the 22 layers. */
+    static const std::array<LayerSpec, kLayers> &layerSpecs();
+
+    /**
+     * Effective block at a layer: skip is only legal when the layer
+     * is stride-1 with matching channels; otherwise it degrades to
+     * the smallest conv block (k3_e1), mirroring how FBNet restricts
+     * the skip candidate.
+     */
+    static const FbnetBlock &effectiveBlock(std::size_t layer,
+                                            int choice);
+
+  private:
+    static constexpr int kStemChannels = 16;
+    static constexpr int kHeadChannels = 1504;
+};
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_FBNET_H

@@ -1,0 +1,110 @@
+#include "nasbench/features.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nasbench/analysis.h"
+#include "nasbench/fbnet.h"
+#include "nasbench/nasbench201.h"
+#include "nasbench/space.h"
+
+namespace hwpr::nasbench
+{
+
+const std::vector<std::string> &
+archFeatureNames()
+{
+    static const std::vector<std::string> names = {
+        "log10_flops",  "log10_params", "num_convs",
+        "input_size",   "depth",        "first_channels",
+        "last_channels", "num_downsample",
+    };
+    return names;
+}
+
+std::vector<double>
+archFeatures(const Architecture &a, DatasetId dataset)
+{
+    const SearchSpace &space = spaceFor(a.space);
+    const auto net = space.lower(a, dataset);
+
+    double flops = 0.0, params = 0.0;
+    int convs = 0, downsample = 0;
+    int first_ch = 0, last_ch = 0;
+    for (const auto &op : net) {
+        flops += op.flops();
+        params += op.params();
+        if (op.kind == hw::OpKind::Conv) {
+            ++convs;
+            if (first_ch == 0)
+                first_ch = op.cout;
+            last_ch = op.cout;
+            if (op.stride > 1)
+                ++downsample;
+        } else if (op.kind == hw::OpKind::AvgPool && op.stride > 1) {
+            ++downsample;
+        }
+    }
+
+    // Depth: sequential parametric layers on the longest path.
+    double depth = 0.0;
+    if (a.space == SpaceId::NasBench201) {
+        const auto cell = analyzeNb201Cell(a);
+        const double per_cell = double(cell.longestPath);
+        depth = 1.0 /* stem */ +
+                per_cell * double(NasBench201Space::kCellsPerStage) *
+                    3.0 +
+                2.0 * 2.0 /* reduction blocks */ + 1.0 /* classifier */;
+    } else {
+        const auto chain = analyzeFbnetChain(a);
+        depth = 1.0 + double(chain.activeBlocks) + 2.0;
+    }
+
+    return {
+        std::log10(std::max(1.0, flops)),
+        std::log10(std::max(1.0, params)),
+        double(convs),
+        double(inputSize(dataset)),
+        depth,
+        double(first_ch),
+        double(last_ch),
+        double(downsample),
+    };
+}
+
+FeatureScaler
+FeatureScaler::fit(const std::vector<std::vector<double>> &x)
+{
+    HWPR_CHECK(!x.empty(), "cannot fit a scaler on no data");
+    const std::size_t d = x[0].size();
+    FeatureScaler s;
+    s.mean.assign(d, 0.0);
+    s.std.assign(d, 0.0);
+    for (const auto &row : x) {
+        HWPR_ASSERT(row.size() == d, "ragged feature rows");
+        for (std::size_t j = 0; j < d; ++j)
+            s.mean[j] += row[j];
+    }
+    for (double &m : s.mean)
+        m /= double(x.size());
+    for (const auto &row : x)
+        for (std::size_t j = 0; j < d; ++j)
+            s.std[j] += (row[j] - s.mean[j]) * (row[j] - s.mean[j]);
+    for (double &v : s.std)
+        v = std::sqrt(v / double(x.size()));
+    return s;
+}
+
+std::vector<double>
+FeatureScaler::apply(const std::vector<double> &x) const
+{
+    HWPR_CHECK(x.size() == mean.size(), "scaler dimension mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        const double s = std[j] > 1e-12 ? std[j] : 1.0;
+        out[j] = (x[j] - mean[j]) / s;
+    }
+    return out;
+}
+
+} // namespace hwpr::nasbench

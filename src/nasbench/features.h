@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Architecture Features (AF) — the paper's manually extracted feature
+ * vector (Sec. III-C): number of FLOPs, number of parameters, number
+ * of convolutions, input size, architecture depth, first and last
+ * channel size, and number of downsampling operations.
+ */
+
+#ifndef HWPR_NASBENCH_FEATURES_H
+#define HWPR_NASBENCH_FEATURES_H
+
+#include <string>
+#include <vector>
+
+#include "nasbench/arch.h"
+#include "nasbench/dataset_id.h"
+
+namespace hwpr::nasbench
+{
+
+/** Number of AF features. */
+inline constexpr std::size_t kNumArchFeatures = 8;
+
+/** Names of the AF features, in vector order. */
+const std::vector<std::string> &archFeatureNames();
+
+/**
+ * Extract the AF vector for an architecture on a dataset. FLOPs and
+ * parameters are log10-scaled (they span orders of magnitude);
+ * remaining features are raw counts.
+ */
+std::vector<double> archFeatures(const Architecture &a,
+                                 DatasetId dataset);
+
+/**
+ * Normalize a feature matrix column-wise to zero mean / unit variance
+ * using statistics of the given rows; returns per-column (mean, std).
+ */
+struct FeatureScaler
+{
+    std::vector<double> mean;
+    std::vector<double> std;
+
+    /** Fit on a set of feature vectors. */
+    static FeatureScaler fit(const std::vector<std::vector<double>> &x);
+
+    /** Apply in place. */
+    std::vector<double> apply(const std::vector<double> &x) const;
+};
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_FEATURES_H

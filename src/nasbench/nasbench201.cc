@@ -1,0 +1,280 @@
+#include "nasbench/nasbench201.h"
+
+#include "common/logging.h"
+
+namespace hwpr::nasbench
+{
+
+std::string
+nb201OpName(Nb201Op op)
+{
+    switch (op) {
+      case Nb201Op::None:
+        return "none";
+      case Nb201Op::SkipConnect:
+        return "skip_connect";
+      case Nb201Op::Conv1x1:
+        return "nor_conv_1x1";
+      case Nb201Op::Conv3x3:
+        return "nor_conv_3x3";
+      case Nb201Op::AvgPool3x3:
+        return "avg_pool_3x3";
+    }
+    panic("unknown Nb201Op");
+}
+
+std::size_t
+NasBench201Space::edgeIndex(int src, int dst)
+{
+    HWPR_ASSERT(dst >= 1 && dst < kNodes && src >= 0 && src < dst,
+                "bad edge (", src, " -> ", dst, ")");
+    // Edges are grouped by destination node: node1 gets 1 edge,
+    // node2 gets 2, node3 gets 3 — the canonical benchmark order.
+    return std::size_t(dst * (dst - 1) / 2 + src);
+}
+
+Nb201Op
+NasBench201Space::edgeOp(const Architecture &a, int src, int dst)
+{
+    return Nb201Op(a.genome[edgeIndex(src, dst)]);
+}
+
+std::string
+NasBench201Space::toString(const Architecture &a) const
+{
+    checkArch(a);
+    std::string out;
+    for (int dst = 1; dst < kNodes; ++dst) {
+        if (dst > 1)
+            out += "+";
+        for (int src = 0; src < dst; ++src) {
+            out += "|" + nb201OpName(edgeOp(a, src, dst)) + "~" +
+                   std::to_string(src);
+        }
+        out += "|";
+    }
+    return out;
+}
+
+Architecture
+NasBench201Space::fromString(const std::string &text) const
+{
+    Architecture a;
+    a.space = id();
+    a.genome.assign(kEdges, -1);
+
+    // Walk '|op~src|' tokens; '+' separates destination-node groups.
+    int dst = 1;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        if (text[pos] == '+') {
+            ++dst;
+            ++pos;
+            continue;
+        }
+        HWPR_CHECK(text[pos] == '|', "expected '|' at position ", pos,
+                   " of '", text, "'");
+        const std::size_t tilde = text.find('~', pos + 1);
+        HWPR_CHECK(tilde != std::string::npos, "missing '~' in '",
+                   text, "'");
+        const std::size_t close = text.find('|', tilde);
+        HWPR_CHECK(close != std::string::npos, "missing closing '|'");
+        const std::string op_name =
+            text.substr(pos + 1, tilde - pos - 1);
+        const int src =
+            std::atoi(text.substr(tilde + 1, close - tilde - 1)
+                          .c_str());
+        HWPR_CHECK(dst >= 1 && dst < kNodes && src >= 0 && src < dst,
+                   "bad edge ", src, "->", dst, " in '", text, "'");
+        int op = -1;
+        for (int o = 0; o < int(kOps); ++o)
+            if (nb201OpName(Nb201Op(o)) == op_name)
+                op = o;
+        HWPR_CHECK(op >= 0, "unknown op '", op_name, "'");
+        a.genome[edgeIndex(src, dst)] = op;
+        pos = close;
+        // The '|' both closes this token and opens the next one;
+        // only consume it when the group or string ends.
+        if (pos + 1 >= text.size() || text[pos + 1] == '+')
+            ++pos;
+    }
+    for (int g : a.genome)
+        HWPR_CHECK(g >= 0, "incomplete architecture string '", text,
+                   "'");
+    checkArch(a);
+    return a;
+}
+
+std::vector<std::size_t>
+NasBench201Space::tokenize(const Architecture &a) const
+{
+    checkArch(a);
+    std::vector<std::size_t> tokens(kTokenLength, category::kPad);
+    for (std::size_t i = 0; i < kEdges; ++i)
+        tokens[i] = std::size_t(category::kNb201Base + a.genome[i]);
+    return tokens;
+}
+
+ArchGraph
+NasBench201Space::toGraph(const Architecture &a) const
+{
+    checkArch(a);
+    // Nodes: 4 cell feature nodes, 6 op nodes (one per edge), and a
+    // global aggregation node. Edges: src -> op -> dst for every cell
+    // edge, global connected to everything. The adjacency is
+    // symmetrized here; the GCN normalizes it.
+    const std::size_t v = kNodes + kEdges + 1;
+    ArchGraph g;
+    g.adjacency = Matrix(v, v);
+    g.nodeCategories.resize(v);
+    g.globalNode = v - 1;
+
+    // The two intermediate feature nodes carry distinct categories:
+    // with a shared label, a GCN cannot tell an operator on edge
+    // 0->1 apart from one on 0->2 (identical neighbourhoods).
+    g.nodeCategories[0] = category::kCellIn;
+    g.nodeCategories[1] = category::kCellMid;
+    g.nodeCategories[2] = category::kCellMid2;
+    g.nodeCategories[3] = category::kCellOut;
+    for (std::size_t e = 0; e < kEdges; ++e)
+        g.nodeCategories[kNodes + e] =
+            category::kNb201Base + a.genome[e];
+    g.nodeCategories[g.globalNode] = category::kGlobal;
+
+    auto connect = [&g](std::size_t x, std::size_t y) {
+        g.adjacency(x, y) = 1.0;
+        g.adjacency(y, x) = 1.0;
+    };
+    for (int dst = 1; dst < kNodes; ++dst) {
+        for (int src = 0; src < dst; ++src) {
+            const std::size_t op_node =
+                kNodes + edgeIndex(src, dst);
+            connect(std::size_t(src), op_node);
+            connect(op_node, std::size_t(dst));
+        }
+    }
+    for (std::size_t i = 0; i + 1 < v; ++i)
+        connect(i, g.globalNode);
+    return g;
+}
+
+std::vector<hw::OpWorkload>
+NasBench201Space::lower(const Architecture &a, DatasetId dataset) const
+{
+    checkArch(a);
+    using hw::OpKind;
+    using hw::OpWorkload;
+    std::vector<OpWorkload> net;
+
+    int spatial = inputSize(dataset);
+    const int classes = numClasses(dataset);
+
+    // Stem: 3x3 conv, 3 -> 16 channels.
+    net.push_back(OpWorkload{OpKind::Conv, spatial, spatial, 3,
+                             kStageChannels[0], 3, 1, 1});
+
+    auto lower_cell = [&](int channels, int hw_size) {
+        // Count incoming non-zero edges per node for the Add cost.
+        std::array<int, kNodes> fanin{};
+        for (int dst = 1; dst < kNodes; ++dst) {
+            for (int src = 0; src < dst; ++src) {
+                const Nb201Op op = edgeOp(a, src, dst);
+                OpWorkload w;
+                w.h = hw_size;
+                w.w = hw_size;
+                w.cin = channels;
+                w.cout = channels;
+                switch (op) {
+                  case Nb201Op::None:
+                    w.kind = OpKind::Zero;
+                    break;
+                  case Nb201Op::SkipConnect:
+                    w.kind = OpKind::Skip;
+                    ++fanin[dst];
+                    break;
+                  case Nb201Op::Conv1x1:
+                    w.kind = OpKind::Conv;
+                    w.kernel = 1;
+                    ++fanin[dst];
+                    break;
+                  case Nb201Op::Conv3x3:
+                    w.kind = OpKind::Conv;
+                    w.kernel = 3;
+                    ++fanin[dst];
+                    break;
+                  case Nb201Op::AvgPool3x3:
+                    w.kind = OpKind::AvgPool;
+                    w.kernel = 3;
+                    ++fanin[dst];
+                    break;
+                }
+                net.push_back(w);
+            }
+        }
+        for (int n = 1; n < kNodes; ++n) {
+            if (fanin[n] > 1) {
+                // (fanin - 1) pairwise adds to aggregate the node.
+                for (int k = 1; k < fanin[n]; ++k)
+                    net.push_back(OpWorkload{OpKind::Add, hw_size,
+                                             hw_size, channels,
+                                             channels, 1, 1, 1});
+            }
+        }
+    };
+
+    for (std::size_t stage = 0; stage < kStageChannels.size();
+         ++stage) {
+        const int channels = kStageChannels[stage];
+        if (stage > 0) {
+            // Residual reduction block: two 3x3 convs (stride 2 then
+            // 1) plus a strided 1x1 shortcut.
+            const int prev = kStageChannels[stage - 1];
+            net.push_back(OpWorkload{OpKind::Conv, spatial, spatial,
+                                     prev, channels, 3, 2, 1});
+            spatial = (spatial + 1) / 2;
+            net.push_back(OpWorkload{OpKind::Conv, spatial, spatial,
+                                     channels, channels, 3, 1, 1});
+            net.push_back(OpWorkload{OpKind::Conv, spatial * 2,
+                                     spatial * 2, prev, channels, 1, 2,
+                                     1});
+            net.push_back(OpWorkload{OpKind::Add, spatial, spatial,
+                                     channels, channels, 1, 1, 1});
+        }
+        for (int c = 0; c < kCellsPerStage; ++c)
+            lower_cell(channels, spatial);
+    }
+
+    net.push_back(OpWorkload{OpKind::GlobalAvgPool, spatial, spatial,
+                             kStageChannels.back(),
+                             kStageChannels.back(), 1, 1, 1});
+    net.push_back(OpWorkload{OpKind::Linear, 1, 1,
+                             kStageChannels.back(), classes, 1, 1, 1});
+    return net;
+}
+
+Architecture
+NasBench201Space::decode(std::uint64_t index) const
+{
+    HWPR_CHECK(index < std::uint64_t(size()), "index out of range");
+    Architecture a;
+    a.space = id();
+    a.genome.resize(kEdges);
+    for (std::size_t i = 0; i < kEdges; ++i) {
+        a.genome[i] = int(index % kOps);
+        index /= kOps;
+    }
+    return a;
+}
+
+std::vector<Architecture>
+NasBench201Space::enumerate() const
+{
+    std::vector<Architecture> all;
+    const auto n = std::uint64_t(size());
+    all.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        all.push_back(decode(i));
+    return all;
+}
+
+} // namespace hwpr::nasbench

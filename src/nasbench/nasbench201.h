@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The NAS-Bench-201 search space.
+ *
+ * A cell is a DAG over 4 feature nodes; every ordered pair (j < i) of
+ * nodes carries one of 5 operations, giving 6 decisions and
+ * 5^6 = 15,625 architectures. The macro skeleton is fixed: a 3x3 stem,
+ * three stages of 5 stacked cells at 16/32/64 channels separated by
+ * residual reduction blocks, then global pooling and a classifier —
+ * exactly the topology of Dong & Yang (ICLR'20).
+ */
+
+#ifndef HWPR_NASBENCH_NASBENCH201_H
+#define HWPR_NASBENCH_NASBENCH201_H
+
+#include <array>
+
+#include "nasbench/space.h"
+
+namespace hwpr::nasbench
+{
+
+/** The five cell operations, in canonical NAS-Bench-201 order. */
+enum class Nb201Op
+{
+    None,       ///< zeroize: the edge is dropped
+    SkipConnect,///< identity
+    Conv1x1,    ///< ReLU-Conv1x1-BN
+    Conv3x3,    ///< ReLU-Conv3x3-BN
+    AvgPool3x3, ///< 3x3 average pooling
+};
+
+/** Canonical op string, e.g. "nor_conv_3x3". */
+std::string nb201OpName(Nb201Op op);
+
+/** NAS-Bench-201 cell search space. */
+class NasBench201Space : public SearchSpace
+{
+  public:
+    /** Number of cell nodes (node 0 is input, node 3 output). */
+    static constexpr int kNodes = 4;
+    /** Number of searched edges: pairs (j < i). */
+    static constexpr std::size_t kEdges = 6;
+    /** Options per edge. */
+    static constexpr std::size_t kOps = 5;
+    /** Cells per stage in the macro skeleton. */
+    static constexpr int kCellsPerStage = 5;
+    /** Stage channel widths. */
+    static constexpr std::array<int, 3> kStageChannels = {16, 32, 64};
+
+    SpaceId id() const override { return SpaceId::NasBench201; }
+    std::string name() const override { return "NAS-Bench-201"; }
+    std::size_t genomeLength() const override { return kEdges; }
+    std::size_t numOptions(std::size_t) const override { return kOps; }
+
+    std::string toString(const Architecture &a) const override;
+    Architecture fromString(const std::string &text) const override;
+    std::vector<std::size_t>
+    tokenize(const Architecture &a) const override;
+    ArchGraph toGraph(const Architecture &a) const override;
+    std::vector<hw::OpWorkload>
+    lower(const Architecture &a, DatasetId dataset) const override;
+
+    /** Edge index for the pair (src -> dst), dst in [1,3], src < dst. */
+    static std::size_t edgeIndex(int src, int dst);
+
+    /** Op chosen on edge (src -> dst). */
+    static Nb201Op edgeOp(const Architecture &a, int src, int dst);
+
+    /** Decode a flat index in [0, 15625) into an architecture. */
+    Architecture decode(std::uint64_t index) const;
+
+    /** Enumerate the whole space (15,625 architectures). */
+    std::vector<Architecture> enumerate() const;
+};
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_NASBENCH201_H

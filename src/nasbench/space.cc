@@ -1,0 +1,135 @@
+#include "nasbench/space.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "nasbench/fbnet.h"
+#include "nasbench/nasbench201.h"
+
+namespace hwpr::nasbench
+{
+
+double
+SearchSpace::size() const
+{
+    double n = 1.0;
+    for (std::size_t i = 0; i < genomeLength(); ++i)
+        n *= double(numOptions(i));
+    return n;
+}
+
+Architecture
+SearchSpace::sample(Rng &rng) const
+{
+    Architecture a;
+    a.space = id();
+    a.genome.resize(genomeLength());
+    for (std::size_t i = 0; i < a.genome.size(); ++i)
+        a.genome[i] = int(rng.index(numOptions(i)));
+    return a;
+}
+
+Architecture
+SearchSpace::mutate(const Architecture &a, double rate, Rng &rng) const
+{
+    checkArch(a);
+    Architecture out = a;
+    bool changed = false;
+    for (std::size_t i = 0; i < out.genome.size(); ++i) {
+        if (rng.uniform() < rate) {
+            const int old = out.genome[i];
+            int next = int(rng.index(numOptions(i)));
+            if (numOptions(i) > 1) {
+                while (next == old)
+                    next = int(rng.index(numOptions(i)));
+            }
+            out.genome[i] = next;
+            changed = changed || next != old;
+        }
+    }
+    if (!changed) {
+        // Guarantee the offspring differs from the parent.
+        const std::size_t pos = rng.index(out.genome.size());
+        if (numOptions(pos) > 1) {
+            int next = int(rng.index(numOptions(pos)));
+            while (next == out.genome[pos])
+                next = int(rng.index(numOptions(pos)));
+            out.genome[pos] = next;
+        }
+    }
+    return out;
+}
+
+Architecture
+SearchSpace::crossover(const Architecture &a, const Architecture &b,
+                       Rng &rng) const
+{
+    checkArch(a);
+    checkArch(b);
+    Architecture out = a;
+    for (std::size_t i = 0; i < out.genome.size(); ++i)
+        if (rng.bernoulli(0.5))
+            out.genome[i] = b.genome[i];
+    return out;
+}
+
+Architecture
+SearchSpace::fromGenome(const std::string &text) const
+{
+    Architecture a;
+    a.space = id();
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string tok = text.substr(pos, comma - pos);
+        HWPR_CHECK(!tok.empty(), "empty gene in genome string");
+        char *end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        HWPR_CHECK(end && *end == '\0', "bad gene '", tok, "'");
+        a.genome.push_back(int(v));
+        if (comma == text.size())
+            break;
+        pos = comma + 1;
+    }
+    checkArch(a);
+    return a;
+}
+
+void
+SearchSpace::checkArch(const Architecture &a) const
+{
+    HWPR_CHECK(a.space == id(), "architecture belongs to another space");
+    HWPR_CHECK(a.genome.size() == genomeLength(),
+               "genome length mismatch: ", a.genome.size(), " vs ",
+               genomeLength());
+    for (std::size_t i = 0; i < a.genome.size(); ++i)
+        HWPR_CHECK(a.genome[i] >= 0 &&
+                       std::size_t(a.genome[i]) < numOptions(i),
+                   "gene ", i, " out of range");
+}
+
+const SearchSpace &
+nasBench201()
+{
+    static const NasBench201Space space;
+    return space;
+}
+
+const SearchSpace &
+fbnet()
+{
+    static const FBNetSpace space;
+    return space;
+}
+
+const SearchSpace &
+spaceFor(SpaceId id)
+{
+    return id == SpaceId::NasBench201
+               ? nasBench201()
+               : fbnet();
+}
+
+} // namespace hwpr::nasbench

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Search-space interface: sampling, genetic operators, and the derived
+ * representations every surrogate encoder consumes (string, token
+ * sequence, GCN graph, hardware workloads).
+ */
+
+#ifndef HWPR_NASBENCH_SPACE_H
+#define HWPR_NASBENCH_SPACE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/workload.h"
+#include "nasbench/arch.h"
+#include "nasbench/dataset_id.h"
+
+namespace hwpr::nasbench
+{
+
+/** Fixed token-sequence length shared by both spaces (FBNet depth). */
+inline constexpr std::size_t kTokenLength = 22;
+
+/** Abstract NAS benchmark search space. */
+class SearchSpace
+{
+  public:
+    virtual ~SearchSpace() = default;
+
+    virtual SpaceId id() const = 0;
+    virtual std::string name() const = 0;
+
+    /** Genome length (number of categorical decisions). */
+    virtual std::size_t genomeLength() const = 0;
+
+    /** Number of options at genome position @p pos. */
+    virtual std::size_t numOptions(std::size_t pos) const = 0;
+
+    /** Total number of architectures in the space. */
+    virtual double size() const;
+
+    /** Uniformly sample one architecture. */
+    Architecture sample(Rng &rng) const;
+
+    /**
+     * Point mutation: each gene independently resampled with
+     * probability @p rate (at least one gene always changes).
+     */
+    Architecture mutate(const Architecture &a, double rate,
+                        Rng &rng) const;
+
+    /** Uniform crossover of two parents. */
+    Architecture crossover(const Architecture &a, const Architecture &b,
+                           Rng &rng) const;
+
+    /** Validate that a genome belongs to this space. */
+    void checkArch(const Architecture &a) const;
+
+    /** Canonical string form (NAS-Bench-201 '|op~k|' format). */
+    virtual std::string toString(const Architecture &a) const = 0;
+
+    /**
+     * Parse the canonical string form back into an architecture
+     * (inverse of toString). Fatal on malformed input.
+     */
+    virtual Architecture fromString(const std::string &text) const = 0;
+
+    /**
+     * Parse a comma-separated genome, e.g. "3,3,0,1,2,4". Fatal on
+     * out-of-range genes or wrong length.
+     */
+    Architecture fromGenome(const std::string &text) const;
+
+    /**
+     * Token-id sequence for the LSTM encoder, padded to kTokenLength
+     * with category::kPad. Token ids use the unified category space.
+     */
+    virtual std::vector<std::size_t>
+    tokenize(const Architecture &a) const = 0;
+
+    /** GCN graph form (op-as-node DAG plus a global node). */
+    virtual ArchGraph toGraph(const Architecture &a) const = 0;
+
+    /**
+     * Lower to the operator workloads of the full network (stem,
+     * searched body, classifier head) for a dataset's input size and
+     * class count.
+     */
+    virtual std::vector<hw::OpWorkload>
+    lower(const Architecture &a, DatasetId dataset) const = 0;
+};
+
+/** Singleton accessors for the two benchmark spaces. */
+const SearchSpace &nasBench201();
+const SearchSpace &fbnet();
+const SearchSpace &spaceFor(SpaceId id);
+
+} // namespace hwpr::nasbench
+
+#endif // HWPR_NASBENCH_SPACE_H

@@ -1,0 +1,98 @@
+#include "nn/gcn.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+GcnEncoder::GcnEncoder(const GcnConfig &cfg, Rng &rng) : cfg_(cfg)
+{
+    HWPR_CHECK(cfg.featDim > 0 && cfg.hidden > 0 && cfg.layers > 0,
+               "invalid GCN configuration");
+    std::size_t in = cfg.featDim;
+    for (std::size_t l = 0; l < cfg.layers; ++l) {
+        layers_.emplace_back(in, cfg.hidden, rng,
+                             "gcn.l" + std::to_string(l));
+        in = cfg.hidden;
+    }
+}
+
+Matrix
+GcnEncoder::normalizeAdjacency(const Matrix &raw)
+{
+    HWPR_ASSERT(raw.rows() == raw.cols(), "adjacency must be square");
+    const std::size_t v = raw.rows();
+    Matrix a = raw;
+    for (std::size_t i = 0; i < v; ++i)
+        a(i, i) = 1.0; // self loops
+    std::vector<double> inv_sqrt_deg(v);
+    for (std::size_t i = 0; i < v; ++i) {
+        double deg = 0.0;
+        for (std::size_t j = 0; j < v; ++j)
+            deg += a(i, j);
+        inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+    }
+    for (std::size_t i = 0; i < v; ++i)
+        for (std::size_t j = 0; j < v; ++j)
+            a(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    return a;
+}
+
+Tensor
+GcnEncoder::forward(const std::vector<GraphInput> &graphs) const
+{
+    HWPR_CHECK(!graphs.empty(), "empty GCN batch");
+
+    // Stack node features and record block offsets.
+    std::vector<Matrix> adj;
+    std::vector<std::size_t> offsets, global_rows;
+    std::size_t total = 0;
+    for (const auto &g : graphs) {
+        HWPR_ASSERT(g.features.cols() == cfg_.featDim,
+                    "feature dim mismatch");
+        HWPR_ASSERT(g.adjacency.rows() == g.features.rows(),
+                    "adjacency/features node count mismatch");
+        offsets.push_back(total);
+        adj.push_back(g.adjacency);
+        global_rows.push_back(g.globalNode);
+        total += g.features.rows();
+    }
+    Matrix stacked(total, cfg_.featDim);
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+        const Matrix &f = graphs[gi].features;
+        for (std::size_t i = 0; i < f.rows(); ++i)
+            for (std::size_t j = 0; j < f.cols(); ++j)
+                stacked(offsets[gi] + i, j) = f(i, j);
+    }
+
+    Tensor h = Tensor::constant(std::move(stacked), "gcn_input");
+    for (const auto &layer : layers_)
+        h = relu(blockAdjacencyMatmul(layer.forward(h), adj, offsets));
+
+    if (cfg_.useGlobalNode)
+        return gatherBlockRows(h, offsets, global_rows);
+
+    // Mean-pool readout: average node embeddings per graph. Expressed
+    // with a constant pooling matrix so gradients flow through matmul.
+    Matrix pool(graphs.size(), total);
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+        const std::size_t v = adj[gi].rows();
+        for (std::size_t i = 0; i < v; ++i)
+            pool(gi, offsets[gi] + i) = 1.0 / double(v);
+    }
+    return matmul(Tensor::constant(std::move(pool), "gcn_pool"), h);
+}
+
+std::vector<Tensor>
+GcnEncoder::params() const
+{
+    std::vector<Tensor> out;
+    for (const auto &layer : layers_)
+        for (const auto &p : layer.params())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace hwpr::nn

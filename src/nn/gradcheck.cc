@@ -1,0 +1,36 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+double
+gradCheck(const std::function<Tensor()> &build, Tensor param,
+          double eps)
+{
+    // Analytic pass.
+    param.zeroGrad();
+    Tensor loss = build();
+    backward(loss);
+    const Matrix analytic = param.grad();
+
+    double max_err = 0.0;
+    auto &val = param.valueMut().raw();
+    for (std::size_t i = 0; i < val.size(); ++i) {
+        const double saved = val[i];
+        val[i] = saved + eps;
+        const double up = build().value()(0, 0);
+        val[i] = saved - eps;
+        const double down = build().value()(0, 0);
+        val[i] = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        max_err = std::max(max_err,
+                           std::abs(numeric - analytic.raw()[i]));
+    }
+    return max_err;
+}
+
+} // namespace hwpr::nn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Finite-difference gradient verification. Used by the property tests
+ * to prove every op's backward implementation against a central
+ * difference of its forward pass.
+ */
+
+#ifndef HWPR_NN_GRADCHECK_H
+#define HWPR_NN_GRADCHECK_H
+
+#include <functional>
+
+#include "nn/tensor.h"
+
+namespace hwpr::nn
+{
+
+/**
+ * Compare the analytic gradient of @p param within the scalar graph
+ * rebuilt by @p build against a central finite difference.
+ *
+ * @param build rebuilds the scalar loss from current parameter values;
+ *   called multiple times (twice per parameter element plus once for
+ *   the analytic pass), so it must be deterministic.
+ * @param param the leaf whose gradient is checked.
+ * @param eps finite-difference step.
+ * @return the maximum absolute error between analytic and numeric
+ *   gradients over all elements of @p param.
+ */
+double gradCheck(const std::function<Tensor()> &build, Tensor param,
+                 double eps = 1e-5);
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_GRADCHECK_H

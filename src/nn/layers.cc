@@ -1,0 +1,81 @@
+#include "nn/layers.h"
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+Tensor
+applyActivation(const Tensor &x, Activation act)
+{
+    switch (act) {
+      case Activation::None:
+        return x;
+      case Activation::ReLU:
+        return relu(x);
+      case Activation::Tanh:
+        return tanhT(x);
+      case Activation::Sigmoid:
+        return sigmoid(x);
+    }
+    panic("unknown activation");
+}
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng,
+               const std::string &name)
+    : w_(Tensor::param(Matrix::xavier(in, out, rng), name + ".w")),
+      b_(Tensor::param(Matrix(1, out), name + ".b"))
+{
+}
+
+Tensor
+Linear::forward(const Tensor &x) const
+{
+    return addRowBroadcast(matmul(x, w_), b_);
+}
+
+Mlp::Mlp(const MlpConfig &cfg, Rng &rng, const std::string &name)
+    : cfg_(cfg)
+{
+    HWPR_CHECK(cfg.inDim > 0, "Mlp needs a positive input dim");
+    std::size_t prev = cfg.inDim;
+    std::size_t idx = 0;
+    for (std::size_t h : cfg.hidden) {
+        layers_.emplace_back(prev, h, rng,
+                             name + ".h" + std::to_string(idx++));
+        prev = h;
+    }
+    layers_.emplace_back(prev, cfg.outDim, rng, name + ".out");
+}
+
+Tensor
+Mlp::forward(const Tensor &x, bool training, Rng &rng) const
+{
+    Tensor h = x;
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+        h = applyActivation(layers_[i].forward(h), cfg_.activation);
+        if (cfg_.dropout > 0.0)
+            h = dropout(h, cfg_.dropout, training, rng);
+    }
+    return layers_.back().forward(h);
+}
+
+Tensor
+Mlp::forward(const Tensor &x) const
+{
+    // Inference path: dropout disabled, rng never touched.
+    Rng dummy(0);
+    return forward(x, false, dummy);
+}
+
+std::vector<Tensor>
+Mlp::params() const
+{
+    std::vector<Tensor> out;
+    for (const auto &layer : layers_)
+        for (const auto &p : layer.params())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace hwpr::nn

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Basic trainable layers: Linear and multi-layer perceptron (MLP).
+ * Layers own their parameter tensors and expose them through params()
+ * so optimizers can update them in place.
+ */
+
+#ifndef HWPR_NN_LAYERS_H
+#define HWPR_NN_LAYERS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace hwpr::nn
+{
+
+/** Activation applied between MLP layers. */
+enum class Activation
+{
+    None,
+    ReLU,
+    Tanh,
+    Sigmoid,
+};
+
+/** Apply an activation function to a tensor. */
+Tensor applyActivation(const Tensor &x, Activation act);
+
+/** Anything that owns trainable parameters. */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+    /** Trainable parameter tensors (persistent across iterations). */
+    virtual std::vector<Tensor> params() const = 0;
+
+    /** Zero gradients of all parameters. */
+    void
+    zeroGrad()
+    {
+        for (auto &p : params())
+            p.zeroGrad();
+    }
+
+    /** Total scalar parameter count. */
+    std::size_t
+    numParams() const
+    {
+        std::size_t n = 0;
+        for (const auto &p : params())
+            n += p.value().size();
+        return n;
+    }
+};
+
+/** Affine layer y = xW + b. */
+class Linear : public Module
+{
+  public:
+    /** Xavier-initialized weights, zero bias. */
+    Linear(std::size_t in, std::size_t out, Rng &rng,
+           const std::string &name = "linear");
+
+    Tensor forward(const Tensor &x) const;
+
+    std::vector<Tensor> params() const override { return {w_, b_}; }
+
+    std::size_t inDim() const { return w_.rows(); }
+    std::size_t outDim() const { return w_.cols(); }
+
+  private:
+    Tensor w_, b_;
+};
+
+/** Configuration of an Mlp. */
+struct MlpConfig
+{
+    std::size_t inDim = 0;
+    std::vector<std::size_t> hidden;
+    std::size_t outDim = 1;
+    Activation activation = Activation::ReLU;
+    /** Dropout probability applied after each hidden activation. */
+    double dropout = 0.0;
+};
+
+/**
+ * Multi-layer perceptron. The output layer has no activation so it can
+ * regress unbounded scores.
+ */
+class Mlp : public Module
+{
+  public:
+    Mlp(const MlpConfig &cfg, Rng &rng, const std::string &name = "mlp");
+
+    /**
+     * Forward pass.
+     * @param x input batch (n x inDim)
+     * @param training enables dropout
+     * @param rng dropout mask source (unused when not training)
+     */
+    Tensor forward(const Tensor &x, bool training, Rng &rng) const;
+
+    /** Inference-mode forward (no dropout). */
+    Tensor forward(const Tensor &x) const;
+
+    std::vector<Tensor> params() const override;
+
+    const MlpConfig &config() const { return cfg_; }
+
+  private:
+    MlpConfig cfg_;
+    std::vector<Linear> layers_;
+};
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_LAYERS_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Training losses.
+ *
+ * - mseLoss: mean squared error (the per-branch RMSE auxiliary loss —
+ *   minimizing MSE minimizes RMSE).
+ * - pairwiseHingeLoss: GATES-style margin ranking loss (margin 0.1 in
+ *   the paper's ablations).
+ * - listMleParetoLoss: the paper's contribution (Eq. 4). Scores are
+ *   ordered by Pareto rank (rank 1 = dominant front first) and the
+ *   ListMLE negative log-likelihood of that ordering is minimized, so
+ *   dominant architectures learn higher scores.
+ */
+
+#ifndef HWPR_NN_LOSS_H
+#define HWPR_NN_LOSS_H
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace hwpr::nn
+{
+
+/** Mean squared error between (n x 1) predictions and targets. */
+Tensor mseLoss(const Tensor &pred, const std::vector<double> &target);
+
+/**
+ * Margin ranking loss over all ordered pairs: for every pair where
+ * target[i] > target[j] (i should score higher), adds
+ * max(0, margin - (score_i - score_j)). Normalized by pair count.
+ */
+Tensor pairwiseHingeLoss(const Tensor &scores,
+                         const std::vector<double> &target,
+                         double margin = 0.1);
+
+/**
+ * Listwise Pareto-rank loss (paper Eq. 4, ListMLE form).
+ *
+ * @param scores (n x 1) surrogate outputs f(a) for the batch.
+ * @param pareto_ranks rank of each architecture (1 = first front).
+ *   Ties are broken by index order; callers shuffle batches so tied
+ *   architectures see both orders across epochs.
+ * @return 1x1 scalar: sum_i [ -f(a_(i)) + log sum_{j>=i} exp f(a_(j)) ]
+ *   over the rank-sorted permutation, normalized by list length.
+ */
+Tensor listMleParetoLoss(const Tensor &scores,
+                         const std::vector<int> &pareto_ranks);
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_LOSS_H

@@ -1,0 +1,89 @@
+#include "nn/lstm.h"
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+LstmEncoder::LstmEncoder(const LstmConfig &cfg, Rng &rng) : cfg_(cfg)
+{
+    HWPR_CHECK(cfg.vocab > 0 && cfg.hidden > 0 && cfg.layers > 0,
+               "invalid LSTM configuration");
+    embedding_ = Tensor::param(
+        Matrix::xavier(cfg.vocab, cfg.embedDim, rng), "lstm.embed");
+    std::size_t in = cfg.embedDim;
+    for (std::size_t l = 0; l < cfg.layers; ++l) {
+        LayerParams lp;
+        lp.wx = Tensor::param(Matrix::xavier(in, 4 * cfg.hidden, rng),
+                              "lstm.wx" + std::to_string(l));
+        lp.wh = Tensor::param(
+            Matrix::xavier(cfg.hidden, 4 * cfg.hidden, rng),
+            "lstm.wh" + std::to_string(l));
+        // Forget-gate bias initialized to 1 (standard trick) so early
+        // training does not erase the cell state.
+        Matrix bias(1, 4 * cfg.hidden);
+        for (std::size_t j = cfg.hidden; j < 2 * cfg.hidden; ++j)
+            bias(0, j) = 1.0;
+        lp.b = Tensor::param(std::move(bias),
+                             "lstm.b" + std::to_string(l));
+        layerParams_.push_back(lp);
+        in = cfg.hidden;
+    }
+}
+
+Tensor
+LstmEncoder::forward(
+    const std::vector<std::vector<std::size_t>> &sequences) const
+{
+    HWPR_CHECK(!sequences.empty(), "empty LSTM batch");
+    const std::size_t batch = sequences.size();
+    const std::size_t steps = sequences[0].size();
+    for (const auto &s : sequences)
+        HWPR_CHECK(s.size() == steps,
+                   "LSTM batch requires equal-length sequences");
+    const std::size_t h = cfg_.hidden;
+
+    // Embed per time step: inputs[t] is (batch x embedDim).
+    std::vector<Tensor> inputs(steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+        std::vector<std::size_t> ids(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            HWPR_ASSERT(sequences[b][t] < cfg_.vocab, "token OOB");
+            ids[b] = sequences[b][t];
+        }
+        inputs[t] = gatherRows(embedding_, ids);
+    }
+
+    for (const auto &lp : layerParams_) {
+        Tensor h_t = Tensor::constant(Matrix(batch, h), "h0");
+        Tensor c_t = Tensor::constant(Matrix(batch, h), "c0");
+        for (std::size_t t = 0; t < steps; ++t) {
+            Tensor z = addRowBroadcast(
+                add(matmul(inputs[t], lp.wx), matmul(h_t, lp.wh)),
+                lp.b);
+            Tensor i_g = sigmoid(sliceCols(z, 0, h));
+            Tensor f_g = sigmoid(sliceCols(z, h, 2 * h));
+            Tensor g_g = tanhT(sliceCols(z, 2 * h, 3 * h));
+            Tensor o_g = sigmoid(sliceCols(z, 3 * h, 4 * h));
+            c_t = add(mul(f_g, c_t), mul(i_g, g_g));
+            h_t = mul(o_g, tanhT(c_t));
+            // This layer's hidden states feed the next layer.
+            inputs[t] = h_t;
+        }
+    }
+    return inputs[steps - 1];
+}
+
+std::vector<Tensor>
+LstmEncoder::params() const
+{
+    std::vector<Tensor> out = {embedding_};
+    for (const auto &lp : layerParams_) {
+        out.push_back(lp.wx);
+        out.push_back(lp.wh);
+        out.push_back(lp.b);
+    }
+    return out;
+}
+
+} // namespace hwpr::nn

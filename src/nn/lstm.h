@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Batched multi-layer LSTM sequence encoder.
+ *
+ * The paper's latency predictor encodes the architecture's string form
+ * (e.g. "|nor_conv_3x3~0|+|skip_connect~0|...") as a token sequence,
+ * embeds it, and runs a 2-layer LSTM (225 hidden units in the paper);
+ * the final hidden state is the architecture encoding. Sequences within
+ * one search space have a fixed length, so batches are rectangular.
+ */
+
+#ifndef HWPR_NN_LSTM_H
+#define HWPR_NN_LSTM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/tensor.h"
+
+namespace hwpr::nn
+{
+
+/** Configuration of an LstmEncoder. */
+struct LstmConfig
+{
+    /** Token vocabulary size. */
+    std::size_t vocab = 0;
+    /** Embedding dimension. */
+    std::size_t embedDim = 32;
+    /** Hidden units per layer (paper: 225). */
+    std::size_t hidden = 225;
+    /** Number of stacked layers (paper: 2). */
+    std::size_t layers = 2;
+};
+
+/**
+ * Token-sequence encoder: embedding -> stacked LSTM -> final hidden
+ * state of the top layer (batch x hidden).
+ */
+class LstmEncoder : public Module
+{
+  public:
+    LstmEncoder(const LstmConfig &cfg, Rng &rng);
+
+    /**
+     * Encode a batch of equal-length token sequences.
+     * @param sequences sequences[b][t] is the token id at step t.
+     * @return (batch x hidden) encoding.
+     */
+    Tensor forward(
+        const std::vector<std::vector<std::size_t>> &sequences) const;
+
+    std::vector<Tensor> params() const override;
+
+    const LstmConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-layer gate parameters, gate order [i, f, g, o]. */
+    struct LayerParams
+    {
+        Tensor wx; ///< (in x 4h) input-to-gates
+        Tensor wh; ///< (h x 4h) hidden-to-gates
+        Tensor b;  ///< (1 x 4h) gate biases
+    };
+
+    LstmConfig cfg_;
+    Tensor embedding_; ///< (vocab x embedDim)
+    std::vector<LayerParams> layerParams_;
+};
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_LSTM_H

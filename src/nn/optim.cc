@@ -1,0 +1,108 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+void
+Optimizer::zeroGrad()
+{
+    for (auto &p : params_)
+        p.zeroGrad();
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum)
+{
+    for (const auto &p : params_)
+        velocity_.emplace_back(p.value().rows(), p.value().cols());
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &val = params_[i].valueMut();
+        const auto &g = params_[i].grad().raw();
+        auto &vel = velocity_[i].raw();
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            vel[j] = momentum_ * vel[j] + g[j];
+            val.raw()[j] -= lr_ * vel[j];
+        }
+    }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps)
+{
+    for (const auto &p : params_) {
+        m_.emplace_back(p.value().rows(), p.value().cols());
+        v_.emplace_back(p.value().rows(), p.value().cols());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, double(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, double(t_));
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        auto &val = params_[i].valueMut().raw();
+        const auto &g = params_[i].grad().raw();
+        auto &m = m_[i].raw();
+        auto &v = v_[i].raw();
+        for (std::size_t j = 0; j < val.size(); ++j) {
+            m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+            const double mhat = m[j] / bc1;
+            const double vhat = v[j] / bc2;
+            val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+        }
+    }
+}
+
+AdamW::AdamW(std::vector<Tensor> params, double lr, double weight_decay,
+             double beta1, double beta2, double eps)
+    : Adam(std::move(params), lr, beta1, beta2, eps),
+      weightDecay_(weight_decay)
+{
+}
+
+void
+AdamW::step()
+{
+    // Decoupled decay first, then the Adam update on raw gradients.
+    if (weightDecay_ > 0.0) {
+        for (auto &p : params_) {
+            auto &val = p.valueMut().raw();
+            const double k = 1.0 - lr_ * weightDecay_;
+            for (double &x : val)
+                x *= k;
+        }
+    }
+    Adam::step();
+}
+
+CosineAnnealing::CosineAnnealing(double lr_max, std::size_t total_steps,
+                                 double lr_min)
+    : lrMax_(lr_max), lrMin_(lr_min), totalSteps_(total_steps)
+{
+    HWPR_CHECK(total_steps > 0, "cosine schedule needs steps > 0");
+}
+
+double
+CosineAnnealing::at(std::size_t t) const
+{
+    const double frac =
+        std::min(1.0, double(t) / double(totalSteps_));
+    return lrMin_ +
+           0.5 * (lrMax_ - lrMin_) * (1.0 + std::cos(M_PI * frac));
+}
+
+} // namespace hwpr::nn

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * First-order optimizers (SGD, Adam, AdamW) and the cosine-annealing
+ * learning-rate schedule from the paper's Table II. AdamW applies
+ * decoupled weight decay, matching its PyTorch semantics.
+ */
+
+#ifndef HWPR_NN_OPTIM_H
+#define HWPR_NN_OPTIM_H
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace hwpr::nn
+{
+
+/** Base class: owns the parameter list and the current learning rate. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Tensor> params, double lr)
+        : params_(std::move(params)), lr_(lr)
+    {}
+    virtual ~Optimizer() = default;
+
+    /** Apply one update using the accumulated gradients. */
+    virtual void step() = 0;
+
+    /** Zero all parameter gradients. */
+    void zeroGrad();
+
+    double learningRate() const { return lr_; }
+    void setLearningRate(double lr) { lr_ = lr; }
+
+  protected:
+    std::vector<Tensor> params_;
+    double lr_;
+};
+
+/** Stochastic gradient descent with classical momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+    void step() override;
+
+  private:
+    double momentum_;
+    std::vector<Matrix> velocity_;
+};
+
+/** Adam (Kingma & Ba); weight decay, when set, is L2-coupled. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+    void step() override;
+
+  protected:
+    double beta1_, beta2_, eps_;
+    std::size_t t_ = 0;
+    std::vector<Matrix> m_, v_;
+};
+
+/**
+ * AdamW: Adam with decoupled weight decay (paper default, decay
+ * 0.0003). Decay multiplies parameters directly by (1 - lr * wd).
+ */
+class AdamW : public Adam
+{
+  public:
+    AdamW(std::vector<Tensor> params, double lr, double weight_decay,
+          double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+    void step() override;
+
+  private:
+    double weightDecay_;
+};
+
+/**
+ * Cosine-annealing schedule: lr(t) = lr_min + 0.5 (lr_max - lr_min)
+ * (1 + cos(pi t / T)). Table II: initial lr 0.0003, cosine annealing.
+ */
+class CosineAnnealing
+{
+  public:
+    CosineAnnealing(double lr_max, std::size_t total_steps,
+                    double lr_min = 0.0);
+
+    /** Learning rate for step t in [0, totalSteps]. */
+    double at(std::size_t t) const;
+
+  private:
+    double lrMax_, lrMin_;
+    std::size_t totalSteps_;
+};
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_OPTIM_H

@@ -1,0 +1,479 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+void
+TensorNode::ensureGrad()
+{
+    if (grad.rows() != value.rows() || grad.cols() != value.cols())
+        grad = Matrix(value.rows(), value.cols());
+}
+
+Tensor
+Tensor::param(Matrix m, std::string name)
+{
+    auto node = std::make_shared<TensorNode>();
+    node->value = std::move(m);
+    node->requiresGrad = true;
+    node->name = std::move(name);
+    node->ensureGrad();
+    return Tensor(node);
+}
+
+Tensor
+Tensor::constant(Matrix m, std::string name)
+{
+    auto node = std::make_shared<TensorNode>();
+    node->value = std::move(m);
+    node->requiresGrad = false;
+    node->name = std::move(name);
+    return Tensor(node);
+}
+
+void
+Tensor::zeroGrad()
+{
+    if (node_) {
+        node_->ensureGrad();
+        node_->grad.fill(0.0);
+    }
+}
+
+namespace
+{
+
+/** Create an op output node wired to its parents. */
+Tensor
+makeOp(Matrix value, std::vector<TensorNodePtr> parents,
+       std::function<void(TensorNode &)> backward_fn,
+       const char *name)
+{
+    auto node = std::make_shared<TensorNode>();
+    node->value = std::move(value);
+    node->parents = std::move(parents);
+    node->name = name;
+    for (const auto &p : node->parents) {
+        if (p->requiresGrad) {
+            node->requiresGrad = true;
+            break;
+        }
+    }
+    if (node->requiresGrad)
+        node->backward = std::move(backward_fn);
+    return Tensor(node);
+}
+
+} // namespace
+
+void
+backward(const Tensor &loss)
+{
+    HWPR_CHECK(loss.valid(), "backward() on an empty tensor");
+    HWPR_CHECK(loss.rows() == 1 && loss.cols() == 1,
+               "backward() requires a 1x1 scalar loss, got ",
+               loss.rows(), "x", loss.cols());
+
+    // Iterative post-order DFS to build a topological order.
+    std::vector<TensorNode *> topo;
+    std::unordered_set<TensorNode *> visited;
+    std::vector<std::pair<TensorNode *, std::size_t>> stack;
+    stack.emplace_back(loss.node().get(), 0);
+    visited.insert(loss.node().get());
+    while (!stack.empty()) {
+        auto &[node, next_child] = stack.back();
+        if (next_child < node->parents.size()) {
+            TensorNode *child = node->parents[next_child++].get();
+            if (child->requiresGrad && !visited.count(child)) {
+                visited.insert(child);
+                stack.emplace_back(child, 0);
+            }
+        } else {
+            topo.push_back(node);
+            stack.pop_back();
+        }
+    }
+
+    for (TensorNode *node : topo)
+        node->ensureGrad();
+    loss.node()->grad(0, 0) = 1.0;
+
+    // topo is post-order: parents before consumers; walk consumers
+    // first so every node's grad is complete before it propagates.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        if ((*it)->backward)
+            (*it)->backward(**it);
+    }
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return makeOp(
+        a.value() + b.value(), {a.node(), b.node()},
+        [](TensorNode &self) {
+            for (auto &p : self.parents) {
+                if (p->requiresGrad) {
+                    p->ensureGrad();
+                    p->grad += self.grad;
+                }
+            }
+        },
+        "add");
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return makeOp(
+        a.value() - b.value(), {a.node(), b.node()},
+        [](TensorNode &self) {
+            auto &pa = self.parents[0];
+            auto &pb = self.parents[1];
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                pa->grad += self.grad;
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                pb->grad -= self.grad;
+            }
+        },
+        "sub");
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return makeOp(
+        a.value().hadamard(b.value()), {a.node(), b.node()},
+        [](TensorNode &self) {
+            auto &pa = self.parents[0];
+            auto &pb = self.parents[1];
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                pa->grad += self.grad.hadamard(pb->value);
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                pb->grad += self.grad.hadamard(pa->value);
+            }
+        },
+        "mul");
+}
+
+Tensor
+scale(const Tensor &a, double s)
+{
+    return makeOp(
+        a.value() * s, {a.node()},
+        [s](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            p->grad += self.grad * s;
+        },
+        "scale");
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    return makeOp(
+        a.value().matmul(b.value()), {a.node(), b.node()},
+        [](TensorNode &self) {
+            auto &pa = self.parents[0];
+            auto &pb = self.parents[1];
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                // dA = dC * B^T
+                pa->grad += self.grad.matmulTransposed(pb->value);
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                // dB = A^T * dC
+                pb->grad += pa->value.transposedMatmul(self.grad);
+            }
+        },
+        "matmul");
+}
+
+Tensor
+addRowBroadcast(const Tensor &a, const Tensor &bias)
+{
+    return makeOp(
+        a.value().addRowBroadcast(bias.value()),
+        {a.node(), bias.node()},
+        [](TensorNode &self) {
+            auto &pa = self.parents[0];
+            auto &pb = self.parents[1];
+            if (pa->requiresGrad) {
+                pa->ensureGrad();
+                pa->grad += self.grad;
+            }
+            if (pb->requiresGrad) {
+                pb->ensureGrad();
+                pb->grad += self.grad.columnSums();
+            }
+        },
+        "bias");
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    return makeOp(
+        a.value().map([](double v) { return v > 0.0 ? v : 0.0; }),
+        {a.node()},
+        [](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const auto &x = p->value.raw();
+            const auto &g = self.grad.raw();
+            auto &out = p->grad.raw();
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out[i] += x[i] > 0.0 ? g[i] : 0.0;
+        },
+        "relu");
+}
+
+Tensor
+tanhT(const Tensor &a)
+{
+    return makeOp(
+        a.value().map([](double v) { return std::tanh(v); }),
+        {a.node()},
+        [](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const auto &y = self.value.raw();
+            const auto &g = self.grad.raw();
+            auto &out = p->grad.raw();
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out[i] += g[i] * (1.0 - y[i] * y[i]);
+        },
+        "tanh");
+}
+
+Tensor
+sigmoid(const Tensor &a)
+{
+    return makeOp(
+        a.value().map(
+            [](double v) { return 1.0 / (1.0 + std::exp(-v)); }),
+        {a.node()},
+        [](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const auto &y = self.value.raw();
+            const auto &g = self.grad.raw();
+            auto &out = p->grad.raw();
+            for (std::size_t i = 0; i < out.size(); ++i)
+                out[i] += g[i] * y[i] * (1.0 - y[i]);
+        },
+        "sigmoid");
+}
+
+Tensor
+concatCols(const Tensor &a, const Tensor &b)
+{
+    return makeOp(
+        Matrix::hconcat(a.value(), b.value()), {a.node(), b.node()},
+        [](TensorNode &self) {
+            auto &pa = self.parents[0];
+            auto &pb = self.parents[1];
+            const std::size_t ca = pa->value.cols();
+            const std::size_t cb = pb->value.cols();
+            for (std::size_t i = 0; i < self.value.rows(); ++i) {
+                if (pa->requiresGrad) {
+                    pa->ensureGrad();
+                    for (std::size_t j = 0; j < ca; ++j)
+                        pa->grad(i, j) += self.grad(i, j);
+                }
+                if (pb->requiresGrad) {
+                    pb->ensureGrad();
+                    for (std::size_t j = 0; j < cb; ++j)
+                        pb->grad(i, j) += self.grad(i, ca + j);
+                }
+            }
+        },
+        "concat");
+}
+
+Tensor
+sliceCols(const Tensor &a, std::size_t begin, std::size_t end)
+{
+    HWPR_ASSERT(begin < end && end <= a.cols(),
+                "sliceCols out of range");
+    Matrix out(a.rows(), end - begin);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = begin; j < end; ++j)
+            out(i, j - begin) = a.value()(i, j);
+    return makeOp(
+        std::move(out), {a.node()},
+        [begin, end](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            for (std::size_t i = 0; i < self.value.rows(); ++i)
+                for (std::size_t j = begin; j < end; ++j)
+                    p->grad(i, j) += self.grad(i, j - begin);
+        },
+        "slice");
+}
+
+Tensor
+gatherRows(const Tensor &table, const std::vector<std::size_t> &indices)
+{
+    Matrix out(indices.size(), table.cols());
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        HWPR_ASSERT(indices[i] < table.rows(), "gather index OOB");
+        for (std::size_t j = 0; j < table.cols(); ++j)
+            out(i, j) = table.value()(indices[i], j);
+    }
+    return makeOp(
+        std::move(out), {table.node()},
+        [indices](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            for (std::size_t i = 0; i < indices.size(); ++i)
+                for (std::size_t j = 0; j < self.value.cols(); ++j)
+                    p->grad(indices[i], j) += self.grad(i, j);
+        },
+        "gather");
+}
+
+Tensor
+meanAll(const Tensor &a)
+{
+    const double inv = 1.0 / double(a.value().size());
+    Matrix out(1, 1);
+    out(0, 0) = a.value().sum() * inv;
+    return makeOp(
+        std::move(out), {a.node()},
+        [inv](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const double g = self.grad(0, 0) * inv;
+            for (double &v : p->grad.raw())
+                v += g;
+        },
+        "mean");
+}
+
+Tensor
+sumAll(const Tensor &a)
+{
+    Matrix out(1, 1);
+    out(0, 0) = a.value().sum();
+    return makeOp(
+        std::move(out), {a.node()},
+        [](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const double g = self.grad(0, 0);
+            for (double &v : p->grad.raw())
+                v += g;
+        },
+        "sum");
+}
+
+Tensor
+dropout(const Tensor &a, double p, bool training, Rng &rng)
+{
+    if (!training || p <= 0.0)
+        return a;
+    HWPR_CHECK(p < 1.0, "dropout probability must be < 1");
+    const double keep_scale = 1.0 / (1.0 - p);
+    Matrix mask(a.rows(), a.cols());
+    for (double &v : mask.raw())
+        v = rng.bernoulli(p) ? 0.0 : keep_scale;
+    Tensor mask_t = Tensor::constant(std::move(mask), "dropout_mask");
+    return mul(a, mask_t);
+}
+
+Tensor
+blockAdjacencyMatmul(const Tensor &h, const std::vector<Matrix> &adj,
+                     const std::vector<std::size_t> &offsets)
+{
+    HWPR_ASSERT(adj.size() == offsets.size(),
+                "adjacency/offset count mismatch");
+    Matrix out(h.rows(), h.cols());
+    const std::size_t f = h.cols();
+    for (std::size_t g = 0; g < adj.size(); ++g) {
+        const Matrix &a = adj[g];
+        const std::size_t v = a.rows();
+        const std::size_t base = offsets[g];
+        HWPR_ASSERT(base + v <= h.rows(), "block exceeds batch");
+        for (std::size_t i = 0; i < v; ++i) {
+            for (std::size_t k = 0; k < v; ++k) {
+                const double w = a(i, k);
+                if (w == 0.0)
+                    continue;
+                const double *src = &h.value().data()[(base + k) * f];
+                double *dst = &out.data()[(base + i) * f];
+                for (std::size_t j = 0; j < f; ++j)
+                    dst[j] += w * src[j];
+            }
+        }
+    }
+    return makeOp(
+        std::move(out), {h.node()},
+        [adj, offsets](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const std::size_t f = self.value.cols();
+            // grad_in = A^T * grad_out per block.
+            for (std::size_t g = 0; g < adj.size(); ++g) {
+                const Matrix &a = adj[g];
+                const std::size_t v = a.rows();
+                const std::size_t base = offsets[g];
+                for (std::size_t i = 0; i < v; ++i) {
+                    for (std::size_t k = 0; k < v; ++k) {
+                        const double w = a(i, k);
+                        if (w == 0.0)
+                            continue;
+                        const double *src =
+                            &self.grad.data()[(base + i) * f];
+                        double *dst = &p->grad.data()[(base + k) * f];
+                        for (std::size_t j = 0; j < f; ++j)
+                            dst[j] += w * src[j];
+                    }
+                }
+            }
+        },
+        "block_adj");
+}
+
+Tensor
+gatherBlockRows(const Tensor &h, const std::vector<std::size_t> &offsets,
+                const std::vector<std::size_t> &row_in_block)
+{
+    HWPR_ASSERT(offsets.size() == row_in_block.size(),
+                "offset/row count mismatch");
+    std::vector<std::size_t> rows(offsets.size());
+    for (std::size_t g = 0; g < offsets.size(); ++g)
+        rows[g] = offsets[g] + row_in_block[g];
+
+    Matrix out(rows.size(), h.cols());
+    for (std::size_t g = 0; g < rows.size(); ++g) {
+        HWPR_ASSERT(rows[g] < h.rows(), "block row OOB");
+        for (std::size_t j = 0; j < h.cols(); ++j)
+            out(g, j) = h.value()(rows[g], j);
+    }
+    return makeOp(
+        std::move(out), {h.node()},
+        [rows](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            for (std::size_t g = 0; g < rows.size(); ++g)
+                for (std::size_t j = 0; j < self.value.cols(); ++j)
+                    p->grad(rows[g], j) += self.grad(g, j);
+        },
+        "gather_block");
+}
+
+} // namespace hwpr::nn

@@ -1,0 +1,296 @@
+#include "pareto/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace hwpr::pareto
+{
+
+bool
+dominates(const Point &a, const Point &b)
+{
+    HWPR_ASSERT(a.size() == b.size(), "objective count mismatch");
+    bool strictly_better = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<int>
+paretoRanks(const std::vector<Point> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<int> ranks(n, 0);
+    if (n == 0)
+        return ranks;
+
+    // Deb's fast non-dominated sort: for each point, the set it
+    // dominates and the count of points dominating it.
+    std::vector<std::vector<std::size_t>> dominated(n);
+    std::vector<int> dom_count(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (dominates(points[i], points[j])) {
+                dominated[i].push_back(j);
+                ++dom_count[j];
+            } else if (dominates(points[j], points[i])) {
+                dominated[j].push_back(i);
+                ++dom_count[i];
+            }
+        }
+    }
+
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (dom_count[i] == 0) {
+            ranks[i] = 1;
+            current.push_back(i);
+        }
+    }
+    int rank = 1;
+    while (!current.empty()) {
+        std::vector<std::size_t> next;
+        for (std::size_t i : current) {
+            for (std::size_t j : dominated[i]) {
+                if (--dom_count[j] == 0) {
+                    ranks[j] = rank + 1;
+                    next.push_back(j);
+                }
+            }
+        }
+        ++rank;
+        current = std::move(next);
+    }
+    return ranks;
+}
+
+std::vector<std::vector<std::size_t>>
+paretoFronts(const std::vector<Point> &points)
+{
+    const std::vector<int> ranks = paretoRanks(points);
+    int max_rank = 0;
+    for (int r : ranks)
+        max_rank = std::max(max_rank, r);
+    std::vector<std::vector<std::size_t>> fronts(max_rank);
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        fronts[ranks[i] - 1].push_back(i);
+    return fronts;
+}
+
+std::vector<std::size_t>
+nonDominatedIndices(const std::vector<Point> &points)
+{
+    const std::vector<int> ranks = paretoRanks(points);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < ranks.size(); ++i)
+        if (ranks[i] == 1)
+            out.push_back(i);
+    return out;
+}
+
+std::vector<double>
+crowdingDistance(const std::vector<Point> &front)
+{
+    const std::size_t n = front.size();
+    std::vector<double> dist(n, 0.0);
+    if (n == 0)
+        return dist;
+    const std::size_t m = front[0].size();
+    const double inf = std::numeric_limits<double>::infinity();
+    if (n <= 2) {
+        std::fill(dist.begin(), dist.end(), inf);
+        return dist;
+    }
+    std::vector<std::size_t> order(n);
+    for (std::size_t obj = 0; obj < m; ++obj) {
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return front[a][obj] < front[b][obj];
+                  });
+        const double span =
+            front[order[n - 1]][obj] - front[order[0]][obj];
+        dist[order[0]] = inf;
+        dist[order[n - 1]] = inf;
+        if (span <= 0.0)
+            continue;
+        for (std::size_t k = 1; k + 1 < n; ++k) {
+            dist[order[k]] += (front[order[k + 1]][obj] -
+                               front[order[k - 1]][obj]) /
+                              span;
+        }
+    }
+    return dist;
+}
+
+namespace
+{
+
+/**
+ * 2-D hypervolume for minimization: points clipped to those weakly
+ * dominating the reference, swept in ascending x.
+ */
+double
+hypervolume2D(std::vector<Point> pts, const Point &ref)
+{
+    std::vector<Point> valid;
+    for (auto &p : pts)
+        if (p[0] <= ref[0] && p[1] <= ref[1])
+            valid.push_back(std::move(p));
+    if (valid.empty())
+        return 0.0;
+    std::sort(valid.begin(), valid.end(), [](const Point &a,
+                                             const Point &b) {
+        if (a[0] != b[0])
+            return a[0] < b[0];
+        return a[1] < b[1];
+    });
+    double hv = 0.0;
+    double prev_y = ref[1];
+    for (const auto &p : valid) {
+        if (p[1] < prev_y) {
+            hv += (ref[0] - p[0]) * (prev_y - p[1]);
+            prev_y = p[1];
+        }
+    }
+    return hv;
+}
+
+/**
+ * 3-D hypervolume by sweeping the third objective: between
+ * consecutive z-levels the dominated area is the 2-D hypervolume of
+ * all points with z no worse than the level.
+ */
+double
+hypervolume3D(std::vector<Point> pts, const Point &ref)
+{
+    std::vector<Point> valid;
+    for (auto &p : pts)
+        if (p[0] <= ref[0] && p[1] <= ref[1] && p[2] <= ref[2])
+            valid.push_back(std::move(p));
+    if (valid.empty())
+        return 0.0;
+    std::sort(valid.begin(), valid.end(), [](const Point &a,
+                                             const Point &b) {
+        return a[2] < b[2];
+    });
+    double hv = 0.0;
+    std::vector<Point> active; // (x, y) of points with z <= level
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+        active.push_back({valid[i][0], valid[i][1]});
+        const double z_lo = valid[i][2];
+        const double z_hi =
+            i + 1 < valid.size() ? valid[i + 1][2] : ref[2];
+        if (z_hi > z_lo)
+            hv += hypervolume2D(active, {ref[0], ref[1]}) *
+                  (z_hi - z_lo);
+    }
+    return hv;
+}
+
+/**
+ * WFG recursion: hv(S) = sum over s in S of exclusive contribution
+ * of s given the points after it, where the exclusive volume is the
+ * box of s minus the hypervolume of the remaining points clipped
+ * ("limited") to s's box.
+ */
+double
+wfgRecurse(std::vector<Point> pts, const Point &ref)
+{
+    if (pts.empty())
+        return 0.0;
+    // Keep only the non-dominated subset (cheap pruning).
+    std::vector<Point> front;
+    for (std::size_t i : nonDominatedIndices(pts))
+        front.push_back(pts[i]);
+
+    double hv = 0.0;
+    for (std::size_t i = 0; i < front.size(); ++i) {
+        const Point &s = front[i];
+        double box = 1.0;
+        for (std::size_t d = 0; d < ref.size(); ++d)
+            box *= ref[d] - s[d];
+        // Limit the remaining points to s's dominated box.
+        std::vector<Point> limited;
+        for (std::size_t j = i + 1; j < front.size(); ++j) {
+            Point q = front[j];
+            for (std::size_t d = 0; d < q.size(); ++d)
+                q[d] = std::max(q[d], s[d]);
+            limited.push_back(std::move(q));
+        }
+        hv += box - wfgRecurse(std::move(limited), ref);
+    }
+    return hv;
+}
+
+} // namespace
+
+double
+hypervolumeWfg(const std::vector<Point> &points, const Point &ref)
+{
+    std::vector<Point> valid;
+    for (const auto &p : points) {
+        HWPR_CHECK(p.size() == ref.size(),
+                   "point/reference dim mismatch");
+        bool inside = true;
+        for (std::size_t d = 0; d < p.size(); ++d)
+            if (p[d] > ref[d])
+                inside = false;
+        if (inside)
+            valid.push_back(p);
+    }
+    return wfgRecurse(std::move(valid), ref);
+}
+
+double
+hypervolume(const std::vector<Point> &points, const Point &ref)
+{
+    if (points.empty())
+        return 0.0;
+    const std::size_t m = ref.size();
+    for (const auto &p : points)
+        HWPR_CHECK(p.size() == m, "point/reference dim mismatch");
+    if (m == 2)
+        return hypervolume2D(points, ref);
+    if (m == 3)
+        return hypervolume3D(points, ref);
+    return hypervolumeWfg(points, ref);
+}
+
+Point
+nadirReference(const std::vector<Point> &points, double margin)
+{
+    HWPR_CHECK(!points.empty(), "nadir of an empty set");
+    const std::size_t m = points[0].size();
+    Point nadir(m, -1e300), ideal(m, 1e300);
+    for (const auto &p : points) {
+        for (std::size_t i = 0; i < m; ++i) {
+            nadir[i] = std::max(nadir[i], p[i]);
+            ideal[i] = std::min(ideal[i], p[i]);
+        }
+    }
+    for (std::size_t i = 0; i < m; ++i)
+        nadir[i] += margin * std::max(1e-12, nadir[i] - ideal[i]);
+    return nadir;
+}
+
+double
+normalizedHypervolume(const std::vector<Point> &approx,
+                      const std::vector<Point> &true_front,
+                      const Point &ref)
+{
+    const double denom = hypervolume(true_front, ref);
+    if (denom <= 0.0)
+        return 0.0;
+    return hypervolume(approx, ref) / denom;
+}
+
+} // namespace hwpr::pareto

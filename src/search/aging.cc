@@ -1,0 +1,134 @@
+#include "search/aging.h"
+
+#include <chrono>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.h"
+#include "pareto/pareto.h"
+
+namespace hwpr::search
+{
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+SearchResult
+AgingEvolution::run(const SearchDomain &domain, Evaluator &evaluator,
+                    Rng &rng) const
+{
+    const double t0 = nowSeconds();
+    HWPR_CHECK(cfg_.populationSize >= 2, "population too small");
+    HWPR_CHECK(cfg_.totalEvaluations >= cfg_.populationSize,
+               "evaluation budget below the population size");
+
+    SearchResult result;
+
+    // History of everything evaluated; the living population is a
+    // sliding window of indices into it.
+    std::vector<nasbench::Architecture> history;
+    std::vector<pareto::Point> history_fit;
+    std::deque<std::size_t> alive;
+
+    auto charge = [&](std::size_t batch) {
+        result.stats.evaluations += batch;
+        result.stats.simulatedSeconds +=
+            evaluator.simulatedCostSeconds(batch);
+    };
+    auto budget_left = [&]() {
+        return cfg_.simulatedBudgetSeconds <= 0.0 ||
+               result.stats.simulatedSeconds <
+                   cfg_.simulatedBudgetSeconds;
+    };
+
+    // Seed population.
+    std::vector<nasbench::Architecture> init;
+    for (std::size_t i = 0; i < cfg_.populationSize; ++i)
+        init.push_back(domain.sample(rng));
+    std::vector<pareto::Point> init_fit = evaluator.evaluate(init);
+    charge(init.size());
+    for (std::size_t i = 0; i < init.size(); ++i) {
+        history.push_back(init[i]);
+        history_fit.push_back(init_fit[i]);
+        alive.push_back(i);
+    }
+
+    // Tournament comparison: score mode compares scalars directly;
+    // vector mode compares by dominance (non-dominated wins,
+    // incomparable resolved by coin flip).
+    auto better = [&](std::size_t a, std::size_t b) {
+        if (evaluator.kind() == EvalKind::ParetoScore)
+            return history_fit[a][0] > history_fit[b][0];
+        if (pareto::dominates(history_fit[a], history_fit[b]))
+            return true;
+        if (pareto::dominates(history_fit[b], history_fit[a]))
+            return false;
+        return rng.bernoulli(0.5);
+    };
+
+    while (history.size() < cfg_.totalEvaluations && budget_left()) {
+        // Tournament over a random sample of the living population.
+        std::size_t best = alive[rng.index(alive.size())];
+        for (std::size_t s = 1; s < cfg_.sampleSize; ++s) {
+            const std::size_t cand = alive[rng.index(alive.size())];
+            if (better(cand, best))
+                best = cand;
+        }
+        nasbench::Architecture child = domain.mutate(
+            history[best], cfg_.perGeneMutationRate, rng);
+        const auto fit = evaluator.evaluate({child});
+        charge(1);
+        history.push_back(std::move(child));
+        history_fit.push_back(fit[0]);
+        alive.push_back(history.size() - 1);
+        alive.pop_front(); // the oldest member dies
+        ++result.stats.generations;
+    }
+    result.stats.stoppedByBudget = !budget_left();
+
+    // Final selection over the whole history.
+    const std::size_t keep =
+        cfg_.keep == 0 ? history.size()
+                       : std::min(cfg_.keep, history.size());
+    std::vector<std::size_t> order(history.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (evaluator.kind() == EvalKind::ParetoScore) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return history_fit[a][0] > history_fit[b][0];
+                  });
+        order.resize(keep);
+    } else {
+        // Keep whole fronts until the budget is filled.
+        const auto fronts = pareto::paretoFronts(history_fit);
+        order.clear();
+        for (const auto &front : fronts) {
+            for (std::size_t idx : front) {
+                if (order.size() >= keep)
+                    break;
+                order.push_back(idx);
+            }
+            if (order.size() >= keep)
+                break;
+        }
+    }
+    for (std::size_t idx : order) {
+        result.population.push_back(history[idx]);
+        result.fitness.push_back(history_fit[idx]);
+    }
+    result.stats.wallSeconds = nowSeconds() - t0;
+    return result;
+}
+
+} // namespace hwpr::search

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aging evolution (regularized evolution, Real et al. 2019) — the
+ * other standard NAS search loop, provided alongside the paper's MOEA
+ * so surrogates can be compared across search algorithms. Each cycle
+ * tournament-samples the population, mutates the winner, evaluates
+ * the child with the plugged Evaluator, appends it and retires the
+ * oldest member. The final front is extracted from the entire history
+ * of evaluated architectures.
+ */
+
+#ifndef HWPR_SEARCH_AGING_H
+#define HWPR_SEARCH_AGING_H
+
+#include "search/moea.h"
+
+namespace hwpr::search
+{
+
+/** Aging-evolution configuration. */
+struct AgingConfig
+{
+    /** Living population size. */
+    std::size_t populationSize = 64;
+    /** Total architectures evaluated (cycles + initial population). */
+    std::size_t totalEvaluations = 1000;
+    /** Tournament sample size. */
+    std::size_t sampleSize = 8;
+    /** Per-gene mutation rate for the child. */
+    double perGeneMutationRate = 0.15;
+    /** Survivors kept for the final front (0 = whole history). */
+    std::size_t keep = 150;
+    /** Simulated testbed budget; 0 disables. */
+    double simulatedBudgetSeconds = 0.0;
+};
+
+/** Regularized-evolution search over a pluggable evaluator. */
+class AgingEvolution
+{
+  public:
+    explicit AgingEvolution(const AgingConfig &cfg) : cfg_(cfg) {}
+
+    SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
+                     Rng &rng) const;
+
+    const AgingConfig &config() const { return cfg_; }
+
+  private:
+    AgingConfig cfg_;
+};
+
+} // namespace hwpr::search
+
+#endif // HWPR_SEARCH_AGING_H

@@ -1,0 +1,52 @@
+#include "search/domain.h"
+
+#include "common/logging.h"
+
+namespace hwpr::search
+{
+
+SearchDomain::SearchDomain(
+    std::vector<const nasbench::SearchSpace *> spaces)
+    : spaces_(std::move(spaces))
+{
+    HWPR_CHECK(!spaces_.empty(), "empty search domain");
+}
+
+SearchDomain
+SearchDomain::single(const nasbench::SearchSpace &space)
+{
+    return SearchDomain({&space});
+}
+
+SearchDomain
+SearchDomain::unionBenchmarks()
+{
+    return SearchDomain(
+        {&nasbench::nasBench201(), &nasbench::fbnet()});
+}
+
+nasbench::Architecture
+SearchDomain::sample(Rng &rng) const
+{
+    return spaces_[rng.index(spaces_.size())]->sample(rng);
+}
+
+nasbench::Architecture
+SearchDomain::mutate(const nasbench::Architecture &a, double rate,
+                     Rng &rng) const
+{
+    return nasbench::spaceFor(a.space).mutate(a, rate, rng);
+}
+
+nasbench::Architecture
+SearchDomain::crossover(const nasbench::Architecture &a,
+                        const nasbench::Architecture &b,
+                        double mutation_rate, Rng &rng) const
+{
+    if (a.space == b.space)
+        return nasbench::spaceFor(a.space).crossover(a, b, rng);
+    const nasbench::Architecture &pick = rng.bernoulli(0.5) ? a : b;
+    return mutate(pick, mutation_rate, rng);
+}
+
+} // namespace hwpr::search

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A search domain is the union of one or more benchmark search spaces
+ * (the paper searches NAS-Bench-201 and FBNet simultaneously,
+ * Sec. IV-C). It adapts the genetic operators to the multi-space case:
+ * crossover of parents from different spaces falls back to mutating
+ * one of them, since their genomes are not alignable.
+ */
+
+#ifndef HWPR_SEARCH_DOMAIN_H
+#define HWPR_SEARCH_DOMAIN_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nasbench/space.h"
+
+namespace hwpr::search
+{
+
+/** Union of search spaces with genetic operators. */
+class SearchDomain
+{
+  public:
+    explicit SearchDomain(
+        std::vector<const nasbench::SearchSpace *> spaces);
+
+    /** Domain over a single space. */
+    static SearchDomain single(const nasbench::SearchSpace &space);
+
+    /** Domain over NAS-Bench-201 + FBNet (the paper's setup). */
+    static SearchDomain unionBenchmarks();
+
+    /** Sample uniformly: pick a space, then sample within it. */
+    nasbench::Architecture sample(Rng &rng) const;
+
+    /** Mutate within the architecture's own space. */
+    nasbench::Architecture mutate(const nasbench::Architecture &a,
+                                  double rate, Rng &rng) const;
+
+    /**
+     * Crossover; same-space parents use uniform crossover, parents
+     * from different spaces degrade to mutation of a random parent.
+     */
+    nasbench::Architecture crossover(const nasbench::Architecture &a,
+                                     const nasbench::Architecture &b,
+                                     double mutation_rate,
+                                     Rng &rng) const;
+
+    const std::vector<const nasbench::SearchSpace *> &
+    spaces() const
+    {
+        return spaces_;
+    }
+
+  private:
+    std::vector<const nasbench::SearchSpace *> spaces_;
+};
+
+} // namespace hwpr::search
+
+#endif // HWPR_SEARCH_DOMAIN_H

@@ -1,0 +1,44 @@
+#include "search/evaluator.h"
+
+namespace hwpr::search
+{
+
+pareto::Point
+trueObjectives(const nasbench::ArchRecord &rec, hw::PlatformId platform,
+               bool include_energy)
+{
+    const std::size_t p = hw::platformIndex(platform);
+    pareto::Point point = {100.0 - rec.accuracy, rec.latencyMs[p]};
+    if (include_energy)
+        point.push_back(rec.energyMj[p]);
+    return point;
+}
+
+TrueEvaluator::TrueEvaluator(const nasbench::Oracle &oracle,
+                             hw::PlatformId platform,
+                             bool include_energy)
+    : oracle_(oracle), platform_(platform),
+      includeEnergy_(include_energy)
+{
+}
+
+std::vector<pareto::Point>
+TrueEvaluator::evaluate(const std::vector<nasbench::Architecture> &archs)
+{
+    std::vector<pareto::Point> out;
+    out.reserve(archs.size());
+    for (const auto &a : archs)
+        out.push_back(
+            trueObjectives(oracle_.record(a), platform_,
+                           includeEnergy_));
+    return out;
+}
+
+double
+TrueEvaluator::simulatedCostSeconds(std::size_t batch) const
+{
+    return double(batch) *
+           (kTrainSecondsPerArch + kMeasureSecondsPerArch);
+}
+
+} // namespace hwpr::search

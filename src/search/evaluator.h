@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Fitness-evaluation interface plugged into the search algorithms.
+ *
+ * Two evaluation shapes exist in the paper:
+ *  - Vector evaluators return one objective vector per architecture
+ *    (minimization); the search ranks them by non-dominated sorting.
+ *    "Measured Values" (the oracle) and the two-surrogate baselines
+ *    (BRP-NAS, GATES) are vector evaluators.
+ *  - Score evaluators return one scalar per architecture where higher
+ *    means "more likely on the true Pareto front". HW-PR-NAS is a
+ *    score evaluator; the search's elitist selection keeps the top-k.
+ *
+ * Every evaluator also reports its *simulated* evaluation cost — what
+ * the evaluation would have cost on the authors' testbed (training
+ * GPU-hours for measured accuracy, board time for measured latency) —
+ * which feeds the CostLedger behind the Fig. 7 search-time comparison.
+ */
+
+#ifndef HWPR_SEARCH_EVALUATOR_H
+#define HWPR_SEARCH_EVALUATOR_H
+
+#include <string>
+#include <vector>
+
+#include "hw/platform.h"
+#include "nasbench/dataset.h"
+#include "pareto/pareto.h"
+
+namespace hwpr::search
+{
+
+/** Kind of values an evaluator produces. */
+enum class EvalKind
+{
+    ObjectiveVector, ///< per-arch minimization objectives
+    ParetoScore,     ///< per-arch scalar, higher = more dominant
+};
+
+/** Fitness evaluator interface. */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    virtual EvalKind kind() const = 0;
+    virtual std::string name() const = 0;
+
+    /** Number of objectives (vector evaluators only). */
+    virtual std::size_t numObjectives() const { return 2; }
+
+    /**
+     * Evaluate a batch. Vector evaluators return one Point per
+     * architecture; score evaluators return single-element Points
+     * holding the Pareto score.
+     */
+    virtual std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) = 0;
+
+    /**
+     * Simulated wall-clock cost (seconds) this batch would have taken
+     * on the paper's testbed. Defaults to zero (pure software cost).
+     */
+    virtual double
+    simulatedCostSeconds(std::size_t /*batch*/) const
+    {
+        return 0.0;
+    }
+};
+
+/**
+ * Ground-truth evaluator: queries the oracle for measured accuracy
+ * and latency. Objectives: (100 - accuracy, latency_ms), optionally
+ * plus energy_mj. The simulated cost charges the full training time
+ * per new architecture — the cost HW-NAS surrogates exist to avoid.
+ */
+class TrueEvaluator : public Evaluator
+{
+  public:
+    TrueEvaluator(const nasbench::Oracle &oracle, hw::PlatformId platform,
+                  bool include_energy = false);
+
+    EvalKind kind() const override { return EvalKind::ObjectiveVector; }
+    std::string name() const override { return "Measured Values"; }
+    std::size_t numObjectives() const override
+    {
+        return includeEnergy_ ? 3 : 2;
+    }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override;
+
+    double simulatedCostSeconds(std::size_t batch) const override;
+
+    /** GPU-hours to train one architecture (paper intro: ~2 h). */
+    static constexpr double kTrainSecondsPerArch = 2.0 * 3600.0;
+    /** Board time to measure latency/energy of one architecture. */
+    static constexpr double kMeasureSecondsPerArch = 30.0;
+
+  private:
+    const nasbench::Oracle &oracle_;
+    hw::PlatformId platform_;
+    bool includeEnergy_;
+};
+
+/** Convert an oracle record to a minimization objective vector. */
+pareto::Point trueObjectives(const nasbench::ArchRecord &rec,
+                             hw::PlatformId platform,
+                             bool include_energy = false);
+
+} // namespace hwpr::search
+
+#endif // HWPR_SEARCH_EVALUATOR_H

@@ -1,0 +1,252 @@
+#include "search/moea.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "pareto/pareto.h"
+
+namespace hwpr::search
+{
+
+namespace
+{
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * NSGA-II survival: fill by non-dominated rank, break the last front
+ * by crowding distance.
+ */
+std::vector<std::size_t>
+nsga2Select(const std::vector<pareto::Point> &fitness, std::size_t keep)
+{
+    const auto fronts = pareto::paretoFronts(fitness);
+    std::vector<std::size_t> survivors;
+    for (const auto &front : fronts) {
+        if (survivors.size() + front.size() <= keep) {
+            survivors.insert(survivors.end(), front.begin(),
+                             front.end());
+            if (survivors.size() == keep)
+                break;
+            continue;
+        }
+        // Partial front: keep the least crowded members.
+        std::vector<pareto::Point> pts;
+        pts.reserve(front.size());
+        for (std::size_t i : front)
+            pts.push_back(fitness[i]);
+        const auto crowd = pareto::crowdingDistance(pts);
+        std::vector<std::size_t> order(front.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return crowd[a] > crowd[b];
+                  });
+        for (std::size_t k = 0;
+             k < order.size() && survivors.size() < keep; ++k)
+            survivors.push_back(front[order[k]]);
+        break;
+    }
+    return survivors;
+}
+
+/** Top-k by scalar Pareto score (descending). */
+std::vector<std::size_t>
+scoreSelect(const std::vector<pareto::Point> &fitness, std::size_t keep)
+{
+    std::vector<std::size_t> order(fitness.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return fitness[a][0] > fitness[b][0];
+              });
+    order.resize(std::min(keep, order.size()));
+    return order;
+}
+
+} // namespace
+
+std::vector<std::size_t>
+Moea::select(const std::vector<pareto::Point> &fitness, EvalKind kind,
+             std::size_t keep) const
+{
+    return kind == EvalKind::ParetoScore ? scoreSelect(fitness, keep)
+                                         : nsga2Select(fitness, keep);
+}
+
+SearchResult
+Moea::run(const SearchDomain &domain, Evaluator &evaluator,
+          Rng &rng) const
+{
+    const double t0 = nowSeconds();
+    SearchResult result;
+    const std::size_t n = cfg_.populationSize;
+    HWPR_CHECK(n >= 2, "population size must be at least 2");
+
+    // Initial population P_0, evaluated with the plugged evaluator.
+    std::vector<nasbench::Architecture> pop;
+    pop.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pop.push_back(domain.sample(rng));
+    std::vector<pareto::Point> fit = evaluator.evaluate(pop);
+    result.stats.evaluations += pop.size();
+    result.stats.simulatedSeconds +=
+        evaluator.simulatedCostSeconds(pop.size());
+
+    // Tournament parent selection. For vector evaluators the
+    // tournament compares Pareto ranks (recomputed per generation);
+    // for score evaluators it compares predicted scores directly.
+    std::vector<int> ranks;
+    auto better = [&](std::size_t a, std::size_t b) {
+        if (evaluator.kind() == EvalKind::ParetoScore)
+            return fit[a][0] > fit[b][0];
+        return ranks[a] < ranks[b];
+    };
+    auto tournament = [&]() {
+        std::size_t best = rng.index(pop.size());
+        for (std::size_t k = 1; k < cfg_.tournamentSize; ++k) {
+            const std::size_t cand = rng.index(pop.size());
+            if (better(cand, best))
+                best = cand;
+        }
+        return best;
+    };
+
+    for (std::size_t gen = 0; gen < cfg_.maxGenerations; ++gen) {
+        if (cfg_.simulatedBudgetSeconds > 0.0 &&
+            result.stats.simulatedSeconds >=
+                cfg_.simulatedBudgetSeconds) {
+            result.stats.stoppedByBudget = true;
+            break;
+        }
+        if (evaluator.kind() == EvalKind::ObjectiveVector)
+            ranks = pareto::paretoRanks(fit);
+
+        // Offspring Q_t via crossover + mutation.
+        std::vector<nasbench::Architecture> offspring;
+        offspring.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t pa = tournament();
+            const std::size_t pb = tournament();
+            nasbench::Architecture child =
+                rng.uniform() < cfg_.crossoverProb
+                    ? domain.crossover(pop[pa], pop[pb],
+                                       cfg_.perGeneMutationRate, rng)
+                    : pop[pa];
+            if (rng.uniform() < cfg_.mutationRate)
+                child = domain.mutate(
+                    child, cfg_.perGeneMutationRate, rng);
+            offspring.push_back(std::move(child));
+        }
+
+        std::vector<pareto::Point> off_fit =
+            evaluator.evaluate(offspring);
+        result.stats.evaluations += offspring.size();
+        result.stats.simulatedSeconds +=
+            evaluator.simulatedCostSeconds(offspring.size());
+
+        // Merge P_t and Q_t (dropping duplicate genomes — elitist
+        // selection over a deterministic surrogate would otherwise
+        // collapse the population onto copies of one architecture),
+        // then elitist survival selection.
+        std::vector<nasbench::Architecture> merged;
+        std::vector<pareto::Point> merged_fit;
+        {
+            std::unordered_set<nasbench::Architecture,
+                               nasbench::ArchHash>
+                seen;
+            auto push = [&](const nasbench::Architecture &a,
+                            const pareto::Point &f) {
+                if (seen.insert(a).second) {
+                    merged.push_back(a);
+                    merged_fit.push_back(f);
+                }
+            };
+            for (std::size_t i = 0; i < pop.size(); ++i)
+                push(pop[i], fit[i]);
+            for (std::size_t i = 0; i < offspring.size(); ++i)
+                push(offspring[i], off_fit[i]);
+        }
+
+        const auto survivors =
+            select(merged_fit, evaluator.kind(), n);
+        std::vector<nasbench::Architecture> next_pop;
+        std::vector<pareto::Point> next_fit;
+        next_pop.reserve(n);
+        next_fit.reserve(n);
+        for (std::size_t idx : survivors) {
+            next_pop.push_back(merged[idx]);
+            next_fit.push_back(merged_fit[idx]);
+        }
+        // Deduplication can leave fewer than n unique survivors once
+        // the search converges; pad with copies of the fittest so
+        // the population (and offspring budget) stays constant.
+        while (next_pop.size() < n && !next_pop.empty()) {
+            const std::size_t src =
+                next_pop.size() % survivors.size();
+            next_pop.push_back(next_pop[src]);
+            next_fit.push_back(next_fit[src]);
+        }
+        pop = std::move(next_pop);
+        fit = std::move(next_fit);
+        ++result.stats.generations;
+    }
+
+    result.population = std::move(pop);
+    result.fitness = std::move(fit);
+    result.stats.wallSeconds = nowSeconds() - t0;
+    return result;
+}
+
+SearchResult
+RandomSearch::run(const SearchDomain &domain, Evaluator &evaluator,
+                  Rng &rng) const
+{
+    const double t0 = nowSeconds();
+    SearchResult result;
+
+    std::vector<nasbench::Architecture> sampled;
+    sampled.reserve(cfg_.budget);
+    double simulated = 0.0;
+    for (std::size_t i = 0; i < cfg_.budget; ++i) {
+        if (cfg_.simulatedBudgetSeconds > 0.0 &&
+            simulated + evaluator.simulatedCostSeconds(1) >
+                cfg_.simulatedBudgetSeconds) {
+            result.stats.stoppedByBudget = true;
+            break;
+        }
+        sampled.push_back(domain.sample(rng));
+        simulated += evaluator.simulatedCostSeconds(1);
+    }
+    HWPR_CHECK(!sampled.empty(), "random search budget exhausted "
+                                 "before any evaluation");
+
+    std::vector<pareto::Point> fit = evaluator.evaluate(sampled);
+    result.stats.evaluations = sampled.size();
+    result.stats.simulatedSeconds = simulated;
+
+    const std::size_t keep = std::min(cfg_.keep, sampled.size());
+    const auto survivors =
+        evaluator.kind() == EvalKind::ParetoScore
+            ? scoreSelect(fit, keep)
+            : nsga2Select(fit, keep);
+    for (std::size_t idx : survivors) {
+        result.population.push_back(sampled[idx]);
+        result.fitness.push_back(fit[idx]);
+    }
+    result.stats.wallSeconds = nowSeconds() - t0;
+    return result;
+}
+
+} // namespace hwpr::search

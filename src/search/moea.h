@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multi-objective evolutionary search (paper Algorithm 1) and random
+ * search, both parameterized by an Evaluator.
+ *
+ * The MOEA follows the paper's configuration: tournament parent
+ * selection, uniform crossover + point mutation (rate 0.9), merge of
+ * parents and offspring, and elitist survival selection — NSGA-II
+ * rank + crowding for vector evaluators, top-k by predicted Pareto
+ * score for HW-PR-NAS. The final Pareto front size k equals the
+ * population size.
+ */
+
+#ifndef HWPR_SEARCH_MOEA_H
+#define HWPR_SEARCH_MOEA_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "search/domain.h"
+#include "search/evaluator.h"
+
+namespace hwpr::search
+{
+
+/** Accounting of a finished search run. */
+struct SearchStats
+{
+    /** Actual wall-clock of the search loop, seconds. */
+    double wallSeconds = 0.0;
+    /** Simulated testbed cost charged by the evaluator, seconds. */
+    double simulatedSeconds = 0.0;
+    /** Number of architecture evaluations requested. */
+    std::size_t evaluations = 0;
+    /** Generations completed. */
+    std::size_t generations = 0;
+    /** True when the time budget (not the generation cap) stopped
+     *  the search. */
+    bool stoppedByBudget = false;
+};
+
+/** Final population of a search run with its fitness values. */
+struct SearchResult
+{
+    std::vector<nasbench::Architecture> population;
+    /** Evaluator outputs for the population (objectives or scores). */
+    std::vector<pareto::Point> fitness;
+    SearchStats stats;
+};
+
+/** MOEA configuration (paper defaults, Sec. IV-C1). */
+struct MoeaConfig
+{
+    std::size_t populationSize = 150;
+    std::size_t maxGenerations = 250;
+    /** Probability that an offspring is mutated at all (paper: 0.9). */
+    double mutationRate = 0.9;
+    /** Per-gene resampling probability once mutation applies. */
+    double perGeneMutationRate = 0.15;
+    double crossoverProb = 0.9;
+    std::size_t tournamentSize = 2;
+    /** Simulated testbed budget (paper: 24 h); 0 disables. */
+    double simulatedBudgetSeconds = 24.0 * 3600.0;
+};
+
+/** Multi-objective evolutionary algorithm (Algorithm 1). */
+class Moea
+{
+  public:
+    explicit Moea(const MoeaConfig &cfg) : cfg_(cfg) {}
+
+    /** Run the search. */
+    SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
+                     Rng &rng) const;
+
+    const MoeaConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * Elitist survival selection over merged parents + offspring;
+     * returns indices of the survivors (population-size many).
+     */
+    std::vector<std::size_t>
+    select(const std::vector<pareto::Point> &fitness, EvalKind kind,
+           std::size_t keep) const;
+
+    MoeaConfig cfg_;
+};
+
+/** Random-search configuration. */
+struct RandomSearchConfig
+{
+    /** Architectures to sample and evaluate. */
+    std::size_t budget = 1000;
+    /** Survivors kept for the final front (paper: population size). */
+    std::size_t keep = 150;
+    /** Simulated testbed budget; 0 disables. */
+    double simulatedBudgetSeconds = 24.0 * 3600.0;
+};
+
+/** Random search with the same elitist final selection. */
+class RandomSearch
+{
+  public:
+    explicit RandomSearch(const RandomSearchConfig &cfg) : cfg_(cfg) {}
+
+    SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
+                     Rng &rng) const;
+
+  private:
+    RandomSearchConfig cfg_;
+};
+
+} // namespace hwpr::search
+
+#endif // HWPR_SEARCH_MOEA_H

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Generic surrogate-backed evaluators. The concrete surrogates
+ * (HW-PR-NAS, BRP-NAS, GATES) plug in as callables, which keeps the
+ * search library independent of the model libraries.
+ */
+
+#ifndef HWPR_SEARCH_SURROGATE_EVALUATOR_H
+#define HWPR_SEARCH_SURROGATE_EVALUATOR_H
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "search/evaluator.h"
+
+namespace hwpr::search
+{
+
+/** Batch scoring callable: one scalar per architecture. */
+using ScoreFn = std::function<std::vector<double>(
+    const std::vector<nasbench::Architecture> &)>;
+
+/** Batch prediction callable: one value per architecture. */
+using PredictFn = ScoreFn;
+
+/**
+ * Evaluator over a single Pareto-score surrogate (HW-PR-NAS and the
+ * scalable variant). Higher scores are preferred by the search.
+ */
+class ParetoScoreEvaluator : public Evaluator
+{
+  public:
+    ParetoScoreEvaluator(std::string name, ScoreFn score_fn,
+                         double sim_seconds_per_eval = 0.0)
+        : name_(std::move(name)), scoreFn_(std::move(score_fn)),
+          simSecondsPerEval_(sim_seconds_per_eval)
+    {}
+
+    EvalKind kind() const override { return EvalKind::ParetoScore; }
+    std::string name() const override { return name_; }
+    std::size_t numObjectives() const override { return 1; }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override
+    {
+        const std::vector<double> s = scoreFn_(archs);
+        std::vector<pareto::Point> out;
+        out.reserve(s.size());
+        for (double v : s)
+            out.push_back({v});
+        return out;
+    }
+
+    double
+    simulatedCostSeconds(std::size_t batch) const override
+    {
+        return simSecondsPerEval_ * double(batch);
+    }
+
+  private:
+    std::string name_;
+    ScoreFn scoreFn_;
+    double simSecondsPerEval_;
+};
+
+/**
+ * Evaluator combining independent per-objective surrogates (the
+ * two-surrogate design of BRP-NAS / GATES): each callable predicts
+ * one minimization objective.
+ */
+class VectorSurrogateEvaluator : public Evaluator
+{
+  public:
+    VectorSurrogateEvaluator(std::string name,
+                             std::vector<PredictFn> objective_fns,
+                             double sim_seconds_per_eval = 0.0)
+        : name_(std::move(name)), fns_(std::move(objective_fns)),
+          simSecondsPerEval_(sim_seconds_per_eval)
+    {}
+
+    EvalKind kind() const override
+    {
+        return EvalKind::ObjectiveVector;
+    }
+    std::string name() const override { return name_; }
+    std::size_t numObjectives() const override { return fns_.size(); }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override
+    {
+        std::vector<pareto::Point> out(
+            archs.size(), pareto::Point(fns_.size(), 0.0));
+        for (std::size_t f = 0; f < fns_.size(); ++f) {
+            const std::vector<double> pred = fns_[f](archs);
+            for (std::size_t i = 0; i < archs.size(); ++i)
+                out[i][f] = pred[i];
+        }
+        return out;
+    }
+
+    double
+    simulatedCostSeconds(std::size_t batch) const override
+    {
+        return simSecondsPerEval_ * double(batch);
+    }
+
+  private:
+    std::string name_;
+    std::vector<PredictFn> fns_;
+    double simSecondsPerEval_;
+};
+
+/**
+ * Memoizing decorator: caches fitness by architecture so repeated
+ * evaluations (elitist populations re-submit their survivors every
+ * generation) are free — in wall time and in charged simulated cost.
+ *
+ * Cost accounting contract: simulatedCostSeconds() charges only the
+ * cache misses of the most recent evaluate() call, matching how the
+ * search loops call the two methods back to back.
+ */
+class MemoizingEvaluator : public Evaluator
+{
+  public:
+    explicit MemoizingEvaluator(Evaluator &inner) : inner_(inner) {}
+
+    EvalKind kind() const override { return inner_.kind(); }
+    std::string name() const override { return inner_.name(); }
+    std::size_t numObjectives() const override
+    {
+        return inner_.numObjectives();
+    }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override
+    {
+        std::vector<pareto::Point> out(archs.size());
+        std::vector<nasbench::Architecture> misses;
+        std::vector<std::size_t> miss_pos;
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            auto it = cache_.find(archs[i]);
+            if (it != cache_.end()) {
+                out[i] = it->second;
+                ++hits_;
+            } else {
+                misses.push_back(archs[i]);
+                miss_pos.push_back(i);
+            }
+        }
+        if (!misses.empty()) {
+            const auto fresh = inner_.evaluate(misses);
+            for (std::size_t k = 0; k < misses.size(); ++k) {
+                out[miss_pos[k]] = fresh[k];
+                cache_.emplace(misses[k], fresh[k]);
+            }
+        }
+        lastMisses_ = misses.size();
+        return out;
+    }
+
+    double
+    simulatedCostSeconds(std::size_t /*batch*/) const override
+    {
+        return inner_.simulatedCostSeconds(lastMisses_);
+    }
+
+    /** Cache hits accumulated over the evaluator's lifetime. */
+    std::size_t hits() const { return hits_; }
+    /** Distinct architectures evaluated so far. */
+    std::size_t uniqueEvaluations() const { return cache_.size(); }
+
+  private:
+    Evaluator &inner_;
+    std::unordered_map<nasbench::Architecture, pareto::Point,
+                       nasbench::ArchHash>
+        cache_;
+    std::size_t hits_ = 0;
+    std::size_t lastMisses_ = 0;
+};
+
+} // namespace hwpr::search
+
+#endif // HWPR_SEARCH_SURROGATE_EVALUATOR_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the hwpr CLI argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tools/argparse.h"
+
+using hwpr::tools::Args;
+
+namespace
+{
+
+Args
+parseOf(std::vector<std::string> tokens)
+{
+    std::vector<char *> argv = {const_cast<char *>("hwpr")};
+    for (auto &t : tokens)
+        argv.push_back(t.data());
+    return Args::parse(int(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Argparse, SubcommandAndOptions)
+{
+    auto args = parseOf({"sample", "--count", "5", "--space",
+                         "fbnet"});
+    EXPECT_EQ(args.command(), "sample");
+    EXPECT_EQ(args.getInt("count", 0), 5);
+    EXPECT_EQ(args.get("space"), "fbnet");
+}
+
+TEST(Argparse, DefaultsWhenMissing)
+{
+    auto args = parseOf({"train"});
+    EXPECT_EQ(args.getInt("epochs", 40), 40);
+    EXPECT_EQ(args.get("dataset", "cifar10"), "cifar10");
+    EXPECT_DOUBLE_EQ(args.getDouble("lr", 1e-3), 1e-3);
+    EXPECT_FALSE(args.has("out"));
+}
+
+TEST(Argparse, BooleanFlags)
+{
+    auto args = parseOf({"search", "--verbose", "--pop", "30"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.get("verbose"), "1");
+    EXPECT_EQ(args.getInt("pop", 0), 30);
+}
+
+TEST(Argparse, TrailingFlag)
+{
+    auto args = parseOf({"sample", "--quick"});
+    EXPECT_TRUE(args.has("quick"));
+}
+
+TEST(Argparse, NoSubcommand)
+{
+    auto args = parseOf({"--help"});
+    EXPECT_TRUE(args.command().empty());
+    EXPECT_TRUE(args.has("help"));
+}
+
+TEST(Argparse, DoubleValues)
+{
+    auto args = parseOf({"train", "--lr", "0.0025"});
+    EXPECT_DOUBLE_EQ(args.getDouble("lr", 0.0), 0.0025);
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the common substrate: matrix arithmetic, statistics
+ * (including Kendall tau against a brute-force reference), RNG
+ * determinism, and the ASCII/CSV renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+/** O(n^2) reference implementation of Kendall tau-b. */
+double
+kendallTauBrute(const std::vector<double> &x,
+                const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            if (dx == 0.0 && dy == 0.0) {
+                ++ties_x;
+                ++ties_y;
+            } else if (dx == 0.0) {
+                ++ties_x;
+            } else if (dy == 0.0) {
+                ++ties_y;
+            } else if (dx * dy > 0.0) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    }
+    const double total = double(n) * double(n - 1) / 2.0;
+    const double den = std::sqrt(total - double(ties_x)) *
+                       std::sqrt(total - double(ties_y));
+    if (den == 0.0)
+        return 0.0;
+    return double(concordant - discordant) / den;
+}
+
+} // namespace
+
+TEST(Matrix, ConstructAndIndex)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 1) = -2.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, Arithmetic)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+    EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+    const Matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(0, 1), 4.0);
+    const Matrix had = a.hadamard(b);
+    EXPECT_DOUBLE_EQ(had(1, 0), 21.0);
+    const Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 1), 8.0);
+}
+
+TEST(Matrix, Matmul)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+    const Matrix c = a.matmul(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedVariantsMatchExplicitTranspose)
+{
+    Rng rng(1);
+    Matrix a(4, 3);
+    Matrix b(4, 5);
+    for (double &v : a.raw())
+        v = rng.normal();
+    for (double &v : b.raw())
+        v = rng.normal();
+
+    const Matrix t1 = a.transposedMatmul(b);          // a^T * b
+    const Matrix t1_ref = a.transposed().matmul(b);
+    ASSERT_EQ(t1.rows(), t1_ref.rows());
+    for (std::size_t i = 0; i < t1.raw().size(); ++i)
+        EXPECT_NEAR(t1.raw()[i], t1_ref.raw()[i], 1e-12);
+
+    Matrix c(5, 3);
+    for (double &v : c.raw())
+        v = rng.normal();
+    const Matrix t2 = a.matmulTransposed(c);          // a * c^T
+    const Matrix t2_ref = a.matmul(c.transposed());
+    for (std::size_t i = 0; i < t2.raw().size(); ++i)
+        EXPECT_NEAR(t2.raw()[i], t2_ref.raw()[i], 1e-12);
+}
+
+TEST(Matrix, ConcatAndSlice)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 1, {9, 10});
+    const Matrix h = Matrix::hconcat(a, b);
+    EXPECT_EQ(h.cols(), 3u);
+    EXPECT_DOUBLE_EQ(h(0, 2), 9.0);
+    const Matrix v = Matrix::vconcat(a, a);
+    EXPECT_EQ(v.rows(), 4u);
+    EXPECT_DOUBLE_EQ(v(3, 1), 4.0);
+    const Matrix s = v.rowSlice(1, 3);
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+}
+
+TEST(Matrix, RowBroadcastAndColumnSums)
+{
+    Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+    Matrix row(1, 3, {10, 20, 30});
+    const Matrix b = a.addRowBroadcast(row);
+    EXPECT_DOUBLE_EQ(b(1, 2), 36.0);
+    const Matrix sums = a.columnSums();
+    EXPECT_DOUBLE_EQ(sums(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(sums(0, 2), 9.0);
+}
+
+TEST(Matrix, XavierBounds)
+{
+    Rng rng(3);
+    const Matrix m = Matrix::xavier(20, 30, rng);
+    const double bound = std::sqrt(6.0 / 50.0);
+    for (double v : m.raw()) {
+        EXPECT_LE(v, bound);
+        EXPECT_GE(v, -bound);
+    }
+}
+
+TEST(Stats, MeanStdErr)
+{
+    const std::vector<double> v = {1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(mean(v), 3.0);
+    EXPECT_NEAR(stddev(v), std::sqrt(2.5), 1e-12);
+    EXPECT_NEAR(stdError(v), std::sqrt(2.5 / 5.0), 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, PearsonPerfect)
+{
+    const std::vector<double> x = {1, 2, 3, 4};
+    const std::vector<double> y = {2, 4, 6, 8};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    const std::vector<double> z = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanMonotone)
+{
+    // Spearman is 1 for any strictly increasing transform.
+    const std::vector<double> x = {1, 2, 3, 4, 5};
+    const std::vector<double> y = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallKnownValues)
+{
+    EXPECT_NEAR(kendallTau({1, 2, 3}, {1, 2, 3}), 1.0, 1e-12);
+    EXPECT_NEAR(kendallTau({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+    // One discordant pair of three: tau = (2 - 1) / 3.
+    EXPECT_NEAR(kendallTau({1, 2, 3}, {1, 3, 2}), 1.0 / 3.0, 1e-12);
+}
+
+class KendallRandomTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(KendallRandomTest, MatchesBruteForce)
+{
+    Rng rng(GetParam());
+    const std::size_t n = 60;
+    std::vector<double> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Quantized values to exercise tie handling.
+        x[i] = std::floor(rng.uniform(0, 8));
+        y[i] = std::floor(rng.uniform(0, 8));
+    }
+    EXPECT_NEAR(kendallTau(x, y), kendallTauBrute(x, y), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallRandomTest,
+                         ::testing::Range(0, 12));
+
+TEST(Stats, Rmse)
+{
+    EXPECT_DOUBLE_EQ(rmse({1, 2}, {1, 2}), 0.0);
+    EXPECT_NEAR(rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, AverageRanksWithTies)
+{
+    const auto r = averageRanks({10, 20, 20, 30});
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, SampleIndicesDistinct)
+{
+    Rng rng(5);
+    const auto idx = rng.sampleIndices(100, 40);
+    EXPECT_EQ(idx.size(), 40u);
+    std::vector<bool> seen(100, false);
+    for (std::size_t i : idx) {
+        EXPECT_LT(i, 100u);
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+}
+
+TEST(Rng, IntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        const int v = rng.intIn(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Table, RendersAllCells)
+{
+    AsciiTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("bb"), std::string::npos);
+}
+
+TEST(Table, BarChartScalesToMax)
+{
+    AsciiBarChart chart("title", 10);
+    chart.addBar("x", 1.0);
+    chart.addBar("y", 2.0);
+    const std::string s = chart.render();
+    EXPECT_NE(s.find("##########"), std::string::npos);
+    EXPECT_NE(s.find("title"), std::string::npos);
+}
+
+TEST(Table, ScatterShowsLegend)
+{
+    AsciiScatter sc("t", "x", "y");
+    sc.addSeries("s1", {0.0, 1.0}, {0.0, 1.0});
+    const std::string s = sc.render();
+    EXPECT_NE(s.find("'*' = s1"), std::string::npos);
+}
+
+TEST(Csv, WritesQuotedCells)
+{
+    const std::string path = "/tmp/hwpr_test.csv";
+    {
+        CsvWriter w(path, {"a", "b"});
+        ASSERT_TRUE(w.ok());
+        w.addRow({"x,y", "plain"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"x,y\",plain");
+}

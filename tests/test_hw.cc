@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Hardware-model tests: workload arithmetic against hand-computed
+ * values, cost-model properties (roofline behaviour, monotonicity,
+ * platform quirks), and the cross-platform correlation structure the
+ * paper reports in Sec. III-E.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "hw/cost_model.h"
+#include "hw/platform.h"
+#include "hw/workload.h"
+#include "nasbench/dataset.h"
+#include "nasbench/space.h"
+
+using namespace hwpr;
+using namespace hwpr::hw;
+
+TEST(Workload, ConvMacsAndParams)
+{
+    // 3x3 conv, 32x32, 16 -> 32 channels, stride 1.
+    OpWorkload op{OpKind::Conv, 32, 32, 16, 32, 3, 1, 1};
+    EXPECT_DOUBLE_EQ(op.macs(), 32.0 * 32 * 32 * 16 * 9);
+    EXPECT_DOUBLE_EQ(op.flops(), 2.0 * op.macs());
+    EXPECT_DOUBLE_EQ(op.params(), 32.0 * 16 * 9 + 32);
+}
+
+TEST(Workload, DepthwiseConvDividesByGroups)
+{
+    OpWorkload dense{OpKind::Conv, 16, 16, 64, 64, 3, 1, 1};
+    OpWorkload dw{OpKind::Conv, 16, 16, 64, 64, 3, 1, 64};
+    EXPECT_TRUE(dw.isDepthwise());
+    EXPECT_FALSE(dense.isDepthwise());
+    EXPECT_DOUBLE_EQ(dw.macs() * 64.0, dense.macs());
+}
+
+TEST(Workload, StrideShrinksOutput)
+{
+    OpWorkload op{OpKind::Conv, 32, 32, 8, 8, 3, 2, 1};
+    EXPECT_EQ(op.outH(), 16);
+    OpWorkload odd{OpKind::Conv, 33, 33, 8, 8, 3, 2, 1};
+    EXPECT_EQ(odd.outH(), 17);
+}
+
+TEST(Workload, SkipAndZeroAreFree)
+{
+    OpWorkload skip{OpKind::Skip, 32, 32, 16, 16, 1, 1, 1};
+    OpWorkload zero{OpKind::Zero, 32, 32, 16, 16, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(skip.macs(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.macs(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.outputElems(), 0.0);
+}
+
+TEST(Workload, LinearShapes)
+{
+    OpWorkload fc{OpKind::Linear, 1, 1, 64, 10, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(fc.macs(), 640.0);
+    EXPECT_DOUBLE_EQ(fc.params(), 650.0);
+    EXPECT_DOUBLE_EQ(fc.outputElems(), 10.0);
+}
+
+TEST(Platform, AllSevenPresent)
+{
+    EXPECT_EQ(allPlatforms().size(), kNumPlatforms);
+    std::size_t idx = 0;
+    for (PlatformId p : allPlatforms()) {
+        EXPECT_EQ(platformIndex(p), idx++);
+        EXPECT_FALSE(platformName(p).empty());
+        const PlatformSpec &spec = platformSpec(p);
+        EXPECT_GT(spec.peakMacsPerSec, 0.0);
+        EXPECT_GT(spec.memBandwidthBps, 0.0);
+    }
+}
+
+TEST(CostModel, ZeroAndSkipCostNothing)
+{
+    const CostModel model = costModelFor(PlatformId::EdgeGpu);
+    OpWorkload zero{OpKind::Zero, 32, 32, 16, 16, 1, 1, 1};
+    OpWorkload skip{OpKind::Skip, 32, 32, 16, 16, 1, 1, 1};
+    EXPECT_DOUBLE_EQ(model.opCost(zero).latencySec, 0.0);
+    EXPECT_DOUBLE_EQ(model.opCost(skip).latencySec, 0.0);
+}
+
+TEST(CostModel, RooflineTakesMaxOfComputeAndMemory)
+{
+    const CostModel model = costModelFor(PlatformId::EdgeGpu);
+    OpWorkload op{OpKind::Conv, 32, 32, 64, 64, 3, 1, 1};
+    const auto cost = model.opCost(op);
+    EXPECT_GE(cost.latencySec,
+              std::max(cost.computeSec, cost.memorySec));
+    EXPECT_GT(cost.energyJ, 0.0);
+}
+
+TEST(CostModel, LatencyMonotoneInChannels)
+{
+    const CostModel model = costModelFor(PlatformId::RaspberryPi4);
+    double prev = 0.0;
+    for (int c : {16, 32, 64, 128}) {
+        OpWorkload op{OpKind::Conv, 16, 16, c, c, 3, 1, 1};
+        const double t = model.opCost(op).latencySec;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CostModel, DepthwiseRelativeCostMatchesPlatformCharacter)
+{
+    // Depthwise reduces MACs by 64x. On a CPU (Pixel3) nearly all of
+    // that shows up as saved time; on the EdgeGPU the efficiency loss
+    // eats most of the advantage.
+    OpWorkload dense{OpKind::Conv, 32, 32, 64, 64, 3, 1, 1};
+    OpWorkload dw{OpKind::Conv, 32, 32, 64, 64, 3, 1, 64};
+
+    const CostModel pixel = costModelFor(PlatformId::Pixel3);
+    const CostModel gpu = costModelFor(PlatformId::EdgeGpu);
+    const double pixel_ratio = pixel.opCost(dense).computeSec /
+                               pixel.opCost(dw).computeSec;
+    const double gpu_ratio =
+        gpu.opCost(dense).computeSec / gpu.opCost(dw).computeSec;
+    EXPECT_GT(pixel_ratio, gpu_ratio * 2.0);
+}
+
+TEST(CostModel, NetworkCostSumsOps)
+{
+    const CostModel model = costModelFor(PlatformId::Eyeriss);
+    OpWorkload a{OpKind::Conv, 16, 16, 8, 8, 3, 1, 1};
+    OpWorkload b{OpKind::Conv, 16, 16, 8, 8, 1, 1, 1};
+    const auto ca = model.opCost(a);
+    const auto cb = model.opCost(b);
+    const auto total = model.networkCost({a, b});
+    EXPECT_NEAR(total.latencySec,
+                ca.latencySec + cb.latencySec +
+                    model.spec().baseLatencySec,
+                1e-12);
+}
+
+TEST(CostModel, UtilizationPenalizesOddChannelCounts)
+{
+    const CostModel tpu = costModelFor(PlatformId::EdgeTpu);
+    // 65 channels on a 64-wide array wastes nearly half the array.
+    OpWorkload full{OpKind::Conv, 16, 16, 64, 64, 3, 1, 1};
+    OpWorkload odd{OpKind::Conv, 16, 16, 64, 65, 3, 1, 1};
+    const double per_mac_full =
+        tpu.opCost(full).computeSec / full.macs();
+    const double per_mac_odd = tpu.opCost(odd).computeSec / odd.macs();
+    EXPECT_GT(per_mac_odd, per_mac_full * 1.5);
+}
+
+/**
+ * Section III-E structure: compute latency vectors for a sample of
+ * both spaces and compare cross-platform Kendall correlations. The
+ * ARM family (Pi4, Pixel3) must correlate strongly; the two FPGAs
+ * weakly (the paper reports 0.23).
+ */
+TEST(PlatformCorrelation, FamilyStructureEmerges)
+{
+    Rng rng(1);
+    nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    std::vector<std::vector<double>> lat(kNumPlatforms);
+    for (int i = 0; i < 200; ++i) {
+        // Within-space study (as in the paper's Sec. III-E).
+        const auto a = nasbench::nasBench201().sample(rng);
+        const auto &rec = oracle.record(a);
+        for (std::size_t p = 0; p < kNumPlatforms; ++p)
+            lat[p].push_back(rec.latencyMs[p]);
+    }
+    const auto idx = [](PlatformId p) { return platformIndex(p); };
+    const double arm_family =
+        kendallTau(lat[idx(PlatformId::RaspberryPi4)],
+                   lat[idx(PlatformId::Pixel3)]);
+    const double fpga_pair =
+        kendallTau(lat[idx(PlatformId::FpgaZC706)],
+                   lat[idx(PlatformId::FpgaZCU102)]);
+    EXPECT_GT(arm_family, 0.75);
+    EXPECT_LT(fpga_pair, arm_family - 0.2);
+}
+
+TEST(Energy, EyerissMostEfficientOnConvNets)
+{
+    Rng rng(2);
+    nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    int eyeriss_wins = 0;
+    const int n = 30;
+    for (int i = 0; i < n; ++i) {
+        const auto a = nasbench::nasBench201().sample(rng);
+        const auto &rec = oracle.record(a);
+        const double e_eyeriss =
+            rec.energyMj[platformIndex(PlatformId::Eyeriss)];
+        bool best = true;
+        for (std::size_t p = 0; p < kNumPlatforms; ++p)
+            if (rec.energyMj[p] < e_eyeriss)
+                best = false;
+        if (best)
+            ++eyeriss_wins;
+    }
+    // The ASIC should win energy on the clear majority of conv nets.
+    EXPECT_GT(eyeriss_wins, n / 2);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Extended hardware-model coverage, parameterized over all seven
+ * platforms: cost monotonicities, overlap semantics, energy
+ * accounting, and the lowering invariants both search spaces must
+ * satisfy on every device.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/lut.h"
+#include "hw/cost_model.h"
+#include "nasbench/dataset.h"
+#include "nasbench/space.h"
+
+using namespace hwpr;
+using namespace hwpr::hw;
+
+class PerPlatformTest : public ::testing::TestWithParam<PlatformId>
+{
+  protected:
+    CostModel model() const { return costModelFor(GetParam()); }
+};
+
+TEST_P(PerPlatformTest, LatencyMonotoneInSpatialSize)
+{
+    const CostModel m = model();
+    double prev = 0.0;
+    for (int s : {8, 16, 32, 64}) {
+        OpWorkload op{OpKind::Conv, s, s, 32, 32, 3, 1, 1};
+        const double t = m.opCost(op).latencySec;
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST_P(PerPlatformTest, EnergyStrictlyPositiveForRealOps)
+{
+    const CostModel m = model();
+    for (OpKind kind : {OpKind::Conv, OpKind::AvgPool, OpKind::Add,
+                        OpKind::Linear, OpKind::GlobalAvgPool}) {
+        OpWorkload op{kind, 8, 8, 16, 16, 3, 1, 1};
+        EXPECT_GT(m.opCost(op).energyJ, 0.0)
+            << opKindName(kind) << " on "
+            << platformName(GetParam());
+    }
+}
+
+TEST_P(PerPlatformTest, OverlapNeverIncreasesLatency)
+{
+    // End-to-end latency with overlap must be <= the sum of isolated
+    // op latencies plus base latency, and > 0.
+    const CostModel m = model();
+    std::vector<OpWorkload> net = {
+        {OpKind::Conv, 16, 16, 32, 32, 3, 1, 1},
+        {OpKind::AvgPool, 16, 16, 32, 32, 3, 1, 1},
+        {OpKind::Conv, 16, 16, 32, 32, 1, 1, 1},
+        {OpKind::Add, 16, 16, 32, 32, 1, 1, 1},
+    };
+    double isolated = m.spec().baseLatencySec;
+    for (const auto &op : net)
+        isolated += m.opCost(op).latencySec;
+    const double pipelined = m.networkCost(net).latencySec;
+    EXPECT_LE(pipelined, isolated + 1e-15);
+    EXPECT_GT(pipelined, 0.0);
+}
+
+TEST_P(PerPlatformTest, LutNeverUnderestimates)
+{
+    nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    baselines::LatencyLut lut(nasbench::DatasetId::Cifar10,
+                              GetParam());
+    Rng rng(17);
+    for (int i = 0; i < 10; ++i) {
+        const auto a = i % 2 ? nasbench::fbnet().sample(rng)
+                             : nasbench::nasBench201().sample(rng);
+        EXPECT_GE(lut.estimateMs(a),
+                  oracle.latencyMs(a, GetParam()) - 1e-9);
+    }
+}
+
+TEST_P(PerPlatformTest, LoweredNetworksHaveFiniteCosts)
+{
+    const CostModel m = model();
+    Rng rng(18);
+    for (int i = 0; i < 5; ++i) {
+        for (const auto *space :
+             {&nasbench::nasBench201(), &nasbench::fbnet()}) {
+            const auto net = space->lower(
+                space->sample(rng), nasbench::DatasetId::ImageNet16);
+            const auto cost = m.networkCost(net);
+            EXPECT_TRUE(std::isfinite(cost.latencySec));
+            EXPECT_TRUE(std::isfinite(cost.energyJ));
+            EXPECT_GT(cost.latencySec, 0.0);
+        }
+    }
+}
+
+TEST_P(PerPlatformTest, MoreClassesCostNoLess)
+{
+    // ImageNet16-120's 120-way classifier must not be cheaper than
+    // CIFAR-10's 10-way one at the same architecture (all else being
+    // smaller spatially, only compare the classifier op itself).
+    const CostModel m = model();
+    OpWorkload fc10{OpKind::Linear, 1, 1, 64, 10, 1, 1, 1};
+    OpWorkload fc120{OpKind::Linear, 1, 1, 64, 120, 1, 1, 1};
+    EXPECT_GE(m.opCost(fc120).latencySec,
+              m.opCost(fc10).latencySec - 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, PerPlatformTest,
+    ::testing::ValuesIn(allPlatforms()),
+    [](const ::testing::TestParamInfo<PlatformId> &info) {
+        std::string name = platformName(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(OverlapSemantics, AlternatingBoundednessGetsDiscount)
+{
+    // Construct one compute-bound and one memory-bound op on the
+    // EdgeGPU and verify the pipelined latency is strictly below the
+    // isolated sum (overlapEff > 0 on that platform).
+    const CostModel m = costModelFor(PlatformId::EdgeGpu);
+    OpWorkload compute{OpKind::Conv, 32, 32, 256, 256, 3, 1, 1};
+    OpWorkload memory{OpKind::AvgPool, 32, 32, 256, 256, 3, 1, 1};
+    const auto c = m.opCost(compute);
+    const auto mm = m.opCost(memory);
+    ASSERT_GT(c.computeSec, c.memorySec);
+    ASSERT_GT(mm.memorySec, mm.computeSec);
+    const double isolated =
+        c.latencySec + mm.latencySec + m.spec().baseLatencySec;
+    const double pipelined =
+        m.networkCost({compute, memory}).latencySec;
+    EXPECT_LT(pipelined, isolated - 1e-9);
+}
+
+TEST(OverlapSemantics, SameBoundednessNoDiscount)
+{
+    const CostModel m = costModelFor(PlatformId::EdgeGpu);
+    OpWorkload compute{OpKind::Conv, 32, 32, 256, 256, 3, 1, 1};
+    const auto c = m.opCost(compute);
+    const double isolated =
+        2.0 * c.latencySec + m.spec().baseLatencySec;
+    const double pipelined =
+        m.networkCost({compute, compute}).latencySec;
+    EXPECT_NEAR(pipelined, isolated, 1e-12);
+}
+
+TEST(DepthwisePenalty, OverheadFactorAppliesOnlyWhereConfigured)
+{
+    OpWorkload dw{OpKind::Conv, 8, 8, 64, 64, 3, 1, 64};
+    OpWorkload dense{OpKind::Conv, 8, 8, 64, 64, 3, 1, 1};
+    for (PlatformId p : allPlatforms()) {
+        const PlatformSpec &spec = platformSpec(p);
+        const CostModel m = costModelFor(p);
+        const double dw_lat = m.opCost(dw).latencySec;
+        if (spec.dwOverheadFactor > 1.0) {
+            // The dw op carries at least the inflated overhead.
+            EXPECT_GE(dw_lat,
+                      spec.opOverheadSec * spec.dwOverheadFactor)
+                << platformName(p);
+        } else {
+            EXPECT_GE(dw_lat, spec.opOverheadSec);
+        }
+        // Dense op carries exactly the base overhead floor.
+        EXPECT_GE(m.opCost(dense).latencySec, spec.opOverheadSec);
+    }
+}
+
+TEST(EnergyAccounting, NetworkEnergyIsSumPlusIdle)
+{
+    const CostModel m = costModelFor(PlatformId::RaspberryPi4);
+    std::vector<OpWorkload> net = {
+        {OpKind::Conv, 16, 16, 16, 16, 3, 1, 1},
+        {OpKind::Conv, 16, 16, 16, 16, 1, 1, 1},
+    };
+    double op_energy = 0.0;
+    for (const auto &op : net)
+        op_energy += m.opCost(op).energyJ;
+    const double expected =
+        op_energy + m.spec().baseLatencySec * m.spec().idlePowerW;
+    EXPECT_NEAR(m.networkCost(net).energyJ, expected, 1e-15);
+}

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Benchmark-substrate tests: space sizes and genetic operators, the
+ * canonical string/token/graph forms, lowering to operator workloads,
+ * topology analysis, the accuracy simulator's calibration properties,
+ * and dataset assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/stats.h"
+#include "nasbench/accuracy.h"
+#include "nasbench/analysis.h"
+#include "nasbench/dataset.h"
+#include "nasbench/fbnet.h"
+#include "nasbench/features.h"
+#include "nasbench/nasbench201.h"
+#include "nasbench/space.h"
+
+using namespace hwpr;
+using namespace hwpr::nasbench;
+
+TEST(Nb201, SpaceSize)
+{
+    EXPECT_DOUBLE_EQ(nasBench201().size(), 15625.0);
+    EXPECT_EQ(nasBench201().genomeLength(), 6u);
+}
+
+TEST(Nb201, DecodeEnumerateRoundTrip)
+{
+    const auto &space =
+        static_cast<const NasBench201Space &>(nasBench201());
+    const auto all = space.enumerate();
+    EXPECT_EQ(all.size(), 15625u);
+    std::unordered_set<Architecture, ArchHash> seen(all.begin(),
+                                                    all.end());
+    EXPECT_EQ(seen.size(), 15625u);
+}
+
+TEST(Nb201, CanonicalStringFormat)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    // Edges in order: 1<-0; 2<-0, 2<-1; 3<-0, 3<-1, 3<-2.
+    a.genome = {3, 3, 0, 0, 0, 1};
+    const std::string s = nasBench201().toString(a);
+    EXPECT_EQ(s, "|nor_conv_3x3~0|+"
+                 "|nor_conv_3x3~0|none~1|+"
+                 "|none~0|none~1|skip_connect~2|");
+}
+
+TEST(Nb201, TokenizePadsToSharedLength)
+{
+    Rng rng(1);
+    const auto a = nasBench201().sample(rng);
+    const auto tokens = nasBench201().tokenize(a);
+    EXPECT_EQ(tokens.size(), kTokenLength);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_GE(int(tokens[i]), category::kNb201Base);
+        EXPECT_LT(int(tokens[i]), category::kNb201Base + 5);
+    }
+    for (std::size_t i = 6; i < kTokenLength; ++i)
+        EXPECT_EQ(tokens[i], std::size_t(category::kPad));
+}
+
+TEST(Nb201, GraphShape)
+{
+    Rng rng(2);
+    const auto a = nasBench201().sample(rng);
+    const auto g = nasBench201().toGraph(a);
+    // 4 cell nodes + 6 op nodes + global.
+    EXPECT_EQ(g.adjacency.rows(), 11u);
+    EXPECT_EQ(g.nodeCategories.size(), 11u);
+    EXPECT_EQ(g.globalNode, 10u);
+    // Adjacency symmetric.
+    for (std::size_t i = 0; i < 11; ++i)
+        for (std::size_t j = 0; j < 11; ++j)
+            EXPECT_DOUBLE_EQ(g.adjacency(i, j), g.adjacency(j, i));
+    // Global node connected to all others.
+    for (std::size_t i = 0; i + 1 < 11; ++i)
+        EXPECT_DOUBLE_EQ(g.adjacency(i, 10), 1.0);
+}
+
+TEST(Fbnet, SpaceBasics)
+{
+    EXPECT_EQ(fbnet().genomeLength(), 22u);
+    EXPECT_EQ(fbnet().numOptions(0), 9u);
+    EXPECT_NEAR(fbnet().size() / std::pow(9.0, 22.0), 1.0, 1e-12);
+}
+
+TEST(Fbnet, SkipLegality)
+{
+    // Layer 1 has stride 2 (16 -> 24): skip must degrade to k3_e1.
+    const auto &block = FBNetSpace::effectiveBlock(1, 8);
+    EXPECT_STREQ(block.name, "k3_e1");
+    // Layer 2 is stride-1 24 -> 24: skip stays skip.
+    EXPECT_TRUE(FBNetSpace::effectiveBlock(2, 8).isSkip);
+}
+
+TEST(Fbnet, GraphIsChain)
+{
+    Rng rng(3);
+    const auto a = fbnet().sample(rng);
+    const auto g = fbnet().toGraph(a);
+    EXPECT_EQ(g.adjacency.rows(), 25u); // in + 22 + out + global
+    // Chain edges present.
+    for (std::size_t i = 0; i + 2 < 25; ++i)
+        EXPECT_DOUBLE_EQ(g.adjacency(i, i + 1), 1.0);
+}
+
+class SpaceOpsTest : public ::testing::TestWithParam<SpaceId>
+{
+  protected:
+    const SearchSpace &space() const { return spaceFor(GetParam()); }
+};
+
+TEST_P(SpaceOpsTest, SampleIsValid)
+{
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const auto a = space().sample(rng);
+        EXPECT_EQ(a.space, space().id());
+        space().checkArch(a); // fatal on violation
+    }
+}
+
+TEST_P(SpaceOpsTest, MutationChangesGenome)
+{
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i) {
+        const auto a = space().sample(rng);
+        const auto b = space().mutate(a, 0.3, rng);
+        EXPECT_NE(a.genome, b.genome);
+        space().checkArch(b);
+    }
+}
+
+TEST_P(SpaceOpsTest, CrossoverMixesParents)
+{
+    Rng rng(6);
+    const auto a = space().sample(rng);
+    const auto b = space().sample(rng);
+    const auto c = space().crossover(a, b, rng);
+    space().checkArch(c);
+    for (std::size_t i = 0; i < c.genome.size(); ++i)
+        EXPECT_TRUE(c.genome[i] == a.genome[i] ||
+                    c.genome[i] == b.genome[i]);
+}
+
+TEST_P(SpaceOpsTest, TokensInUnifiedVocabulary)
+{
+    Rng rng(7);
+    const auto a = space().sample(rng);
+    for (std::size_t t : space().tokenize(a))
+        EXPECT_LT(t, std::size_t(category::kNumCategories));
+}
+
+TEST_P(SpaceOpsTest, LoweringProducesClassifier)
+{
+    Rng rng(8);
+    const auto a = space().sample(rng);
+    const auto net = space().lower(a, DatasetId::Cifar10);
+    ASSERT_FALSE(net.empty());
+    EXPECT_EQ(net.back().kind, hw::OpKind::Linear);
+    EXPECT_EQ(net.back().cout, 10);
+    const auto net100 = space().lower(a, DatasetId::Cifar100);
+    EXPECT_EQ(net100.back().cout, 100);
+    // ImageNet16 inputs halve every spatial size (FBNet executes at
+    // its native 2x resolution, so its stem sees 2x the crop).
+    const auto net16 = space().lower(a, DatasetId::ImageNet16);
+    const int expected =
+        GetParam() == SpaceId::FBNet ? 32 : 16;
+    EXPECT_EQ(net16.front().h, expected);
+    EXPECT_EQ(net16.back().cout, 120);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSpaces, SpaceOpsTest,
+                         ::testing::Values(SpaceId::NasBench201,
+                                           SpaceId::FBNet));
+
+TEST(Analysis, DisconnectedCellDetected)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    a.genome = {0, 0, 0, 0, 0, 0}; // all none
+    const auto cell = analyzeNb201Cell(a);
+    EXPECT_FALSE(cell.connected);
+    EXPECT_EQ(cell.numPaths, 0);
+}
+
+TEST(Analysis, DirectEdgeOnlyCell)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    // Only edge 3<-0 active (index 3) with conv3x3.
+    a.genome = {0, 0, 0, 3, 0, 0};
+    const auto cell = analyzeNb201Cell(a);
+    EXPECT_TRUE(cell.connected);
+    EXPECT_TRUE(cell.hasConvOnPath);
+    EXPECT_EQ(cell.numPaths, 1);
+    EXPECT_EQ(cell.longestConvPath, 1);
+    EXPECT_EQ(cell.convs3x3, 1);
+}
+
+TEST(Analysis, AllConvCellCounts)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    a.genome = {3, 3, 3, 3, 3, 3}; // all conv3x3
+    const auto cell = analyzeNb201Cell(a);
+    EXPECT_TRUE(cell.connected);
+    EXPECT_EQ(cell.convs3x3, 6);
+    // Longest path 0->1->2->3 has 3 convs.
+    EXPECT_EQ(cell.longestConvPath, 3);
+    // Paths: 0->3, 0->1->3, 0->2->3, 0->1->2->3.
+    EXPECT_EQ(cell.numPaths, 4);
+}
+
+TEST(Analysis, SkipOnlyCellHasNoConv)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    a.genome = {1, 1, 1, 1, 1, 1}; // all skip
+    const auto cell = analyzeNb201Cell(a);
+    EXPECT_TRUE(cell.connected);
+    EXPECT_FALSE(cell.hasConvOnPath);
+    EXPECT_EQ(cell.longestConvPath, 0);
+}
+
+TEST(Analysis, FbnetChainCountsBlocks)
+{
+    Architecture a;
+    a.space = SpaceId::FBNet;
+    a.genome.assign(22, 8); // all skip (degrades on stride layers)
+    const auto chain = analyzeFbnetChain(a);
+    // Stride/channel-change layers force conv blocks: layers 1, 5, 9,
+    // 13, 17, 21 cannot skip.
+    EXPECT_EQ(chain.activeBlocks, 6);
+    EXPECT_GT(chain.longestSkipRun, 0);
+}
+
+TEST(Features, VectorShapeAndNames)
+{
+    EXPECT_EQ(archFeatureNames().size(), kNumArchFeatures);
+    Rng rng(9);
+    const auto a = nasBench201().sample(rng);
+    const auto f = archFeatures(a, DatasetId::Cifar10);
+    EXPECT_EQ(f.size(), kNumArchFeatures);
+    for (double v : f)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Features, MoreConvsMoreFlops)
+{
+    Architecture lean, rich;
+    lean.space = rich.space = SpaceId::NasBench201;
+    lean.genome = {1, 0, 0, 0, 0, 1};  // skips only
+    rich.genome = {3, 3, 3, 3, 3, 3};  // all conv3x3
+    const auto fl = archFeatures(lean, DatasetId::Cifar10);
+    const auto fr = archFeatures(rich, DatasetId::Cifar10);
+    EXPECT_LT(fl[0], fr[0]); // log flops
+    EXPECT_LT(fl[1], fr[1]); // log params
+    EXPECT_LT(fl[2], fr[2]); // conv count
+}
+
+TEST(Features, ScalerNormalizes)
+{
+    Rng rng(10);
+    std::vector<std::vector<double>> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back(
+            archFeatures(nasBench201().sample(rng), DatasetId::Cifar10));
+    const auto scaler = FeatureScaler::fit(rows);
+    std::vector<double> col0;
+    for (const auto &r : rows)
+        col0.push_back(scaler.apply(r)[0]);
+    EXPECT_NEAR(mean(col0), 0.0, 1e-9);
+    EXPECT_NEAR(stddev(col0), 1.0, 0.05);
+}
+
+TEST(Accuracy, DisconnectedIsRandomChance)
+{
+    Architecture a;
+    a.space = SpaceId::NasBench201;
+    a.genome = {0, 0, 0, 0, 0, 0};
+    EXPECT_NEAR(structuralAccuracy(a, DatasetId::Cifar10), 10.0, 1e-9);
+    EXPECT_NEAR(structuralAccuracy(a, DatasetId::Cifar100), 1.0, 1e-9);
+    EXPECT_NEAR(structuralAccuracy(a, DatasetId::ImageNet16),
+                100.0 / 120.0, 1e-9);
+}
+
+TEST(Accuracy, DatasetDifficultyOrdering)
+{
+    Rng rng(11);
+    for (int i = 0; i < 40; ++i) {
+        const auto a = nasBench201().sample(rng);
+        const double c10 = structuralAccuracy(a, DatasetId::Cifar10);
+        const double c100 = structuralAccuracy(a, DatasetId::Cifar100);
+        const double in16 =
+            structuralAccuracy(a, DatasetId::ImageNet16);
+        EXPECT_GT(c10, c100);
+        EXPECT_GT(c100, in16);
+    }
+}
+
+TEST(Accuracy, DeterministicAcrossCalls)
+{
+    Rng rng(12);
+    const auto a = fbnet().sample(rng);
+    EXPECT_DOUBLE_EQ(simulatedAccuracy(a, DatasetId::Cifar10),
+                     simulatedAccuracy(a, DatasetId::Cifar10));
+}
+
+TEST(Accuracy, ConvCellBeatsSkipOnlyCell)
+{
+    Architecture convs, skips;
+    convs.space = skips.space = SpaceId::NasBench201;
+    convs.genome = {3, 3, 3, 3, 3, 3};
+    skips.genome = {1, 1, 1, 1, 1, 1};
+    EXPECT_GT(structuralAccuracy(convs, DatasetId::Cifar10),
+              structuralAccuracy(skips, DatasetId::Cifar10) + 10.0);
+}
+
+TEST(Accuracy, WithinPublishedRange)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        const auto a = nasBench201().sample(rng);
+        const double acc = simulatedAccuracy(a, DatasetId::Cifar10);
+        EXPECT_GE(acc, 0.0);
+        EXPECT_LE(acc, 100.0);
+    }
+    // The best cells approach the published C10 ceiling (~94.5%).
+    Architecture best;
+    best.space = SpaceId::NasBench201;
+    best.genome = {3, 3, 3, 3, 3, 3};
+    EXPECT_GT(simulatedAccuracy(best, DatasetId::Cifar10), 90.0);
+    EXPECT_LT(simulatedAccuracy(best, DatasetId::Cifar10), 96.0);
+}
+
+TEST(Accuracy, AfOnlyCorrelationIsPartial)
+{
+    // The paper measures Kendall tau ~0.63 for an AF-based accuracy
+    // predictor; the simulator must leave structure AF cannot see.
+    Rng rng(14);
+    std::vector<double> flops, acc;
+    for (int i = 0; i < 400; ++i) {
+        const auto a = nasBench201().sample(rng);
+        flops.push_back(archFeatures(a, DatasetId::Cifar10)[0]);
+        acc.push_back(simulatedAccuracy(a, DatasetId::Cifar10));
+    }
+    const double tau = kendallTau(flops, acc);
+    EXPECT_GT(tau, 0.3);  // clearly informative...
+    EXPECT_LT(tau, 0.85); // ...but far from sufficient
+}
+
+TEST(Oracle, MemoizesRecords)
+{
+    Oracle oracle(DatasetId::Cifar10);
+    Rng rng(15);
+    const auto a = nasBench201().sample(rng);
+    const auto &r1 = oracle.record(a);
+    const auto &r2 = oracle.record(a);
+    EXPECT_EQ(&r1, &r2);
+    EXPECT_EQ(oracle.numEvaluated(), 1u);
+    EXPECT_GT(r1.latencyMs[0], 0.0);
+    EXPECT_GT(r1.energyMj[0], 0.0);
+}
+
+TEST(Dataset, SampleSplitsAreDisjointAndComplete)
+{
+    Oracle oracle(DatasetId::Cifar10);
+    Rng rng(16);
+    const auto data = SampledDataset::sample(
+        {&nasBench201(), &fbnet()}, oracle, 200, 120, 40, rng);
+    EXPECT_EQ(data.records.size(), 200u);
+    EXPECT_EQ(data.trainIdx.size(), 120u);
+    EXPECT_EQ(data.valIdx.size(), 40u);
+    EXPECT_EQ(data.testIdx.size(), 40u);
+    std::unordered_set<std::size_t> seen;
+    for (const auto *split :
+         {&data.trainIdx, &data.valIdx, &data.testIdx})
+        for (std::size_t i : *split)
+            EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_EQ(seen.size(), 200u);
+
+    // Distinct architectures.
+    std::unordered_set<Architecture, ArchHash> archs;
+    for (const auto &rec : data.records)
+        EXPECT_TRUE(archs.insert(rec.arch).second);
+}
+
+TEST(Dataset, SelectReturnsMatchingRecords)
+{
+    Oracle oracle(DatasetId::Cifar100);
+    Rng rng(17);
+    const auto data = SampledDataset::sample({&nasBench201()}, oracle,
+                                             50, 30, 10, rng);
+    const auto train = data.select(data.trainIdx);
+    ASSERT_EQ(train.size(), 30u);
+    EXPECT_EQ(train[0]->arch, data.records[data.trainIdx[0]].arch);
+}
+
+TEST(ArchHash, SaltChangesHash)
+{
+    Rng rng(18);
+    const auto a = nasBench201().sample(rng);
+    EXPECT_NE(a.hash(1), a.hash(2));
+    EXPECT_EQ(a.hash(1), a.hash(1));
+}
+
+TEST_P(SpaceOpsTest, StringRoundTrip)
+{
+    Rng rng(20);
+    for (int i = 0; i < 40; ++i) {
+        const auto a = space().sample(rng);
+        const auto b = space().fromString(space().toString(a));
+        // FBNet prints effective blocks (illegal skips degrade), so
+        // compare canonical strings, which are stable under the map.
+        EXPECT_EQ(space().toString(a), space().toString(b));
+    }
+}
+
+TEST_P(SpaceOpsTest, GenomeRoundTrip)
+{
+    Rng rng(21);
+    const auto a = space().sample(rng);
+    std::string text;
+    for (std::size_t i = 0; i < a.genome.size(); ++i) {
+        if (i)
+            text += ",";
+        text += std::to_string(a.genome[i]);
+    }
+    const auto b = space().fromGenome(text);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Nb201, FromStringKnownValue)
+{
+    const auto a = nasBench201().fromString(
+        "|nor_conv_3x3~0|+"
+        "|nor_conv_3x3~0|none~1|+"
+        "|none~0|none~1|skip_connect~2|");
+    const std::vector<int> expected = {3, 3, 0, 0, 0, 1};
+    EXPECT_EQ(a.genome, expected);
+}
+
+TEST(Lookup, PlatformNames)
+{
+    hw::PlatformId p;
+    EXPECT_TRUE(hw::platformFromName("edgegpu", p));
+    EXPECT_EQ(p, hw::PlatformId::EdgeGpu);
+    EXPECT_TRUE(hw::platformFromName("FPGA-ZC706", p));
+    EXPECT_EQ(p, hw::PlatformId::FpgaZC706);
+    EXPECT_TRUE(hw::platformFromName("fpgazcu102", p));
+    EXPECT_EQ(p, hw::PlatformId::FpgaZCU102);
+    EXPECT_FALSE(hw::platformFromName("abacus", p));
+}
+
+TEST(Lookup, DatasetNames)
+{
+    DatasetId d;
+    EXPECT_TRUE(datasetFromName("CIFAR-10", d));
+    EXPECT_EQ(d, DatasetId::Cifar10);
+    EXPECT_TRUE(datasetFromName("imagenet16", d));
+    EXPECT_EQ(d, DatasetId::ImageNet16);
+    EXPECT_FALSE(datasetFromName("mnist", d));
+}

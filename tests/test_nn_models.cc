@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Model/optimizer tests: layers learn simple functions, LSTM and GCN
+ * encoders backpropagate correctly and are expressive enough to
+ * separate their inputs, optimizers implement their update rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/gcn.h"
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/optim.h"
+
+using namespace hwpr;
+using namespace hwpr::nn;
+
+TEST(Linear, ForwardShapeAndValue)
+{
+    Rng rng(1);
+    Linear layer(3, 2, rng);
+    // Overwrite weights for a deterministic check.
+    auto params = layer.params();
+    params[0].valueMut() = Matrix(3, 2, {1, 0, 0, 1, 1, 1});
+    params[1].valueMut() = Matrix(1, 2, {10, 20});
+    Tensor x = Tensor::constant(Matrix(1, 3, {1, 2, 3}));
+    const Tensor y = layer.forward(x);
+    EXPECT_DOUBLE_EQ(y.value()(0, 0), 1 + 3 + 10);
+    EXPECT_DOUBLE_EQ(y.value()(0, 1), 2 + 3 + 20);
+}
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    Rng rng(2);
+    MlpConfig cfg;
+    cfg.inDim = 2;
+    cfg.hidden = {16};
+    cfg.outDim = 1;
+    Mlp mlp(cfg, rng);
+
+    Adam opt(mlp.params(), 0.02);
+    Matrix x(64, 2);
+    std::vector<double> y(64);
+    Rng data_rng(3);
+    for (std::size_t i = 0; i < 64; ++i) {
+        x(i, 0) = data_rng.uniform(-1, 1);
+        x(i, 1) = data_rng.uniform(-1, 1);
+        y[i] = 2.0 * x(i, 0) - 0.5 * x(i, 1);
+    }
+    Tensor xt = Tensor::constant(x);
+    double final_loss = 1e300;
+    for (int iter = 0; iter < 300; ++iter) {
+        opt.zeroGrad();
+        Tensor loss = mseLoss(mlp.forward(xt), y);
+        backward(loss);
+        opt.step();
+        final_loss = loss.value()(0, 0);
+    }
+    EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    // Nonlinear separability: requires a working hidden layer.
+    Rng rng(4);
+    MlpConfig cfg;
+    cfg.inDim = 2;
+    cfg.hidden = {8};
+    cfg.outDim = 1;
+    cfg.activation = Activation::Tanh;
+    Mlp mlp(cfg, rng);
+    Adam opt(mlp.params(), 0.05);
+
+    Tensor x = Tensor::constant(Matrix(4, 2, {0, 0, 0, 1, 1, 0, 1, 1}));
+    const std::vector<double> y = {0, 1, 1, 0};
+    double final_loss = 1e300;
+    for (int iter = 0; iter < 800; ++iter) {
+        opt.zeroGrad();
+        Tensor loss = mseLoss(mlp.forward(x), y);
+        backward(loss);
+        opt.step();
+        final_loss = loss.value()(0, 0);
+    }
+    EXPECT_LT(final_loss, 1e-2);
+}
+
+TEST(Mlp, ParamCountMatchesArchitecture)
+{
+    Rng rng(5);
+    MlpConfig cfg;
+    cfg.inDim = 10;
+    cfg.hidden = {20, 5};
+    cfg.outDim = 1;
+    Mlp mlp(cfg, rng);
+    // (10*20 + 20) + (20*5 + 5) + (5*1 + 1) = 220 + 105 + 6.
+    EXPECT_EQ(mlp.numParams(), 331u);
+}
+
+TEST(Lstm, ForwardShape)
+{
+    Rng rng(6);
+    LstmConfig cfg;
+    cfg.vocab = 10;
+    cfg.embedDim = 8;
+    cfg.hidden = 12;
+    cfg.layers = 2;
+    LstmEncoder lstm(cfg, rng);
+    const Tensor out = lstm.forward({{1, 2, 3}, {4, 5, 6}});
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 12u);
+}
+
+TEST(Lstm, GradCheckThroughTime)
+{
+    Rng rng(7);
+    LstmConfig cfg;
+    cfg.vocab = 5;
+    cfg.embedDim = 4;
+    cfg.hidden = 6;
+    cfg.layers = 2;
+    LstmEncoder lstm(cfg, rng);
+    const std::vector<std::vector<std::size_t>> seqs = {{0, 1, 2, 3},
+                                                        {4, 3, 2, 1}};
+    for (Tensor p : lstm.params()) {
+        const double err = gradCheck(
+            [&] { return meanAll(lstm.forward(seqs)); }, p, 1e-5);
+        EXPECT_LT(err, 1e-5) << p.name();
+    }
+}
+
+TEST(Lstm, DistinguishesSequenceOrder)
+{
+    Rng rng(8);
+    LstmConfig cfg;
+    cfg.vocab = 4;
+    cfg.embedDim = 6;
+    cfg.hidden = 8;
+    cfg.layers = 1;
+    LstmEncoder lstm(cfg, rng);
+    const Tensor out = lstm.forward({{0, 1, 2}, {2, 1, 0}});
+    double diff = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j)
+        diff += std::abs(out.value()(0, j) - out.value()(1, j));
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Lstm, LearnsTokenCountTask)
+{
+    // Predict the number of token-1 occurrences in a length-6
+    // sequence: requires the recurrent state to accumulate.
+    Rng rng(9);
+    LstmConfig cfg;
+    cfg.vocab = 3;
+    cfg.embedDim = 6;
+    cfg.hidden = 10;
+    cfg.layers = 1;
+    LstmEncoder lstm(cfg, rng);
+    Linear readout(10, 1, rng);
+
+    std::vector<Tensor> params = lstm.params();
+    for (const auto &p : readout.params())
+        params.push_back(p);
+    Adam opt(params, 0.02);
+
+    Rng data_rng(10);
+    std::vector<std::vector<std::size_t>> seqs(32);
+    std::vector<double> counts(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        seqs[i].resize(6);
+        for (auto &t : seqs[i]) {
+            t = data_rng.index(3);
+            if (t == 1)
+                counts[i] += 1.0;
+        }
+        counts[i] = counts[i] > 0 ? counts[i] : 0.0;
+    }
+    double final_loss = 1e300;
+    for (int iter = 0; iter < 250; ++iter) {
+        opt.zeroGrad();
+        Tensor loss =
+            mseLoss(readout.forward(lstm.forward(seqs)), counts);
+        backward(loss);
+        opt.step();
+        final_loss = loss.value()(0, 0);
+    }
+    EXPECT_LT(final_loss, 0.1);
+}
+
+namespace
+{
+
+GraphInput
+makeGraph(const std::vector<int> &cats, std::size_t feat_dim,
+          const std::vector<std::pair<int, int>> &edges)
+{
+    GraphInput g;
+    const std::size_t v = cats.size();
+    Matrix raw(v, v);
+    for (auto [a, b] : edges) {
+        raw(a, b) = 1.0;
+        raw(b, a) = 1.0;
+    }
+    g.adjacency = GcnEncoder::normalizeAdjacency(raw);
+    g.features = Matrix(v, feat_dim);
+    for (std::size_t i = 0; i < v; ++i)
+        g.features(i, std::size_t(cats[i])) = 1.0;
+    g.globalNode = v - 1;
+    return g;
+}
+
+} // namespace
+
+TEST(Gcn, NormalizedAdjacencyRowsBounded)
+{
+    Matrix raw(3, 3);
+    raw(0, 1) = raw(1, 0) = 1.0;
+    const Matrix a = GcnEncoder::normalizeAdjacency(raw);
+    // Symmetric, nonnegative, spectral norm <= 1 for this form; check
+    // symmetry and self loops.
+    EXPECT_GT(a(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(a(0, 1), a(1, 0));
+    EXPECT_DOUBLE_EQ(a(0, 2), 0.0);
+}
+
+TEST(Gcn, ForwardShape)
+{
+    Rng rng(11);
+    GcnConfig cfg;
+    cfg.featDim = 4;
+    cfg.hidden = 7;
+    cfg.layers = 2;
+    GcnEncoder gcn(cfg, rng);
+    const auto g1 = makeGraph({0, 1, 2}, 4, {{0, 1}, {1, 2}});
+    const auto g2 = makeGraph({0, 1, 1, 2}, 4, {{0, 1}, {2, 3}});
+    const Tensor out = gcn.forward({g1, g2});
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 7u);
+}
+
+TEST(Gcn, GradCheck)
+{
+    Rng rng(12);
+    GcnConfig cfg;
+    cfg.featDim = 3;
+    cfg.hidden = 5;
+    cfg.layers = 2;
+    GcnEncoder gcn(cfg, rng);
+    const auto g1 = makeGraph({0, 1, 2}, 3, {{0, 1}, {1, 2}});
+    const auto g2 = makeGraph({2, 1, 0}, 3, {{0, 2}});
+    for (Tensor p : gcn.params()) {
+        const double err = gradCheck(
+            [&] { return meanAll(gcn.forward({g1, g2})); }, p, 1e-5);
+        EXPECT_LT(err, 2e-5) << p.name();
+    }
+}
+
+TEST(Gcn, DistinguishesTopology)
+{
+    // Same node multiset, different wiring.
+    Rng rng(13);
+    GcnConfig cfg;
+    cfg.featDim = 3;
+    cfg.hidden = 8;
+    cfg.layers = 2;
+    GcnEncoder gcn(cfg, rng);
+    const auto chain =
+        makeGraph({0, 1, 1, 2}, 3, {{0, 1}, {1, 2}, {2, 3}});
+    const auto star =
+        makeGraph({0, 1, 1, 2}, 3, {{0, 1}, {0, 2}, {0, 3}});
+    const Tensor out = gcn.forward({chain, star});
+    double diff = 0.0;
+    for (std::size_t j = 0; j < out.cols(); ++j)
+        diff += std::abs(out.value()(0, j) - out.value()(1, j));
+    EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Gcn, MeanPoolReadoutWorks)
+{
+    Rng rng(14);
+    GcnConfig cfg;
+    cfg.featDim = 3;
+    cfg.hidden = 4;
+    cfg.layers = 1;
+    cfg.useGlobalNode = false;
+    GcnEncoder gcn(cfg, rng);
+    const auto g = makeGraph({0, 1, 2}, 3, {{0, 1}});
+    const Tensor out = gcn.forward({g});
+    EXPECT_EQ(out.rows(), 1u);
+    EXPECT_EQ(out.cols(), 4u);
+}
+
+TEST(Optim, SgdStepMatchesFormula)
+{
+    Tensor p = Tensor::param(Matrix(1, 1, {1.0}), "p");
+    p.gradMut()(0, 0) = 0.5;
+    Sgd opt({p}, 0.1);
+    opt.step();
+    EXPECT_NEAR(p.value()(0, 0), 1.0 - 0.1 * 0.5, 1e-12);
+}
+
+TEST(Optim, SgdMomentumAccumulates)
+{
+    Tensor p = Tensor::param(Matrix(1, 1, {0.0}), "p");
+    Sgd opt({p}, 1.0, 0.9);
+    p.gradMut()(0, 0) = 1.0;
+    opt.step(); // v = 1, p = -1
+    p.gradMut()(0, 0) = 1.0;
+    opt.step(); // v = 1.9, p = -2.9
+    EXPECT_NEAR(p.value()(0, 0), -2.9, 1e-12);
+}
+
+TEST(Optim, AdamFirstStepIsLrSized)
+{
+    Tensor p = Tensor::param(Matrix(1, 1, {0.0}), "p");
+    Adam opt({p}, 0.01);
+    p.gradMut()(0, 0) = 123.0;
+    opt.step();
+    // Bias-corrected Adam moves ~lr on the first step regardless of
+    // gradient scale.
+    EXPECT_NEAR(p.value()(0, 0), -0.01, 1e-6);
+}
+
+TEST(Optim, AdamWDecaysWithoutGradient)
+{
+    Tensor p = Tensor::param(Matrix(1, 1, {1.0}), "p");
+    AdamW opt({p}, 0.1, 0.5);
+    p.zeroGrad();
+    opt.step();
+    // Zero gradient: only the decoupled decay applies.
+    EXPECT_NEAR(p.value()(0, 0), 1.0 * (1.0 - 0.1 * 0.5), 1e-12);
+}
+
+TEST(Optim, CosineScheduleEndpoints)
+{
+    CosineAnnealing sched(1.0, 100, 0.1);
+    EXPECT_NEAR(sched.at(0), 1.0, 1e-12);
+    EXPECT_NEAR(sched.at(100), 0.1, 1e-12);
+    EXPECT_NEAR(sched.at(50), 0.55, 1e-12);
+    // Monotone decreasing.
+    for (std::size_t t = 1; t <= 100; ++t)
+        EXPECT_LE(sched.at(t), sched.at(t - 1) + 1e-12);
+}

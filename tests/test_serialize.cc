@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Binary serialization primitive tests: round trips for every value
+ * type, header validation, and corruption handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+using namespace hwpr;
+
+TEST(Serialize, ScalarRoundTrips)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(0);
+    w.writeU64(~0ull);
+    w.writeI64(-12345);
+    w.writeDouble(3.14159265358979);
+    w.writeDouble(-0.0);
+    ASSERT_TRUE(w.ok());
+
+    BinaryReader r(ss);
+    EXPECT_EQ(r.readU64(), 0u);
+    EXPECT_EQ(r.readU64(), ~0ull);
+    EXPECT_EQ(r.readI64(), -12345);
+    EXPECT_DOUBLE_EQ(r.readDouble(), 3.14159265358979);
+    EXPECT_DOUBLE_EQ(r.readDouble(), -0.0);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialize, StringRoundTrips)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeString("");
+    w.writeString("hello, \"world\"\nwith newline");
+    BinaryReader r(ss);
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_EQ(r.readString(), "hello, \"world\"\nwith newline");
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Serialize, VectorRoundTrips)
+{
+    Rng rng(1);
+    std::vector<double> v(257);
+    for (double &x : v)
+        x = rng.normal();
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeDoubles(v);
+    BinaryReader r(ss);
+    EXPECT_EQ(r.readDoubles(), v);
+}
+
+TEST(Serialize, MatrixRoundTrips)
+{
+    Rng rng(2);
+    Matrix m(7, 13);
+    for (double &x : m.raw())
+        x = rng.normal();
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeMatrix(m);
+    BinaryReader r(ss);
+    const Matrix back = r.readMatrix();
+    ASSERT_EQ(back.rows(), 7u);
+    ASSERT_EQ(back.cols(), 13u);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_DOUBLE_EQ(back.raw()[i], m.raw()[i]);
+}
+
+TEST(Serialize, HeaderAcceptsMatchingKind)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    writeHeader(w, "my-model", 3);
+    BinaryReader r(ss);
+    EXPECT_EQ(readHeader(r, "my-model"), 3u);
+}
+
+TEST(Serialize, HeaderRejectsWrongKind)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    writeHeader(w, "model-a", 1);
+    BinaryReader r(ss);
+    EXPECT_EQ(readHeader(r, "model-b"), 0u);
+}
+
+TEST(Serialize, HeaderRejectsGarbage)
+{
+    std::stringstream ss("not a checkpoint");
+    BinaryReader r(ss);
+    EXPECT_EQ(readHeader(r, "model"), 0u);
+}
+
+TEST(Serialize, TruncatedReadSetsNotOk)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(42);
+    BinaryReader r(ss);
+    EXPECT_EQ(r.readU64(), 42u);
+    EXPECT_TRUE(r.ok());
+    r.readU64(); // nothing left
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, AbsurdSizesRejected)
+{
+    // A corrupted length prefix must not trigger a giant allocation.
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(~0ull); // bogus element count
+    BinaryReader r(ss);
+    const auto v = r.readDoubles();
+    EXPECT_TRUE(v.empty());
+    EXPECT_FALSE(r.ok());
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tiny command-line argument parser for the hwpr tool: positional
+ * subcommand plus --key value / --flag options, with typed accessors
+ * and defaults.
+ */
+
+#ifndef HWPR_TOOLS_ARGPARSE_H
+#define HWPR_TOOLS_ARGPARSE_H
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace hwpr::tools
+{
+
+/** Parsed command line: subcommand + options. */
+class Args
+{
+  public:
+    /** Parse argv; the first non-option token is the subcommand. */
+    static Args
+    parse(int argc, char **argv)
+    {
+        Args args;
+        int i = 1;
+        if (i < argc && argv[i][0] != '-')
+            args.command_ = argv[i++];
+        while (i < argc) {
+            std::string key = argv[i];
+            HWPR_CHECK(key.rfind("--", 0) == 0,
+                       "expected an option, got '", key, "'");
+            key = key.substr(2);
+            if (i + 1 < argc && argv[i + 1][0] != '-') {
+                args.options_[key] = argv[i + 1];
+                i += 2;
+            } else {
+                args.options_[key] = "1"; // boolean flag
+                ++i;
+            }
+        }
+        return args;
+    }
+
+    const std::string &command() const { return command_; }
+
+    bool
+    has(const std::string &key) const
+    {
+        return options_.count(key) > 0;
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = options_.find(key);
+        return it == options_.end() ? fallback : it->second;
+    }
+
+    long
+    getInt(const std::string &key, long fallback) const
+    {
+        auto it = options_.find(key);
+        if (it == options_.end())
+            return fallback;
+        char *end = nullptr;
+        const long v = std::strtol(it->second.c_str(), &end, 10);
+        HWPR_CHECK(end && *end == '\0', "option --", key,
+                   " expects an integer, got '", it->second, "'");
+        return v;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        auto it = options_.find(key);
+        if (it == options_.end())
+            return fallback;
+        char *end = nullptr;
+        const double v = std::strtod(it->second.c_str(), &end);
+        HWPR_CHECK(end && *end == '\0', "option --", key,
+                   " expects a number, got '", it->second, "'");
+        return v;
+    }
+
+  private:
+    std::string command_;
+    std::map<std::string, std::string> options_;
+};
+
+} // namespace hwpr::tools
+
+#endif // HWPR_TOOLS_ARGPARSE_H
