@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pareto_fronts.dir/bench_fig6_pareto_fronts.cc.o"
+  "CMakeFiles/bench_fig6_pareto_fronts.dir/bench_fig6_pareto_fronts.cc.o.d"
+  "bench_fig6_pareto_fronts"
+  "bench_fig6_pareto_fronts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pareto_fronts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

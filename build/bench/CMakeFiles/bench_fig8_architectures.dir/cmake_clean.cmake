@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_architectures.dir/bench_fig8_architectures.cc.o"
+  "CMakeFiles/bench_fig8_architectures.dir/bench_fig8_architectures.cc.o.d"
+  "bench_fig8_architectures"
+  "bench_fig8_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

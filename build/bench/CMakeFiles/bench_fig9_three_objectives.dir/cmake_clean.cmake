@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_three_objectives.dir/bench_fig9_three_objectives.cc.o"
+  "CMakeFiles/bench_fig9_three_objectives.dir/bench_fig9_three_objectives.cc.o.d"
+  "bench_fig9_three_objectives"
+  "bench_fig9_three_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_three_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

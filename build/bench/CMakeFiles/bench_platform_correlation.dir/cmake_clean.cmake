@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platform_correlation.dir/bench_platform_correlation.cc.o"
+  "CMakeFiles/bench_platform_correlation.dir/bench_platform_correlation.cc.o.d"
+  "bench_platform_correlation"
+  "bench_platform_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platform_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

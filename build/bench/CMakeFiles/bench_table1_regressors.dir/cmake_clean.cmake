@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_regressors.dir/bench_table1_regressors.cc.o"
+  "CMakeFiles/bench_table1_regressors.dir/bench_table1_regressors.cc.o.d"
+  "bench_table1_regressors"
+  "bench_table1_regressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_regressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

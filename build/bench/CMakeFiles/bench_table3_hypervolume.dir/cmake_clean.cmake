@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hypervolume.dir/bench_table3_hypervolume.cc.o"
+  "CMakeFiles/bench_table3_hypervolume.dir/bench_table3_hypervolume.cc.o.d"
+  "bench_table3_hypervolume"
+  "bench_table3_hypervolume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hypervolume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_proportions.dir/bench_table4_proportions.cc.o"
+  "CMakeFiles/bench_table4_proportions.dir/bench_table4_proportions.cc.o.d"
+  "bench_table4_proportions"
+  "bench_table4_proportions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_proportions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_aware_search.dir/energy_aware_search.cpp.o"
+  "CMakeFiles/energy_aware_search.dir/energy_aware_search.cpp.o.d"
+  "energy_aware_search"
+  "energy_aware_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_aware_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_platform_search.dir/multi_platform_search.cpp.o"
+  "CMakeFiles/multi_platform_search.dir/multi_platform_search.cpp.o.d"
+  "multi_platform_search"
+  "multi_platform_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_platform_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_playground.dir/predictor_playground.cpp.o"
+  "CMakeFiles/predictor_playground.dir/predictor_playground.cpp.o.d"
+  "predictor_playground"
+  "predictor_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

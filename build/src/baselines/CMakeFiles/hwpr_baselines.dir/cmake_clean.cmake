@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_baselines.dir/brpnas.cc.o"
+  "CMakeFiles/hwpr_baselines.dir/brpnas.cc.o.d"
+  "CMakeFiles/hwpr_baselines.dir/gates.cc.o"
+  "CMakeFiles/hwpr_baselines.dir/gates.cc.o.d"
+  "CMakeFiles/hwpr_baselines.dir/lut.cc.o"
+  "CMakeFiles/hwpr_baselines.dir/lut.cc.o.d"
+  "libhwpr_baselines.a"
+  "libhwpr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

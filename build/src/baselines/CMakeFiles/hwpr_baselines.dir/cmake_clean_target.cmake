@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhwpr_baselines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_common.dir/csv.cc.o"
+  "CMakeFiles/hwpr_common.dir/csv.cc.o.d"
+  "CMakeFiles/hwpr_common.dir/matrix.cc.o"
+  "CMakeFiles/hwpr_common.dir/matrix.cc.o.d"
+  "CMakeFiles/hwpr_common.dir/serialize.cc.o"
+  "CMakeFiles/hwpr_common.dir/serialize.cc.o.d"
+  "CMakeFiles/hwpr_common.dir/stats.cc.o"
+  "CMakeFiles/hwpr_common.dir/stats.cc.o.d"
+  "CMakeFiles/hwpr_common.dir/table.cc.o"
+  "CMakeFiles/hwpr_common.dir/table.cc.o.d"
+  "libhwpr_common.a"
+  "libhwpr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_core.dir/encoding.cc.o"
+  "CMakeFiles/hwpr_core.dir/encoding.cc.o.d"
+  "CMakeFiles/hwpr_core.dir/hwprnas.cc.o"
+  "CMakeFiles/hwpr_core.dir/hwprnas.cc.o.d"
+  "CMakeFiles/hwpr_core.dir/predictor.cc.o"
+  "CMakeFiles/hwpr_core.dir/predictor.cc.o.d"
+  "CMakeFiles/hwpr_core.dir/scalable.cc.o"
+  "CMakeFiles/hwpr_core.dir/scalable.cc.o.d"
+  "CMakeFiles/hwpr_core.dir/train_util.cc.o"
+  "CMakeFiles/hwpr_core.dir/train_util.cc.o.d"
+  "libhwpr_core.a"
+  "libhwpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

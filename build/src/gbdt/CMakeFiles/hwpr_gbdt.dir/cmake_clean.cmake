@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_gbdt.dir/gbdt.cc.o"
+  "CMakeFiles/hwpr_gbdt.dir/gbdt.cc.o.d"
+  "CMakeFiles/hwpr_gbdt.dir/tree.cc.o"
+  "CMakeFiles/hwpr_gbdt.dir/tree.cc.o.d"
+  "libhwpr_gbdt.a"
+  "libhwpr_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_hw.dir/cost_model.cc.o"
+  "CMakeFiles/hwpr_hw.dir/cost_model.cc.o.d"
+  "CMakeFiles/hwpr_hw.dir/platform.cc.o"
+  "CMakeFiles/hwpr_hw.dir/platform.cc.o.d"
+  "CMakeFiles/hwpr_hw.dir/workload.cc.o"
+  "CMakeFiles/hwpr_hw.dir/workload.cc.o.d"
+  "libhwpr_hw.a"
+  "libhwpr_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nasbench/accuracy.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/accuracy.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/accuracy.cc.o.d"
+  "/root/repo/src/nasbench/analysis.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/analysis.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/analysis.cc.o.d"
+  "/root/repo/src/nasbench/dataset.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/dataset.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/dataset.cc.o.d"
+  "/root/repo/src/nasbench/fbnet.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/fbnet.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/fbnet.cc.o.d"
+  "/root/repo/src/nasbench/features.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/features.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/features.cc.o.d"
+  "/root/repo/src/nasbench/nasbench201.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/nasbench201.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/nasbench201.cc.o.d"
+  "/root/repo/src/nasbench/space.cc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/space.cc.o" "gcc" "src/nasbench/CMakeFiles/hwpr_nasbench.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hwpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hwpr_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_nasbench.dir/accuracy.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/accuracy.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/analysis.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/analysis.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/dataset.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/dataset.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/fbnet.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/fbnet.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/features.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/features.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/nasbench201.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/nasbench201.cc.o.d"
+  "CMakeFiles/hwpr_nasbench.dir/space.cc.o"
+  "CMakeFiles/hwpr_nasbench.dir/space.cc.o.d"
+  "libhwpr_nasbench.a"
+  "libhwpr_nasbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_nasbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

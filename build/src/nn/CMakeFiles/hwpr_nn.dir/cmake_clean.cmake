@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_nn.dir/gcn.cc.o"
+  "CMakeFiles/hwpr_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/hwpr_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/layers.cc.o"
+  "CMakeFiles/hwpr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/loss.cc.o"
+  "CMakeFiles/hwpr_nn.dir/loss.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/lstm.cc.o"
+  "CMakeFiles/hwpr_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/optim.cc.o"
+  "CMakeFiles/hwpr_nn.dir/optim.cc.o.d"
+  "CMakeFiles/hwpr_nn.dir/tensor.cc.o"
+  "CMakeFiles/hwpr_nn.dir/tensor.cc.o.d"
+  "libhwpr_nn.a"
+  "libhwpr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_pareto.dir/pareto.cc.o"
+  "CMakeFiles/hwpr_pareto.dir/pareto.cc.o.d"
+  "libhwpr_pareto.a"
+  "libhwpr_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/aging.cc" "src/search/CMakeFiles/hwpr_search.dir/aging.cc.o" "gcc" "src/search/CMakeFiles/hwpr_search.dir/aging.cc.o.d"
+  "/root/repo/src/search/domain.cc" "src/search/CMakeFiles/hwpr_search.dir/domain.cc.o" "gcc" "src/search/CMakeFiles/hwpr_search.dir/domain.cc.o.d"
+  "/root/repo/src/search/evaluator.cc" "src/search/CMakeFiles/hwpr_search.dir/evaluator.cc.o" "gcc" "src/search/CMakeFiles/hwpr_search.dir/evaluator.cc.o.d"
+  "/root/repo/src/search/moea.cc" "src/search/CMakeFiles/hwpr_search.dir/moea.cc.o" "gcc" "src/search/CMakeFiles/hwpr_search.dir/moea.cc.o.d"
+  "/root/repo/src/search/report.cc" "src/search/CMakeFiles/hwpr_search.dir/report.cc.o" "gcc" "src/search/CMakeFiles/hwpr_search.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hwpr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nasbench/CMakeFiles/hwpr_nasbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/hwpr_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hwpr_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr_search.dir/aging.cc.o"
+  "CMakeFiles/hwpr_search.dir/aging.cc.o.d"
+  "CMakeFiles/hwpr_search.dir/domain.cc.o"
+  "CMakeFiles/hwpr_search.dir/domain.cc.o.d"
+  "CMakeFiles/hwpr_search.dir/evaluator.cc.o"
+  "CMakeFiles/hwpr_search.dir/evaluator.cc.o.d"
+  "CMakeFiles/hwpr_search.dir/moea.cc.o"
+  "CMakeFiles/hwpr_search.dir/moea.cc.o.d"
+  "CMakeFiles/hwpr_search.dir/report.cc.o"
+  "CMakeFiles/hwpr_search.dir/report.cc.o.d"
+  "libhwpr_search.a"
+  "libhwpr_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

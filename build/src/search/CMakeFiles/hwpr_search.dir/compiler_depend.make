@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hwpr_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_extra.dir/test_hw_extra.cc.o"
+  "CMakeFiles/test_hw_extra.dir/test_hw_extra.cc.o.d"
+  "test_hw_extra"
+  "test_hw_extra.pdb"
+  "test_hw_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

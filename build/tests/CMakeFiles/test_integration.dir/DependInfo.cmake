@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hwpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hwpr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hwpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/hwpr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/hwpr_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/nasbench/CMakeFiles/hwpr_nasbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hwpr_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/hwpr_pareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hwpr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nasbench.dir/test_nasbench.cc.o"
+  "CMakeFiles/test_nasbench.dir/test_nasbench.cc.o.d"
+  "test_nasbench"
+  "test_nasbench.pdb"
+  "test_nasbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nasbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

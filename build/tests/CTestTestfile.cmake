@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_models[1]_include.cmake")
+include("/root/repo/build/tests/test_gbdt[1]_include.cmake")
+include("/root/repo/build/tests/test_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_nasbench[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_search[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_argparse[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_extra[1]_include.cmake")

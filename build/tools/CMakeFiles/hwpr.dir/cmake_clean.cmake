@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwpr.dir/hwpr.cc.o"
+  "CMakeFiles/hwpr.dir/hwpr.cc.o.d"
+  "hwpr"
+  "hwpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
