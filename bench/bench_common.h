@@ -234,57 +234,28 @@ trainSurrogates(const Budget &b, nasbench::DatasetId dataset,
     return bundle;
 }
 
-/** Score evaluator over a trained HW-PR-NAS. */
-inline search::ParetoScoreEvaluator
+/** Batched score evaluator over a trained HW-PR-NAS. */
+inline core::SurrogateEvaluator
 hwprEvaluator(const SurrogateBundle &bundle)
 {
-    const core::HwPrNas *model = bundle.hwpr.get();
-    return search::ParetoScoreEvaluator(
-        "HW-PR-NAS",
-        [model](const std::vector<nasbench::Architecture> &archs) {
-            return model->scores(archs);
-        },
-        /*one model call per arch*/ bundle.unitCallSeconds);
+    return core::SurrogateEvaluator(
+        *bundle.hwpr, /*one model call per arch*/ bundle.unitCallSeconds);
 }
 
-/** Vector evaluator over BRP-NAS (two model calls per arch). */
-inline search::VectorSurrogateEvaluator
+/** Batched vector evaluator over BRP-NAS (two model calls per arch). */
+inline core::SurrogateEvaluator
 brpEvaluator(const SurrogateBundle &bundle)
 {
-    return search::VectorSurrogateEvaluator(
-        "BRP-NAS",
-        {[m = bundle.brp.get()](
-             const std::vector<nasbench::Architecture> &archs) {
-             std::vector<double> acc = m->predictAccuracy(archs);
-             for (double &v : acc)
-                 v = 100.0 - v;
-             return acc;
-         },
-         [m = bundle.brp.get()](
-             const std::vector<nasbench::Architecture> &archs) {
-             return m->predictLatency(archs);
-         }},
-        2.0 * bundle.unitCallSeconds);
+    return core::SurrogateEvaluator(*bundle.brp,
+                                    2.0 * bundle.unitCallSeconds);
 }
 
-/** Vector evaluator over GATES (two model calls per arch). */
-inline search::VectorSurrogateEvaluator
+/** Batched vector evaluator over GATES (two model calls per arch). */
+inline core::SurrogateEvaluator
 gatesEvaluator(const SurrogateBundle &bundle)
 {
-    return search::VectorSurrogateEvaluator(
-        "GATES",
-        {[m = bundle.gates.get()](
-             const std::vector<nasbench::Architecture> &archs) {
-             std::vector<double> s = m->accuracyScores(archs);
-             for (double &v : s)
-                 v = -v;
-             return s;
-         },
-         [m = bundle.gates.get()](
-             const std::vector<nasbench::Architecture> &archs) {
-             return m->latencyScores(archs);
-         }},
-        2.0 * bundle.unitCallSeconds);
+    return core::SurrogateEvaluator(*bundle.gates,
+                                    2.0 * bundle.unitCallSeconds);
 }
 
 /**

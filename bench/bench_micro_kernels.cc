@@ -3,14 +3,27 @@
  * Micro-benchmarks (google-benchmark) for the kernels every
  * experiment leans on: matrix multiply, non-dominated sorting,
  * hypervolume, Kendall tau, the hardware cost model, architecture
- * encoders, and the listwise loss.
+ * encoders, the listwise loss, and the batched inference paths.
+ *
+ * Besides the google-benchmark suite, `--batch-json[=FILE]` runs a
+ * fixed grid of batched-forward and parallel-GEMM measurements (batch
+ * 1/32/256/1024 x threads 1/2/N) and writes them as JSON (default
+ * BENCH_batch.json) so the batching/threading speedup is tracked
+ * across PRs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
 #include "common/stats.h"
+#include "common/threadpool.h"
 #include "core/encoding.h"
 #include "nasbench/dataset.h"
+#include "nn/layers.h"
 #include "nn/loss.h"
 #include "pareto/pareto.h"
 
@@ -165,6 +178,168 @@ BM_ListMleLossBackward(benchmark::State &state)
 }
 BENCHMARK(BM_ListMleLossBackward);
 
+// ---------------------------------------------------------------------
+// Batched-forward / parallel-GEMM cases (the execution substrate the
+// unified Surrogate interface runs on).
+// ---------------------------------------------------------------------
+
+/** A surrogate-head-sized MLP shared by the batched-forward cases. */
+const nn::Mlp &
+benchMlp()
+{
+    static Rng rng(10);
+    static const nn::Mlp mlp = [] {
+        nn::MlpConfig cfg;
+        cfg.inDim = 96;
+        cfg.hidden = {64, 32};
+        cfg.outDim = 1;
+        return nn::Mlp(cfg, rng);
+    }();
+    return mlp;
+}
+
+void
+BM_MlpPredictBatch(benchmark::State &state)
+{
+    const std::size_t batch = std::size_t(state.range(0));
+    Rng rng(11);
+    const Matrix x = randomMatrix(batch, benchMlp().config().inDim, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(benchMlp().predictBatch(x));
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(batch));
+}
+BENCHMARK(BM_MlpPredictBatch)->Arg(1)->Arg(32)->Arg(256)->Arg(1024);
+
+void
+BM_GemmThreads(benchmark::State &state)
+{
+    // One 256^3 GEMM, which is above the parallel threshold, at an
+    // explicit global pool size. google-benchmark runs all cases in
+    // one process, so the pool is restored afterwards.
+    const std::size_t threads = std::size_t(state.range(0));
+    const std::size_t before = ExecContext::global().threads();
+    ExecContext::setGlobalThreads(threads);
+    Rng rng(12);
+    const std::size_t n = 256;
+    const Matrix a = randomMatrix(n, n, rng);
+    const Matrix b = randomMatrix(n, n, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.matmul(b));
+    state.SetItemsProcessed(int64_t(state.iterations()) * n * n * n);
+    ExecContext::setGlobalThreads(before);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// ---------------------------------------------------------------------
+// --batch-json mode: fixed measurement grid, machine-readable output
+// ---------------------------------------------------------------------
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Seconds per call of @p fn, repeated until ~0.2 s have elapsed. */
+template <class Fn>
+double
+secondsPerCall(const Fn &fn)
+{
+    fn(); // warm-up
+    std::size_t reps = 1;
+    for (;;) {
+        const double t0 = wallSeconds();
+        for (std::size_t i = 0; i < reps; ++i)
+            fn();
+        const double dt = wallSeconds() - t0;
+        if (dt >= 0.2)
+            return dt / double(reps);
+        reps = dt <= 1e-4 ? reps * 16 : reps * 2;
+    }
+}
+
+int
+emitBatchJson(const std::string &path)
+{
+    const std::size_t hw = ExecContext::global().threads();
+    std::vector<std::size_t> thread_counts = {1, 2};
+    if (hw > 2)
+        thread_counts.push_back(hw);
+    const std::vector<std::size_t> batches = {1, 32, 256, 1024};
+    const std::size_t before = hw;
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot write " << path << "\n";
+        return 1;
+    }
+    out << "{\n  \"bench\": \"bench_micro_kernels --batch-json\",\n"
+        << "  \"hardware_threads\": " << hw << ",\n"
+        << "  \"cases\": [";
+
+    bool first = true;
+    auto emit = [&](const std::string &kernel, std::size_t batch,
+                    std::size_t threads, double ops_per_sec) {
+        out << (first ? "" : ",") << "\n    {\"kernel\": \"" << kernel
+            << "\", \"batch\": " << batch
+            << ", \"threads\": " << threads
+            << ", \"ops_per_sec\": " << ops_per_sec << "}";
+        first = false;
+        std::cout << kernel << " batch=" << batch
+                  << " threads=" << threads << ": " << ops_per_sec
+                  << " ops/s\n";
+    };
+
+    Rng rng(13);
+    for (std::size_t threads : thread_counts) {
+        ExecContext::setGlobalThreads(threads);
+        // Batched MLP forward: ops/sec = architectures (rows) per
+        // second through the surrogate head.
+        for (std::size_t batch : batches) {
+            const Matrix x =
+                randomMatrix(batch, benchMlp().config().inDim, rng);
+            const double spc = secondsPerCall(
+                [&] { benchmark::DoNotOptimize(
+                          benchMlp().predictBatch(x)); });
+            emit("mlp_predict_batch", batch, threads,
+                 double(batch) / spc);
+        }
+        // Parallel GEMM: ops/sec = multiply-accumulate ops per second
+        // of one n^3 product per "batch" row count.
+        const std::size_t n = 256;
+        const Matrix a = randomMatrix(n, n, rng);
+        const Matrix b = randomMatrix(n, n, rng);
+        const double spc = secondsPerCall(
+            [&] { benchmark::DoNotOptimize(a.matmul(b)); });
+        emit("gemm_256", n, threads, double(n) * n * n / spc);
+    }
+    ExecContext::setGlobalThreads(before);
+
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--batch-json", 0) == 0) {
+            const auto eq = arg.find('=');
+            return emitBatchJson(eq == std::string::npos
+                                     ? "BENCH_batch.json"
+                                     : arg.substr(eq + 1));
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

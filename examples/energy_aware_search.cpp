@@ -12,6 +12,7 @@
 #include "common/table.h"
 #include "core/scalable.h"
 #include "pareto/pareto.h"
+#include "core/surrogate.h"
 #include "search/moea.h"
 #include "search/surrogate_evaluator.h"
 
@@ -45,11 +46,7 @@ main()
               << std::endl;
     model.addEnergyObjective(data.select(data.trainIdx), 5, 1e-3);
 
-    search::ParetoScoreEvaluator eval(
-        "HW-PR-NAS-scalable",
-        [&model](const std::vector<nasbench::Architecture> &a) {
-            return model.scores(a);
-        });
+    core::SurrogateEvaluator eval(model);
     search::MoeaConfig mc;
     mc.populationSize = 50;
     mc.maxGenerations = 25;

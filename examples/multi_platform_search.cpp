@@ -11,6 +11,7 @@
 
 #include "common/table.h"
 #include "core/hwprnas.h"
+#include "core/surrogate.h"
 #include "search/moea.h"
 #include "search/report.h"
 #include "search/surrogate_evaluator.h"
@@ -69,11 +70,7 @@ main()
         model.train(data.select(data.trainIdx),
                     data.select(data.valIdx), platform, tc);
 
-        search::ParetoScoreEvaluator eval(
-            "HW-PR-NAS",
-            [&model](const std::vector<nasbench::Architecture> &a) {
-                return model.scores(a);
-            });
+        core::SurrogateEvaluator eval(model);
         search::MoeaConfig sc;
         sc.populationSize = 50;
         sc.maxGenerations = 25;

@@ -14,6 +14,7 @@
 #include "common/table.h"
 #include "core/hwprnas.h"
 #include "pareto/pareto.h"
+#include "core/surrogate.h"
 #include "search/moea.h"
 #include "search/report.h"
 #include "search/surrogate_evaluator.h"
@@ -86,11 +87,7 @@ main()
               << std::endl;
 
     // 5. Search with the surrogate as the fitness function.
-    search::ParetoScoreEvaluator evaluator(
-        "HW-PR-NAS",
-        [&model](const std::vector<nasbench::Architecture> &archs) {
-            return model.scores(archs);
-        });
+    core::SurrogateEvaluator evaluator(model);
     search::MoeaConfig mc;
     mc.populationSize = 60;
     mc.maxGenerations = 30;

@@ -48,9 +48,16 @@ BrpNas::train(const std::vector<const nasbench::ArchRecord *> &train,
         lat_cfg);
 }
 
+void
+BrpNas::fit(const core::SurrogateDataset &data, ExecContext &ctx)
+{
+    seed_ = ctx.seed;
+    train(data.train, data.val, data.platform);
+}
+
 std::vector<double>
 BrpNas::predictAccuracy(
-    const std::vector<nasbench::Architecture> &a) const
+    std::span<const nasbench::Architecture> a) const
 {
     HWPR_CHECK(accuracy_, "predictAccuracy() before train()");
     return accuracy_->predict(a);
@@ -58,7 +65,7 @@ BrpNas::predictAccuracy(
 
 std::vector<double>
 BrpNas::predictLatency(
-    const std::vector<nasbench::Architecture> &a) const
+    std::span<const nasbench::Architecture> a) const
 {
     HWPR_CHECK(latency_, "predictLatency() before train()");
     std::vector<double> out = latency_->predict(a);
@@ -67,23 +74,25 @@ BrpNas::predictLatency(
     return out;
 }
 
-search::VectorSurrogateEvaluator
+Matrix
+BrpNas::objectivesBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    const std::vector<double> acc = predictAccuracy(archs);
+    const std::vector<double> lat = predictLatency(archs);
+    Matrix out(archs.size(), 2);
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        out(i, 0) = 100.0 - acc[i];
+        out(i, 1) = lat[i];
+    }
+    return out;
+}
+
+core::SurrogateEvaluator
 BrpNas::evaluator() const
 {
     HWPR_CHECK(accuracy_ && latency_, "evaluator() before train()");
-    return search::VectorSurrogateEvaluator(
-        "BRP-NAS",
-        {
-            [this](const std::vector<nasbench::Architecture> &archs) {
-                std::vector<double> acc = predictAccuracy(archs);
-                for (double &v : acc)
-                    v = 100.0 - v;
-                return acc;
-            },
-            [this](const std::vector<nasbench::Architecture> &archs) {
-                return predictLatency(archs);
-            },
-        });
+    return core::SurrogateEvaluator(*this);
 }
 
 } // namespace hwpr::baselines

@@ -12,19 +12,39 @@
 #define HWPR_BASELINES_BRPNAS_H
 
 #include <memory>
+#include <span>
 
 #include "core/predictor.h"
-#include "search/surrogate_evaluator.h"
+#include "core/surrogate.h"
 
 namespace hwpr::baselines
 {
 
 /** Two-surrogate BRP-NAS baseline. */
-class BrpNas
+class BrpNas : public core::Surrogate
 {
   public:
     BrpNas(const core::EncoderConfig &enc_cfg,
            nasbench::DatasetId dataset, std::uint64_t seed);
+
+    // Surrogate interface -------------------------------------------
+
+    std::string name() const override { return "BRP-NAS"; }
+    search::EvalKind evalKind() const override
+    {
+        return search::EvalKind::ObjectiveVector;
+    }
+    std::size_t numObjectives() const override { return 2; }
+
+    /** Reseed from @p ctx and train both predictors. */
+    void fit(const core::SurrogateDataset &data,
+             ExecContext &ctx) override;
+
+    /** (100 - predicted accuracy %, predicted latency ms) rows. */
+    Matrix objectivesBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    // ---------------------------------------------------------------
 
     /**
      * Train both predictors. Accuracy uses GCN encoding with the
@@ -38,15 +58,15 @@ class BrpNas
                const core::PredictorTrainConfig &base_cfg = {});
 
     std::vector<double>
-    predictAccuracy(const std::vector<nasbench::Architecture> &a) const;
+    predictAccuracy(std::span<const nasbench::Architecture> a) const;
     std::vector<double>
-    predictLatency(const std::vector<nasbench::Architecture> &a) const;
+    predictLatency(std::span<const nasbench::Architecture> a) const;
 
     /**
      * Objective-vector evaluator (100 - predicted accuracy, predicted
      * latency). The BrpNas object must outlive the evaluator.
      */
-    search::VectorSurrogateEvaluator evaluator() const;
+    core::SurrogateEvaluator evaluator() const;
 
     hw::PlatformId platform() const { return platform_; }
 

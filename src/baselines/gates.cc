@@ -43,38 +43,46 @@ Gates::train(const std::vector<const nasbench::ArchRecord *> &train,
         cfg);
 }
 
+void
+Gates::fit(const core::SurrogateDataset &data, ExecContext &ctx)
+{
+    seed_ = ctx.seed;
+    train(data.train, data.val, data.platform);
+}
+
 std::vector<double>
-Gates::accuracyScores(
-    const std::vector<nasbench::Architecture> &a) const
+Gates::accuracyScores(std::span<const nasbench::Architecture> a) const
 {
     HWPR_CHECK(accuracy_, "accuracyScores() before train()");
     return accuracy_->predict(a);
 }
 
 std::vector<double>
-Gates::latencyScores(const std::vector<nasbench::Architecture> &a) const
+Gates::latencyScores(std::span<const nasbench::Architecture> a) const
 {
     HWPR_CHECK(latency_, "latencyScores() before train()");
     return latency_->predict(a);
 }
 
-search::VectorSurrogateEvaluator
+Matrix
+Gates::objectivesBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    const std::vector<double> acc = accuracyScores(archs);
+    const std::vector<double> lat = latencyScores(archs);
+    Matrix out(archs.size(), 2);
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        out(i, 0) = -acc[i]; // maximize accuracy score
+        out(i, 1) = lat[i];
+    }
+    return out;
+}
+
+core::SurrogateEvaluator
 Gates::evaluator() const
 {
     HWPR_CHECK(accuracy_ && latency_, "evaluator() before train()");
-    return search::VectorSurrogateEvaluator(
-        "GATES",
-        {
-            [this](const std::vector<nasbench::Architecture> &archs) {
-                std::vector<double> s = accuracyScores(archs);
-                for (double &v : s)
-                    v = -v; // maximize accuracy score
-                return s;
-            },
-            [this](const std::vector<nasbench::Architecture> &archs) {
-                return latencyScores(archs);
-            },
-        });
+    return core::SurrogateEvaluator(*this);
 }
 
 } // namespace hwpr::baselines

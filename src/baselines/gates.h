@@ -11,19 +11,39 @@
 #define HWPR_BASELINES_GATES_H
 
 #include <memory>
+#include <span>
 
 #include "core/predictor.h"
-#include "search/surrogate_evaluator.h"
+#include "core/surrogate.h"
 
 namespace hwpr::baselines
 {
 
 /** Pairwise-ranking GCN baseline. */
-class Gates
+class Gates : public core::Surrogate
 {
   public:
     Gates(const core::EncoderConfig &enc_cfg,
           nasbench::DatasetId dataset, std::uint64_t seed);
+
+    // Surrogate interface -------------------------------------------
+
+    std::string name() const override { return "GATES"; }
+    search::EvalKind evalKind() const override
+    {
+        return search::EvalKind::ObjectiveVector;
+    }
+    std::size_t numObjectives() const override { return 2; }
+
+    /** Reseed from @p ctx and train both ranking predictors. */
+    void fit(const core::SurrogateDataset &data,
+             ExecContext &ctx) override;
+
+    /** (-accuracy score, latency score) rows, both minimized. */
+    Matrix objectivesBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    // ---------------------------------------------------------------
 
     /** Train the accuracy and latency ranking predictors. */
     void train(const std::vector<const nasbench::ArchRecord *> &train,
@@ -33,18 +53,18 @@ class Gates
 
     /** Accuracy ranking scores (higher = more accurate). */
     std::vector<double>
-    accuracyScores(const std::vector<nasbench::Architecture> &a) const;
+    accuracyScores(std::span<const nasbench::Architecture> a) const;
 
     /** Latency ranking scores (higher = slower). */
     std::vector<double>
-    latencyScores(const std::vector<nasbench::Architecture> &a) const;
+    latencyScores(std::span<const nasbench::Architecture> a) const;
 
     /**
      * Objective-vector evaluator (-accuracy score, latency score);
      * both objectives are minimized by the search. The Gates object
      * must outlive the evaluator.
      */
-    search::VectorSurrogateEvaluator evaluator() const;
+    core::SurrogateEvaluator evaluator() const;
 
     hw::PlatformId platform() const { return platform_; }
 

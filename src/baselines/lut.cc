@@ -1,5 +1,6 @@
 #include "baselines/lut.h"
 
+#include "common/logging.h"
 #include "nasbench/space.h"
 
 namespace hwpr::baselines
@@ -67,12 +68,34 @@ LatencyLut::estimateMs(const nasbench::Architecture &arch) const
 
 std::vector<double>
 LatencyLut::estimate(
-    const std::vector<nasbench::Architecture> &archs) const
+    std::span<const nasbench::Architecture> archs) const
 {
     std::vector<double> out;
     out.reserve(archs.size());
     for (const auto &arch : archs)
         out.push_back(estimateMs(arch));
+    return out;
+}
+
+void
+LatencyLut::fit(const core::SurrogateDataset &data, ExecContext &)
+{
+    HWPR_CHECK(data.platform == platform_,
+               "LUT built for a different platform");
+    std::vector<nasbench::Architecture> calibration;
+    calibration.reserve(data.train.size());
+    for (const auto *rec : data.train)
+        calibration.push_back(rec->arch);
+    build(calibration);
+}
+
+Matrix
+LatencyLut::objectivesBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    Matrix out(archs.size(), 1);
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out(i, 0) = estimateMs(archs[i]);
     return out;
 }
 

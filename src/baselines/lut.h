@@ -17,8 +17,10 @@
 #ifndef HWPR_BASELINES_LUT_H
 #define HWPR_BASELINES_LUT_H
 
+#include <span>
 #include <unordered_map>
 
+#include "core/surrogate.h"
 #include "hw/cost_model.h"
 #include "nasbench/dataset.h"
 
@@ -26,10 +28,35 @@ namespace hwpr::baselines
 {
 
 /** Layer-wise latency lookup table for one platform. */
-class LatencyLut
+class LatencyLut : public core::Surrogate
 {
   public:
     LatencyLut(nasbench::DatasetId dataset, hw::PlatformId platform);
+
+    // Surrogate interface -------------------------------------------
+
+    std::string name() const override { return "LUT"; }
+    search::EvalKind evalKind() const override
+    {
+        return search::EvalKind::ObjectiveVector;
+    }
+    std::size_t numObjectives() const override { return 1; }
+
+    /**
+     * Profile every operator of the training architectures. The
+     * dataset's platform must match the one the LUT was built for.
+     */
+    void fit(const core::SurrogateDataset &data,
+             ExecContext &ctx) override;
+
+    /**
+     * (estimated latency ms) rows. Kept serial: on-demand profiling
+     * memoizes into the shared table.
+     */
+    Matrix objectivesBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    // ---------------------------------------------------------------
 
     /**
      * Pre-profile every operator appearing in a calibration set of
@@ -46,7 +73,7 @@ class LatencyLut
 
     /** Batch variant of estimateMs. */
     std::vector<double>
-    estimate(const std::vector<nasbench::Architecture> &archs) const;
+    estimate(std::span<const nasbench::Architecture> archs) const;
 
     /** Number of distinct operator signatures profiled so far. */
     std::size_t numEntries() const { return table_.size(); }

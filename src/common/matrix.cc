@@ -2,8 +2,34 @@
 
 #include <cmath>
 
+#include "common/threadpool.h"
+
 namespace hwpr
 {
+
+namespace
+{
+
+/**
+ * Minimum flop count before a GEMM fans out to the global pool, and
+ * the per-chunk flop budget once it does. Chunks are whole output
+ * rows, each computed serially, so results are bit-identical at every
+ * thread count.
+ */
+constexpr std::size_t kGemmParallelFlops = std::size_t(1) << 16;
+constexpr std::size_t kGemmGrainFlops = std::size_t(1) << 15;
+
+/** Elementwise-op threshold / grain (elements). */
+constexpr std::size_t kMapParallelSize = std::size_t(1) << 15;
+
+std::size_t
+rowGrain(std::size_t flops_per_row)
+{
+    return std::max<std::size_t>(
+        1, kGemmGrainFlops / std::max<std::size_t>(1, flops_per_row));
+}
+
+} // namespace
 
 Matrix &
 Matrix::operator+=(const Matrix &o)
@@ -75,18 +101,26 @@ Matrix::matmul(const Matrix &o) const
                 " vs ", o.rows_);
     Matrix r(rows_, o.cols_);
     const std::size_t n = o.cols_;
-    for (std::size_t i = 0; i < rows_; ++i) {
-        const double *arow = &data_[i * cols_];
-        double *rrow = &r.data_[i * n];
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double a = arow[k];
-            if (a == 0.0)
-                continue;
-            const double *brow = &o.data_[k * n];
-            for (std::size_t j = 0; j < n; ++j)
-                rrow[j] += a * brow[j];
+    auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const double *arow = &data_[i * cols_];
+            double *rrow = &r.data_[i * n];
+            for (std::size_t k = 0; k < cols_; ++k) {
+                const double a = arow[k];
+                if (a == 0.0)
+                    continue;
+                const double *brow = &o.data_[k * n];
+                for (std::size_t j = 0; j < n; ++j)
+                    rrow[j] += a * brow[j];
+            }
         }
-    }
+    };
+    const std::size_t flops_per_row = cols_ * n;
+    if (rows_ * flops_per_row < kGemmParallelFlops)
+        rows_kernel(0, rows_);
+    else
+        ExecContext::global().pool->parallelFor(
+            0, rows_, rowGrain(flops_per_row), rows_kernel);
     return r;
 }
 
@@ -97,18 +131,42 @@ Matrix::transposedMatmul(const Matrix &o) const
     HWPR_ASSERT(rows_ == o.rows_, "transposedMatmul row mismatch");
     Matrix r(cols_, o.cols_);
     const std::size_t n = o.cols_;
-    for (std::size_t k = 0; k < rows_; ++k) {
-        const double *arow = &data_[k * cols_];
-        const double *brow = &o.data_[k * n];
-        for (std::size_t i = 0; i < cols_; ++i) {
-            const double a = arow[i];
-            if (a == 0.0)
-                continue;
-            double *rrow = &r.data_[i * n];
-            for (std::size_t j = 0; j < n; ++j)
-                rrow[j] += a * brow[j];
+    const std::size_t flops_per_row = rows_ * n;
+    if (cols_ * flops_per_row < kGemmParallelFlops) {
+        // Serial fast path: k-outer streams both operands.
+        for (std::size_t k = 0; k < rows_; ++k) {
+            const double *arow = &data_[k * cols_];
+            const double *brow = &o.data_[k * n];
+            for (std::size_t i = 0; i < cols_; ++i) {
+                const double a = arow[i];
+                if (a == 0.0)
+                    continue;
+                double *rrow = &r.data_[i * n];
+                for (std::size_t j = 0; j < n; ++j)
+                    rrow[j] += a * brow[j];
+            }
         }
+        return r;
     }
+    // Parallel path: each chunk owns whole output rows, accumulating
+    // over k in the same ascending order as the serial path so the
+    // floating-point result is identical.
+    ExecContext::global().pool->parallelFor(
+        0, cols_, rowGrain(flops_per_row),
+        [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t k = 0; k < rows_; ++k) {
+                const double *arow = &data_[k * cols_];
+                const double *brow = &o.data_[k * n];
+                for (std::size_t i = i0; i < i1; ++i) {
+                    const double a = arow[i];
+                    if (a == 0.0)
+                        continue;
+                    double *rrow = &r.data_[i * n];
+                    for (std::size_t j = 0; j < n; ++j)
+                        rrow[j] += a * brow[j];
+                }
+            }
+        });
     return r;
 }
 
@@ -118,16 +176,24 @@ Matrix::matmulTransposed(const Matrix &o) const
     // (this * o^T): this is (m x k), o is (n x k), result (m x n).
     HWPR_ASSERT(cols_ == o.cols_, "matmulTransposed col mismatch");
     Matrix r(rows_, o.rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-        const double *arow = &data_[i * cols_];
-        for (std::size_t j = 0; j < o.rows_; ++j) {
-            const double *brow = &o.data_[j * cols_];
-            double acc = 0.0;
-            for (std::size_t k = 0; k < cols_; ++k)
-                acc += arow[k] * brow[k];
-            r.data_[i * o.rows_ + j] = acc;
+    auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+            const double *arow = &data_[i * cols_];
+            for (std::size_t j = 0; j < o.rows_; ++j) {
+                const double *brow = &o.data_[j * cols_];
+                double acc = 0.0;
+                for (std::size_t k = 0; k < cols_; ++k)
+                    acc += arow[k] * brow[k];
+                r.data_[i * o.rows_ + j] = acc;
+            }
         }
-    }
+    };
+    const std::size_t flops_per_row = cols_ * o.rows_;
+    if (rows_ * flops_per_row < kGemmParallelFlops)
+        rows_kernel(0, rows_);
+    else
+        ExecContext::global().pool->parallelFor(
+            0, rows_, rowGrain(flops_per_row), rows_kernel);
     return r;
 }
 
@@ -145,8 +211,17 @@ Matrix
 Matrix::map(const std::function<double(double)> &f) const
 {
     Matrix r = *this;
-    for (double &v : r.data_)
-        v = f(v);
+    if (r.data_.size() < kMapParallelSize) {
+        for (double &v : r.data_)
+            v = f(v);
+        return r;
+    }
+    ExecContext::global().pool->parallelFor(
+        0, r.data_.size(), kMapParallelSize / 4,
+        [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                r.data_[i] = f(r.data_[i]);
+        });
     return r;
 }
 

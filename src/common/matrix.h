@@ -3,8 +3,10 @@
  * Dense row-major matrix of doubles.
  *
  * This is the numeric workhorse under the autodiff engine. The matmul
- * uses an i-k-j loop order so the inner loop streams both operands,
- * which is enough to train the (small) surrogate models in seconds.
+ * uses an i-k-j loop order so the inner loop streams both operands.
+ * Above a flop threshold the GEMMs and map() fan out over the global
+ * ExecContext pool in whole-row chunks whose layout depends only on
+ * the shape, so results are bit-identical at every thread count.
  */
 
 #ifndef HWPR_COMMON_MATRIX_H

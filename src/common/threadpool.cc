@@ -1,0 +1,169 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+
+namespace hwpr
+{
+
+namespace
+{
+
+thread_local bool tl_on_pool_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    HWPR_CHECK(threads >= 1, "thread pool needs at least one thread");
+    for (std::size_t i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tl_on_pool_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_on_pool_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    // Inline when there is nothing to fan out to, the range fits one
+    // chunk, or we are already running inside a pool task (nested
+    // parallelism would deadlock a waiting caller).
+    if (workers_.empty() || n <= g || onWorkerThread()) {
+        fn(begin, end);
+        return;
+    }
+
+    // Chunk layout depends only on (n, g): thread-count invariant.
+    const std::size_t chunks = (n + g - 1) / g;
+
+    struct Sync
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::mutex mu;
+        std::condition_variable cv;
+    };
+    auto sync = std::make_shared<Sync>();
+    auto run_chunks = [sync, begin, end, g, chunks, &fn] {
+        for (;;) {
+            const std::size_t c =
+                sync->next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                break;
+            const std::size_t b = begin + c * g;
+            const std::size_t e = std::min(end, b + g);
+            fn(b, e);
+            if (sync->done.fetch_add(1, std::memory_order_acq_rel) +
+                    1 ==
+                chunks) {
+                std::lock_guard<std::mutex> lock(sync->mu);
+                sync->cv.notify_all();
+            }
+        }
+    };
+
+    // One helper task per worker that could usefully participate; the
+    // tasks self-schedule chunks off the shared counter, so idle
+    // helpers exit immediately.
+    const std::size_t helpers =
+        std::min(workers_.size(), chunks - 1);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            queue_.emplace_back(run_chunks);
+    }
+    cv_.notify_all();
+
+    run_chunks(); // the caller participates
+    std::unique_lock<std::mutex> lock(sync->mu);
+    sync->cv.wait(lock, [&] {
+        return sync->done.load(std::memory_order_acquire) == chunks;
+    });
+}
+
+namespace
+{
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("HWPR_THREADS")) {
+        char *tail = nullptr;
+        const long v = std::strtol(env, &tail, 10);
+        if (tail != env && v >= 1)
+            return std::size_t(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : std::size_t(hc);
+}
+
+std::unique_ptr<ThreadPool> &
+globalPoolSlot()
+{
+    static std::unique_ptr<ThreadPool> pool =
+        std::make_unique<ThreadPool>(defaultThreadCount());
+    return pool;
+}
+
+} // namespace
+
+ExecContext &
+ExecContext::global()
+{
+    static ExecContext ctx{globalPoolSlot().get(), 0};
+    return ctx;
+}
+
+void
+ExecContext::setGlobalThreads(std::size_t threads)
+{
+    auto &slot = globalPoolSlot();
+    slot = std::make_unique<ThreadPool>(
+        threads == 0 ? 1 : threads);
+    global().pool = slot.get();
+}
+
+} // namespace hwpr

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fixed-size thread pool and the shared execution context.
+ *
+ * The pool is deliberately simple: no work stealing, one FIFO task
+ * queue, workers parked on a condition variable. Its one structured
+ * primitive, parallelFor(), splits an index range into grain-sized
+ * chunks whose boundaries depend only on the range and the grain —
+ * never on the thread count — so any computation that writes disjoint
+ * outputs per chunk produces bit-identical results at every thread
+ * count. That invariant is what lets HWPR_THREADS=1 and =N searches
+ * report identical hypervolumes for a fixed seed.
+ *
+ * Nested parallelFor() calls (a pool task calling back into the pool,
+ * e.g. a batched surrogate chunk hitting a parallel GEMM) execute
+ * inline on the calling worker, so the pool can never deadlock on
+ * itself.
+ */
+
+#ifndef HWPR_COMMON_THREADPOOL_H
+#define HWPR_COMMON_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwpr
+{
+
+/** Fixed-size worker pool with a chunked parallel-for primitive. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the calling thread;
+     *   a pool of size 1 runs everything inline and spawns nothing.
+     */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the calling thread). */
+    std::size_t numThreads() const { return workers_.size() + 1; }
+
+    /**
+     * Run fn(chunk_begin, chunk_end) over [begin, end) in chunks of at
+     * most @p grain indices. The caller participates and the call
+     * returns only when every chunk has finished. Chunk boundaries are
+     * a pure function of (begin, end, grain): results are independent
+     * of the thread count whenever chunks write disjoint outputs.
+     * Calls from inside a pool task run the whole range inline.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)>
+                         &fn);
+
+    /** True when the calling thread is one of this pool's workers. */
+    static bool onWorkerThread();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * Shared execution context threaded through training and batched
+ * inference: the pool work fans out on, the base RNG seed every
+ * stochastic component derives from, and (via the pool) the thread
+ * count. The process-wide default is sized from the HWPR_THREADS
+ * environment variable, falling back to std::hardware_concurrency,
+ * and can be overridden programmatically (the `tools/hwpr` CLI maps
+ * --threads onto setGlobalThreads()).
+ */
+struct ExecContext
+{
+    /** Pool to fan work out on; never null for a usable context. */
+    ThreadPool *pool = nullptr;
+    /** Base seed all derived RNG streams fork from. */
+    std::uint64_t seed = 0;
+
+    /** Total parallelism of this context. */
+    std::size_t
+    threads() const
+    {
+        return pool ? pool->numThreads() : 1;
+    }
+
+    /** Same pool, different seed. */
+    ExecContext
+    withSeed(std::uint64_t s) const
+    {
+        return ExecContext{pool, s};
+    }
+
+    /**
+     * Process-wide default context (HWPR_THREADS or hardware
+     * concurrency; seed 0). Matrix kernels and the batched surrogate
+     * paths use this pool unless handed another context.
+     */
+    static ExecContext &global();
+
+    /**
+     * Resize the global pool. Must not be called while work is in
+     * flight on the global pool. @p threads is clamped to >= 1.
+     */
+    static void setGlobalThreads(std::size_t threads);
+};
+
+} // namespace hwpr
+
+#endif // HWPR_COMMON_THREADPOOL_H

@@ -150,6 +150,50 @@ ArchEncoder::encode(
     return out;
 }
 
+Matrix
+ArchEncoder::encodeBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    HWPR_CHECK(!archs.empty(), "empty encoding batch");
+    const std::size_t n = archs.size();
+    Matrix out(n, dim_);
+    std::size_t col = 0;
+
+    if (usesAf()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto scaled = scaler_.apply(
+                nasbench::archFeatures(archs[i], dataset_));
+            for (std::size_t j = 0; j < scaled.size(); ++j)
+                out(i, col + j) = scaled[j];
+        }
+        col += nasbench::kNumArchFeatures;
+    }
+    if (usesLstm()) {
+        std::vector<std::vector<std::size_t>> seqs;
+        seqs.reserve(n);
+        for (const auto &a : archs)
+            seqs.push_back(nasbench::spaceFor(a.space).tokenize(a));
+        const Matrix enc = lstm_->encodeBatch(seqs);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < enc.cols(); ++j)
+                out(i, col + j) = enc(i, j);
+        col += lstm_->config().hidden;
+    }
+    if (usesGcn()) {
+        std::vector<nn::GraphInput> graphs;
+        graphs.reserve(n);
+        for (const auto &a : archs)
+            graphs.push_back(graphInput(a));
+        const Matrix enc = gcn_->encodeBatch(graphs);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < enc.cols(); ++j)
+                out(i, col + j) = enc(i, j);
+        col += gcn_->config().hidden;
+    }
+    HWPR_ASSERT(col == dim_, "encoding arena column mismatch");
+    return out;
+}
+
 std::vector<nn::Tensor>
 ArchEncoder::params() const
 {

@@ -19,6 +19,7 @@
 #define HWPR_CORE_ENCODING_H
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,14 @@ class ArchEncoder : public nn::Module
     /** Encode a batch of architectures. */
     nn::Tensor
     encode(const std::vector<nasbench::Architecture> &archs) const;
+
+    /**
+     * Inference-only encoding on raw matrices: the whole batch is
+     * written into a single (n x dim) arena, with each sub-encoding
+     * (AF / LSTM / GCN) filling its column span. No autodiff graph is
+     * recorded; matches encode() bit-for-bit.
+     */
+    Matrix encodeBatch(std::span<const nasbench::Architecture> archs) const;
 
     /** Output dimensionality. */
     std::size_t dim() const { return dim_; }

@@ -393,17 +393,72 @@ HwPrNas::trainMultiPlatform(
     trained_ = true;
 }
 
+HwPrNas::RawForward
+HwPrNas::rawForward(std::span<const nasbench::Architecture> archs,
+                    std::size_t head) const
+{
+    RawForward out;
+    out.score.resize(archs.size());
+    out.accNorm.resize(archs.size());
+    out.latNorm.resize(archs.size());
+    // Chunk size balances pool fan-out against per-chunk encode
+    // overhead; the layout is fixed, so results are identical at any
+    // thread count.
+    constexpr std::size_t kChunk = 16;
+    ExecContext::global().pool->parallelFor(
+        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
+            const std::span<const nasbench::Architecture> sub =
+                archs.subspan(i0, i1 - i0);
+            const Matrix acc =
+                accHead_->predictBatch(accEncoder_->encodeBatch(sub));
+            const Matrix lat = latHeads_[head]->predictBatch(
+                latEncoder_->encodeBatch(sub));
+            const Matrix score =
+                combiner_->predictBatch(Matrix::hconcat(acc, lat));
+            for (std::size_t i = i0; i < i1; ++i) {
+                out.accNorm[i] = acc(i - i0, 0);
+                out.latNorm[i] = lat(i - i0, 0);
+                out.score[i] = score(i - i0, 0);
+            }
+        });
+    return out;
+}
+
+void
+HwPrNas::fit(const SurrogateDataset &data, ExecContext &ctx)
+{
+    rng_ = Rng(ctx.seed);
+    train(data.train, data.val, data.platform, fitConfig_);
+}
+
+std::vector<double>
+HwPrNas::scoreBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    HWPR_CHECK(trained_, "scoreBatch() before train()");
+    return rawForward(archs, headIndex(platform_)).score;
+}
+
+Matrix
+HwPrNas::objectivesBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    HWPR_CHECK(trained_, "objectivesBatch() before train()");
+    const std::size_t head = headIndex(platform_);
+    const RawForward f = rawForward(archs, head);
+    Matrix out(archs.size(), 2);
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        out(i, 0) = 100.0 - accScaler_.denorm(f.accNorm[i]);
+        out(i, 1) =
+            std::exp(latScalers_[head].denorm(f.latNorm[i]));
+    }
+    return out;
+}
+
 std::vector<double>
 HwPrNas::scores(const std::vector<nasbench::Architecture> &archs) const
 {
-    HWPR_CHECK(trained_, "scores() before train()");
-    Rng dummy(0);
-    const Forward f =
-        forward(archs, headIndex(platform_), false, dummy);
-    std::vector<double> out(archs.size());
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = f.score.value()(i, 0);
-    return out;
+    return scoreBatch(archs);
 }
 
 std::vector<double>
@@ -411,13 +466,7 @@ HwPrNas::scoresFor(const std::vector<nasbench::Architecture> &archs,
                    hw::PlatformId platform) const
 {
     HWPR_CHECK(trained_, "scoresFor() before train()");
-    Rng dummy(0);
-    const Forward f =
-        forward(archs, headIndex(platform), false, dummy);
-    std::vector<double> out(archs.size());
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = f.score.value()(i, 0);
-    return out;
+    return rawForward(archs, headIndex(platform)).score;
 }
 
 std::vector<double>
@@ -426,13 +475,11 @@ HwPrNas::predictLatencyFor(
     hw::PlatformId platform) const
 {
     HWPR_CHECK(trained_, "predictLatencyFor() before train()");
-    Rng dummy(0);
-    const Forward f =
-        forward(archs, headIndex(platform), false, dummy);
+    const std::size_t head = headIndex(platform);
+    const RawForward f = rawForward(archs, head);
     std::vector<double> out(archs.size());
     for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = std::exp(latScalers_[headIndex(platform)].denorm(
-            f.latPred.value()(i, 0)));
+        out[i] = std::exp(latScalers_[head].denorm(f.latNorm[i]));
     return out;
 }
 
@@ -441,12 +488,10 @@ HwPrNas::predictAccuracy(
     const std::vector<nasbench::Architecture> &archs) const
 {
     HWPR_CHECK(trained_, "predictAccuracy() before train()");
-    Rng dummy(0);
-    const Forward f =
-        forward(archs, headIndex(platform_), false, dummy);
+    const RawForward f = rawForward(archs, headIndex(platform_));
     std::vector<double> out(archs.size());
     for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = accScaler_.denorm(f.accPred.value()(i, 0));
+        out[i] = accScaler_.denorm(f.accNorm[i]);
     return out;
 }
 
@@ -454,15 +499,7 @@ std::vector<double>
 HwPrNas::predictLatency(
     const std::vector<nasbench::Architecture> &archs) const
 {
-    HWPR_CHECK(trained_, "predictLatency() before train()");
-    Rng dummy(0);
-    const Forward f =
-        forward(archs, headIndex(platform_), false, dummy);
-    std::vector<double> out(archs.size());
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = std::exp(latScalers_[headIndex(platform_)].denorm(
-            f.latPred.value()(i, 0)));
-    return out;
+    return predictLatencyFor(archs, platform_);
 }
 
 namespace

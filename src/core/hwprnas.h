@@ -25,8 +25,10 @@
 
 #include <array>
 #include <memory>
+#include <span>
 
 #include "core/encoding.h"
+#include "core/surrogate.h"
 #include "core/train_util.h"
 #include "hw/platform.h"
 #include "nn/layers.h"
@@ -75,11 +77,40 @@ struct TrainConfig
 };
 
 /** The HW-PR-NAS surrogate model. */
-class HwPrNas
+class HwPrNas : public Surrogate
 {
   public:
     HwPrNas(const HwPrNasConfig &cfg, nasbench::DatasetId dataset,
             std::uint64_t seed);
+
+    // Surrogate interface -------------------------------------------
+
+    std::string name() const override { return "HW-PR-NAS"; }
+    search::EvalKind evalKind() const override
+    {
+        return search::EvalKind::ParetoScore;
+    }
+    std::size_t numObjectives() const override { return 2; }
+
+    /**
+     * Reseed from @p ctx and train on the dataset with fitConfig().
+     * Equal seeds (at any thread count) give identical models.
+     */
+    void fit(const SurrogateDataset &data, ExecContext &ctx) override;
+
+    /** Pareto scores from the active platform head. */
+    std::vector<double> scoreBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    /** (100 - predicted accuracy %, predicted latency ms) rows. */
+    Matrix objectivesBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    /** Training hyperparameters used by fit(). */
+    void setFitConfig(const TrainConfig &cfg) { fitConfig_ = cfg; }
+    const TrainConfig &fitConfig() const { return fitConfig_; }
+
+    // ---------------------------------------------------------------
 
     /**
      * Train on oracle records for one target platform. Records carry
@@ -104,7 +135,12 @@ class HwPrNas
         const std::vector<hw::PlatformId> &platforms,
         const TrainConfig &cfg);
 
-    /** Pareto scores (higher = more dominant) for a batch. */
+    /**
+     * Pareto scores (higher = more dominant) for a batch. All
+     * prediction entry points below route through one batched raw
+     * forward — no autodiff recording — chunked over the ExecContext
+     * pool.
+     */
     std::vector<double>
     scores(const std::vector<nasbench::Architecture> &archs) const;
 
@@ -146,7 +182,7 @@ class HwPrNas
      * parameters) to a binary checkpoint.
      * @return false when the file cannot be written.
      */
-    bool save(const std::string &path) const;
+    bool save(const std::string &path) const override;
 
     /**
      * Restore a model from a checkpoint written by save(). Returns
@@ -165,6 +201,22 @@ class HwPrNas
     Forward forward(const std::vector<nasbench::Architecture> &archs,
                     std::size_t head, bool training, Rng &rng) const;
 
+    /** Normalized per-row outputs of the raw inference forward. */
+    struct RawForward
+    {
+        std::vector<double> score;   ///< combiner output
+        std::vector<double> accNorm; ///< standardized accuracy
+        std::vector<double> latNorm; ///< standardized log-latency
+    };
+
+    /**
+     * Batched inference on raw matrices: encode + heads + combiner
+     * per chunk, chunks fanned out over the ExecContext pool into
+     * disjoint output slots (bit-identical at any thread count).
+     */
+    RawForward rawForward(std::span<const nasbench::Architecture> archs,
+                          std::size_t head) const;
+
     std::size_t headIndex(hw::PlatformId platform) const;
 
     /**
@@ -178,6 +230,7 @@ class HwPrNas
 
     HwPrNasConfig cfg_;
     nasbench::DatasetId dataset_;
+    TrainConfig fitConfig_;
     mutable Rng rng_;
     hw::PlatformId platform_ = hw::PlatformId::EdgeGpu;
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/threadpool.h"
 #include "nasbench/space.h"
 
 namespace hwpr::core
@@ -37,7 +38,7 @@ MetricPredictor::MetricPredictor(EncodingKind encoding,
 
 Matrix
 MetricPredictor::gbdtFeatures(
-    const std::vector<nasbench::Architecture> &archs) const
+    std::span<const nasbench::Architecture> archs) const
 {
     // GBDT input: scaled AF concatenated with the genome as ordinal
     // features padded to the longest genome. (The paper feeds the
@@ -208,18 +209,29 @@ MetricPredictor::train(
 
 std::vector<double>
 MetricPredictor::predict(
-    const std::vector<nasbench::Architecture> &archs) const
+    std::span<const nasbench::Architecture> archs) const
 {
     HWPR_CHECK(trained_, "predict() before train()");
     if (regressor_ != RegressorKind::Mlp) {
-        const Matrix x = gbdtFeatures(archs);
-        return targetScaler_.denormAll(trees_->predict(x));
+        // Tree traversal is parallelized over rows inside
+        // Gbdt::predictBatch.
+        const Matrix p = trees_->predictBatch(gbdtFeatures(archs));
+        std::vector<double> out(archs.size());
+        for (std::size_t i = 0; i < archs.size(); ++i)
+            out[i] = targetScaler_.denorm(p(i, 0));
+        return out;
     }
-    Rng dummy(0);
-    const nn::Tensor pred = forwardNn(archs, false, dummy);
+    // Raw chunked forward: encode + head per chunk, chunks fanned out
+    // over the ExecContext pool into disjoint output slots.
     std::vector<double> out(archs.size());
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = targetScaler_.denorm(pred.value()(i, 0));
+    constexpr std::size_t kChunk = 16;
+    ExecContext::global().pool->parallelFor(
+        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
+            const Matrix pred = head_->predictBatch(
+                encoder_->encodeBatch(archs.subspan(i0, i1 - i0)));
+            for (std::size_t i = i0; i < i1; ++i)
+                out[i] = targetScaler_.denorm(pred(i - i0, 0));
+        });
     return out;
 }
 

@@ -17,6 +17,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "core/encoding.h"
 #include "core/train_util.h"
@@ -84,17 +85,22 @@ class MetricPredictor
                const TargetFn &target,
                const PredictorTrainConfig &cfg);
 
-    /** Predict the metric (denormalized) for a batch. */
+    /**
+     * Predict the metric (denormalized) for a batch. Runs one raw
+     * matrix-level forward per chunk — no autodiff recording — with
+     * chunks fanned out over the ExecContext pool (NN path) or the
+     * tree traversals parallelized over rows (GBDT path).
+     */
     std::vector<double>
-    predict(const std::vector<nasbench::Architecture> &archs) const;
+    predict(std::span<const nasbench::Architecture> archs) const;
 
     RegressorKind regressor() const { return regressor_; }
     EncodingKind encoding() const { return encoding_; }
 
   private:
-    /** Dense feature row for the GBDT regressors. */
+    /** Dense feature rows for the GBDT regressors. */
     Matrix
-    gbdtFeatures(const std::vector<nasbench::Architecture> &archs) const;
+    gbdtFeatures(std::span<const nasbench::Architecture> archs) const;
 
     nn::Tensor forwardNn(const std::vector<nasbench::Architecture> &archs,
                          bool training, Rng &rng) const;

@@ -245,17 +245,35 @@ ScalableHwPrNas::addEnergyObjective(
     energyAware_ = true;
 }
 
+void
+ScalableHwPrNas::fit(const SurrogateDataset &data, ExecContext &ctx)
+{
+    rng_ = Rng(ctx.seed);
+    train(data.train, data.val, data.platform, fitConfig_);
+}
+
+std::vector<double>
+ScalableHwPrNas::scoreBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    HWPR_CHECK(trained_, "scoreBatch() before train()");
+    std::vector<double> out(archs.size());
+    constexpr std::size_t kChunk = 16;
+    ExecContext::global().pool->parallelFor(
+        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
+            const Matrix s = mlp_->predictBatch(
+                encoder_->encodeBatch(archs.subspan(i0, i1 - i0)));
+            for (std::size_t i = i0; i < i1; ++i)
+                out[i] = s(i - i0, 0);
+        });
+    return out;
+}
+
 std::vector<double>
 ScalableHwPrNas::scores(
     const std::vector<nasbench::Architecture> &archs) const
 {
-    HWPR_CHECK(trained_, "scores() before train()");
-    Rng dummy(0);
-    const nn::Tensor s = forward(archs, false, dummy);
-    std::vector<double> out(archs.size());
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out[i] = s.value()(i, 0);
-    return out;
+    return scoreBatch(archs);
 }
 
 } // namespace hwpr::core

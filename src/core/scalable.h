@@ -16,9 +16,11 @@
 #define HWPR_CORE_SCALABLE_H
 
 #include <memory>
+#include <span>
 
 #include "core/encoding.h"
 #include "core/hwprnas.h"
+#include "core/surrogate.h"
 #include "nn/layers.h"
 
 namespace hwpr::core
@@ -32,11 +34,42 @@ struct ScalableConfig
 };
 
 /** Scalable Pareto-score surrogate over any objective set. */
-class ScalableHwPrNas
+class ScalableHwPrNas : public Surrogate
 {
   public:
     ScalableHwPrNas(const ScalableConfig &cfg,
                     nasbench::DatasetId dataset, std::uint64_t seed);
+
+    // Surrogate interface -------------------------------------------
+
+    std::string name() const override { return "Scalable HW-PR-NAS"; }
+    search::EvalKind evalKind() const override
+    {
+        return search::EvalKind::ParetoScore;
+    }
+    std::size_t numObjectives() const override
+    {
+        return energyAware_ ? 3 : 2;
+    }
+
+    /**
+     * Reseed from @p ctx and train on the dataset with fitConfig().
+     * Equal seeds (at any thread count) give identical models.
+     */
+    void fit(const SurrogateDataset &data, ExecContext &ctx) override;
+
+    /**
+     * Pareto scores via one raw matrix-level forward per chunk,
+     * chunks fanned out over the ExecContext pool.
+     */
+    std::vector<double> scoreBatch(
+        std::span<const nasbench::Architecture> archs) const override;
+
+    /** Training hyperparameters used by fit(). */
+    void setFitConfig(const TrainConfig &cfg) { fitConfig_ = cfg; }
+    const TrainConfig &fitConfig() const { return fitConfig_; }
+
+    // ---------------------------------------------------------------
 
     /**
      * Initial training on (accuracy, latency) Pareto ranks, listwise
@@ -65,7 +98,7 @@ class ScalableHwPrNas
     bool trained() const { return trained_; }
 
     /** Serialize the trained model to a binary checkpoint. */
-    bool save(const std::string &path) const;
+    bool save(const std::string &path) const override;
 
     /** Restore from a checkpoint; nullptr on mismatch. */
     static std::unique_ptr<ScalableHwPrNas>
@@ -87,6 +120,7 @@ class ScalableHwPrNas
 
     ScalableConfig cfg_;
     nasbench::DatasetId dataset_;
+    TrainConfig fitConfig_;
     mutable Rng rng_;
     hw::PlatformId platform_ = hw::PlatformId::EdgeGpu;
     std::unique_ptr<ArchEncoder> encoder_;

@@ -1,0 +1,70 @@
+#include "core/surrogate.h"
+
+#include "common/logging.h"
+#include "core/hwprnas.h"
+#include "core/scalable.h"
+
+namespace hwpr::core
+{
+
+std::vector<double>
+Surrogate::scoreBatch(std::span<const nasbench::Architecture> archs) const
+{
+    // Default: negated sum of the minimization objectives — a crude
+    // scalarization that preserves "lower objectives = higher score".
+    const Matrix obj = objectivesBatch(archs);
+    std::vector<double> out(obj.rows());
+    for (std::size_t i = 0; i < obj.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < obj.cols(); ++j)
+            acc += obj(i, j);
+        out[i] = -acc;
+    }
+    return out;
+}
+
+Matrix
+Surrogate::objectivesBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    // Default: a single "negated score" minimization objective.
+    const std::vector<double> s = scoreBatch(archs);
+    Matrix out(s.size(), 1);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        out(i, 0) = -s[i];
+    return out;
+}
+
+std::vector<pareto::Point>
+SurrogateEvaluator::evaluate(
+    const std::vector<nasbench::Architecture> &archs)
+{
+    std::vector<pareto::Point> out;
+    out.reserve(archs.size());
+    if (kind() == search::EvalKind::ParetoScore) {
+        const std::vector<double> s = model_.scoreBatch(archs);
+        for (double v : s)
+            out.push_back({v});
+        return out;
+    }
+    const Matrix obj = model_.objectivesBatch(archs);
+    for (std::size_t i = 0; i < obj.rows(); ++i) {
+        pareto::Point p(obj.cols(), 0.0);
+        for (std::size_t j = 0; j < obj.cols(); ++j)
+            p[j] = obj(i, j);
+        out.push_back(std::move(p));
+    }
+    return out;
+}
+
+std::unique_ptr<Surrogate>
+loadSurrogate(const std::string &path)
+{
+    if (auto hwpr = HwPrNas::load(path))
+        return hwpr;
+    if (auto scalable = ScalableHwPrNas::load(path))
+        return scalable;
+    return nullptr;
+}
+
+} // namespace hwpr::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unified batched surrogate interface.
+ *
+ * Every surrogate family in the repo — HW-PR-NAS, the scalable
+ * variant, BRP-NAS, GATES and the LUT latency estimator — implements
+ * `Surrogate`: fit once on oracle records, then answer whole batches
+ * of architectures at a time. The batch methods are the *only*
+ * prediction paths; they run one matrix-level forward per chunk (no
+ * autodiff recording) and fan the chunks out over the ExecContext
+ * thread pool. Chunk boundaries depend only on the batch size, so
+ * results are bit-identical at every thread count.
+ *
+ * `SurrogateEvaluator` adapts a fitted surrogate to the search layer's
+ * `search::Evaluator` so MOEA / random search can consume populations
+ * directly. (It lives here rather than in search/ because search/ is
+ * below core/ in the link order; the function-based adapters in
+ * search/surrogate_evaluator.h remain for ad-hoc callables.)
+ */
+
+#ifndef HWPR_CORE_SURROGATE_H
+#define HWPR_CORE_SURROGATE_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/threadpool.h"
+#include "hw/platform.h"
+#include "nasbench/dataset.h"
+#include "search/evaluator.h"
+
+namespace hwpr::core
+{
+
+/** Training data handed to Surrogate::fit. */
+struct SurrogateDataset
+{
+    std::vector<const nasbench::ArchRecord *> train;
+    std::vector<const nasbench::ArchRecord *> val;
+    hw::PlatformId platform = hw::PlatformId::EdgeGpu;
+};
+
+/**
+ * Abstract batched surrogate.
+ *
+ * Implementations must override at least one of scoreBatch /
+ * objectivesBatch; the defaults express each in terms of the other
+ * (calling neither override recurses forever). Scores follow the
+ * search convention: higher = more Pareto-dominant. Objectives are
+ * minimization values, one row per architecture.
+ */
+class Surrogate
+{
+  public:
+    virtual ~Surrogate() = default;
+
+    /** Display name (matches the paper's method names). */
+    virtual std::string name() const = 0;
+
+    /** How the search should consume this surrogate. */
+    virtual search::EvalKind evalKind() const = 0;
+
+    /** Columns of objectivesBatch(). */
+    virtual std::size_t numObjectives() const { return 2; }
+
+    /**
+     * Fit on oracle records. @p ctx supplies the RNG seed (model
+     * randomness is reseeded from it, so two fits with the same seed
+     * are identical) and the thread pool used for batched linear
+     * algebra during training and prediction.
+     */
+    virtual void fit(const SurrogateDataset &data, ExecContext &ctx) = 0;
+
+    /** Pareto scores, one per architecture (higher = better). */
+    virtual std::vector<double>
+    scoreBatch(std::span<const nasbench::Architecture> archs) const;
+
+    /** Minimization objectives, one row per architecture. */
+    virtual Matrix
+    objectivesBatch(std::span<const nasbench::Architecture> archs) const;
+
+    /**
+     * Serialize to a binary checkpoint. Default: unsupported
+     * (returns false without touching the filesystem).
+     */
+    virtual bool save(const std::string & /*path*/) const
+    {
+        return false;
+    }
+};
+
+/**
+ * search::Evaluator over a fitted Surrogate. Score surrogates yield
+ * single-element points (the Pareto score); vector surrogates yield
+ * one minimization objective vector per architecture. The surrogate
+ * must outlive the evaluator.
+ */
+class SurrogateEvaluator : public search::Evaluator
+{
+  public:
+    explicit SurrogateEvaluator(const Surrogate &model,
+                                double sim_seconds_per_eval = 0.0)
+        : model_(model), simSecondsPerEval_(sim_seconds_per_eval)
+    {}
+
+    search::EvalKind kind() const override { return model_.evalKind(); }
+    std::string name() const override { return model_.name(); }
+
+    std::size_t numObjectives() const override
+    {
+        return kind() == search::EvalKind::ParetoScore
+                   ? 1
+                   : model_.numObjectives();
+    }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override;
+
+    double simulatedCostSeconds(std::size_t batch) const override
+    {
+        return simSecondsPerEval_ * double(batch);
+    }
+
+  private:
+    const Surrogate &model_;
+    double simSecondsPerEval_;
+};
+
+/**
+ * Restore a surrogate from a checkpoint written by Surrogate::save,
+ * probing the known binary formats (HW-PR-NAS, then the scalable
+ * variant). Returns nullptr when no format matches.
+ */
+std::unique_ptr<Surrogate> loadSurrogate(const std::string &path);
+
+} // namespace hwpr::core
+
+#endif // HWPR_CORE_SURROGATE_H

@@ -4,9 +4,18 @@
 
 #include "common/logging.h"
 #include "common/stats.h"
+#include "common/threadpool.h"
 
 namespace hwpr::gbdt
 {
+
+namespace
+{
+
+/** Rows per chunk when fanning tree traversal out over the pool. */
+constexpr std::size_t kPredictGrain = 64;
+
+} // namespace
 
 GbdtConfig
 xgboostConfig()
@@ -103,9 +112,20 @@ Gbdt::fit(const Matrix &x, const std::vector<double> &y, Rng &rng,
 std::vector<double>
 Gbdt::predict(const Matrix &x) const
 {
-    std::vector<double> out(x.rows());
-    for (std::size_t i = 0; i < x.rows(); ++i)
-        out[i] = predictRow(x, i);
+    const Matrix batch = predictBatch(x);
+    return batch.raw();
+}
+
+Matrix
+Gbdt::predictBatch(const Matrix &x) const
+{
+    Matrix out(x.rows(), 1);
+    ExecContext::global().pool->parallelFor(
+        0, x.rows(), kPredictGrain,
+        [&](std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                out(i, 0) = predictRow(x, i);
+        });
     return out;
 }
 

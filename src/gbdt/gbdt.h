@@ -58,6 +58,13 @@ class Gbdt
     /** Predict all rows of @p x. */
     std::vector<double> predict(const Matrix &x) const;
 
+    /**
+     * Predict all rows of @p x as an (n x 1) matrix, fanning the tree
+     * traversals out over the global ExecContext pool. Rows are
+     * independent, so results are identical at every thread count.
+     */
+    Matrix predictBatch(const Matrix &x) const;
+
     /** Predict a single row. */
     double predictRow(const Matrix &x, std::size_t row) const;
 

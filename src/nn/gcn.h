@@ -59,6 +59,12 @@ class GcnEncoder : public Module
     /** Encode a batch of graphs to a (batch x hidden) matrix. */
     Tensor forward(const std::vector<GraphInput> &graphs) const;
 
+    /**
+     * Inference-only encoding on raw matrices: no autodiff graph is
+     * recorded. Matches forward() bit-for-bit.
+     */
+    Matrix encodeBatch(const std::vector<GraphInput> &graphs) const;
+
     std::vector<Tensor> params() const override;
 
     const GcnConfig &config() const { return cfg_; }

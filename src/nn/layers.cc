@@ -21,6 +21,28 @@ applyActivation(const Tensor &x, Activation act)
     panic("unknown activation");
 }
 
+void
+applyActivationInPlace(Matrix &x, Activation act)
+{
+    switch (act) {
+      case Activation::None:
+        return;
+      case Activation::ReLU:
+        for (double &v : x.raw())
+            v = v > 0.0 ? v : 0.0;
+        return;
+      case Activation::Tanh:
+        for (double &v : x.raw())
+            v = std::tanh(v);
+        return;
+      case Activation::Sigmoid:
+        for (double &v : x.raw())
+            v = 1.0 / (1.0 + std::exp(-v));
+        return;
+    }
+    panic("unknown activation");
+}
+
 Linear::Linear(std::size_t in, std::size_t out, Rng &rng,
                const std::string &name)
     : w_(Tensor::param(Matrix::xavier(in, out, rng), name + ".w")),
@@ -32,6 +54,12 @@ Tensor
 Linear::forward(const Tensor &x) const
 {
     return addRowBroadcast(matmul(x, w_), b_);
+}
+
+Matrix
+Linear::predictBatch(const Matrix &x) const
+{
+    return x.matmul(w_.value()).addRowBroadcast(b_.value());
 }
 
 Mlp::Mlp(const MlpConfig &cfg, Rng &rng, const std::string &name)
@@ -66,6 +94,17 @@ Mlp::forward(const Tensor &x) const
     // Inference path: dropout disabled, rng never touched.
     Rng dummy(0);
     return forward(x, false, dummy);
+}
+
+Matrix
+Mlp::predictBatch(const Matrix &x) const
+{
+    Matrix h = layers_.front().predictBatch(x);
+    for (std::size_t i = 1; i < layers_.size(); ++i) {
+        applyActivationInPlace(h, cfg_.activation);
+        h = layers_[i].predictBatch(h);
+    }
+    return h;
 }
 
 std::vector<Tensor>

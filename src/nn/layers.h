@@ -29,6 +29,13 @@ enum class Activation
 /** Apply an activation function to a tensor. */
 Tensor applyActivation(const Tensor &x, Activation act);
 
+/**
+ * Apply an activation elementwise to a raw matrix (inference path).
+ * Uses the same scalar math as the tensor ops, so the two paths agree
+ * bit-for-bit.
+ */
+void applyActivationInPlace(Matrix &x, Activation act);
+
 /** Anything that owns trainable parameters. */
 class Module
 {
@@ -65,6 +72,12 @@ class Linear : public Module
            const std::string &name = "linear");
 
     Tensor forward(const Tensor &x) const;
+
+    /**
+     * Inference-only forward on raw matrices: no autodiff graph is
+     * recorded. Matches forward() bit-for-bit.
+     */
+    Matrix predictBatch(const Matrix &x) const;
 
     std::vector<Tensor> params() const override { return {w_, b_}; }
 
@@ -105,6 +118,13 @@ class Mlp : public Module
 
     /** Inference-mode forward (no dropout). */
     Tensor forward(const Tensor &x) const;
+
+    /**
+     * Batched inference on raw matrices: one matrix-level pass per
+     * batch with no autodiff recording and no dropout. Matches the
+     * tensor forward (training=false) bit-for-bit.
+     */
+    Matrix predictBatch(const Matrix &x) const;
 
     std::vector<Tensor> params() const override;
 

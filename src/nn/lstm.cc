@@ -1,5 +1,7 @@
 #include "nn/lstm.h"
 
+#include <cmath>
+
 #include "common/logging.h"
 
 namespace hwpr::nn
@@ -67,6 +69,65 @@ LstmEncoder::forward(
             Tensor o_g = sigmoid(sliceCols(z, 3 * h, 4 * h));
             c_t = add(mul(f_g, c_t), mul(i_g, g_g));
             h_t = mul(o_g, tanhT(c_t));
+            // This layer's hidden states feed the next layer.
+            inputs[t] = h_t;
+        }
+    }
+    return inputs[steps - 1];
+}
+
+Matrix
+LstmEncoder::encodeBatch(
+    const std::vector<std::vector<std::size_t>> &sequences) const
+{
+    HWPR_CHECK(!sequences.empty(), "empty LSTM batch");
+    const std::size_t batch = sequences.size();
+    const std::size_t steps = sequences[0].size();
+    for (const auto &s : sequences)
+        HWPR_CHECK(s.size() == steps,
+                   "LSTM batch requires equal-length sequences");
+    const std::size_t h = cfg_.hidden;
+    const Matrix &embed = embedding_.value();
+
+    // Embed per time step: inputs[t] is (batch x embedDim).
+    std::vector<Matrix> inputs(steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix x(batch, cfg_.embedDim);
+        for (std::size_t b = 0; b < batch; ++b) {
+            HWPR_ASSERT(sequences[b][t] < cfg_.vocab, "token OOB");
+            const std::size_t id = sequences[b][t];
+            for (std::size_t j = 0; j < cfg_.embedDim; ++j)
+                x(b, j) = embed(id, j);
+        }
+        inputs[t] = std::move(x);
+    }
+
+    for (const auto &lp : layerParams_) {
+        Matrix h_t(batch, h);
+        Matrix c_t(batch, h);
+        for (std::size_t t = 0; t < steps; ++t) {
+            Matrix z = inputs[t].matmul(lp.wx.value());
+            z += h_t.matmul(lp.wh.value());
+            z = z.addRowBroadcast(lp.b.value());
+            // Gate order [i, f, g, o]; same scalar math as the
+            // sigmoid/tanh tensor ops so results match bit-for-bit.
+            for (std::size_t b = 0; b < batch; ++b) {
+                const double *zr = &z.raw()[b * 4 * h];
+                double *cr = &c_t.raw()[b * h];
+                double *hr = &h_t.raw()[b * h];
+                for (std::size_t j = 0; j < h; ++j) {
+                    const double i_g =
+                        1.0 / (1.0 + std::exp(-zr[j]));
+                    const double f_g =
+                        1.0 / (1.0 + std::exp(-zr[h + j]));
+                    const double g_g = std::tanh(zr[2 * h + j]);
+                    const double o_g =
+                        1.0 / (1.0 + std::exp(-zr[3 * h + j]));
+                    const double c = f_g * cr[j] + i_g * g_g;
+                    cr[j] = c;
+                    hr[j] = o_g * std::tanh(c);
+                }
+            }
             // This layer's hidden states feed the next layer.
             inputs[t] = h_t;
         }

@@ -51,6 +51,13 @@ class LstmEncoder : public Module
     Tensor forward(
         const std::vector<std::vector<std::size_t>> &sequences) const;
 
+    /**
+     * Inference-only encoding on raw matrices: no autodiff graph is
+     * recorded. Matches forward() bit-for-bit.
+     */
+    Matrix encodeBatch(
+        const std::vector<std::vector<std::size_t>> &sequences) const;
+
     std::vector<Tensor> params() const override;
 
     const LstmConfig &config() const { return cfg_; }

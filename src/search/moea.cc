@@ -95,6 +95,9 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
     HWPR_CHECK(n >= 2, "population size must be at least 2");
 
     // Initial population P_0, evaluated with the plugged evaluator.
+    // Populations are always handed to evaluate() whole so batched
+    // surrogates (core::SurrogateEvaluator) amortize encoding and
+    // fan the forward pass out over the shared thread pool.
     std::vector<nasbench::Architecture> pop;
     pop.reserve(n);
     for (std::size_t i = 0; i < n; ++i)

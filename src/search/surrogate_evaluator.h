@@ -1,8 +1,15 @@
 /**
  * @file
- * Generic surrogate-backed evaluators. The concrete surrogates
- * (HW-PR-NAS, BRP-NAS, GATES) plug in as callables, which keeps the
- * search library independent of the model libraries.
+ * Generic function-based evaluators for ad-hoc callables (tests,
+ * toy scoring functions, closures over oracles). The concrete
+ * surrogate families implement `core::Surrogate` and plug into the
+ * search through `core::SurrogateEvaluator` instead, which drives
+ * their batched prediction paths directly; the adapters here remain
+ * for anything expressible as a plain callable without pulling the
+ * model libraries below search/ in the link order.
+ *
+ * The contract is batch-first in either case: the search hands whole
+ * populations to evaluate(), never architecture-at-a-time loops.
  */
 
 #ifndef HWPR_SEARCH_SURROGATE_EVALUATOR_H

@@ -13,13 +13,16 @@
  * full option list.
  */
 
+#include <algorithm>
 #include <iostream>
 
 #include "argparse.h"
 
 #include "common/table.h"
+#include "common/threadpool.h"
 #include "hw/cost_model.h"
 #include "core/hwprnas.h"
+#include "core/surrogate.h"
 #include "search/moea.h"
 #include "search/report.h"
 #include "search/surrogate_evaluator.h"
@@ -49,6 +52,10 @@ subcommands:
            --lr X --seed S --out FILE
   search   run the MOEA with a trained surrogate checkpoint
            --model FILE --pop N --gens G --seed S
+global options:
+  --threads N   size of the shared execution thread pool (default:
+                HWPR_THREADS env var, else hardware concurrency).
+                Results are identical at every thread count.
 datasets:  cifar10 cifar100 imagenet16
 platforms: edgegpu edgetpu raspberrypi4 fpga-zc706 fpga-zcu102
            pixel3 eyeriss
@@ -260,11 +267,7 @@ cmdSearch(const Args &args)
               << hw::platformName(model->platform()) << " / "
               << nasbench::datasetName(model->dataset()) << std::endl;
 
-    search::ParetoScoreEvaluator eval(
-        "HW-PR-NAS",
-        [&model](const std::vector<nasbench::Architecture> &archs) {
-            return model->scores(archs);
-        });
+    core::SurrogateEvaluator eval(*model);
     search::MoeaConfig mc;
     mc.populationSize = std::size_t(args.getInt("pop", 60));
     mc.maxGenerations = std::size_t(args.getInt("gens", 40));
@@ -303,6 +306,9 @@ main(int argc, char **argv)
         usage();
         return args.command().empty() ? 1 : 0;
     }
+    if (args.has("threads"))
+        ExecContext::setGlobalThreads(
+            std::size_t(std::max(1L, args.getInt("threads", 1))));
     if (args.command() == "sample")
         return cmdSample(args);
     if (args.command() == "measure")
