@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Training-throughput benchmark for the surrogate fit() hot path.
+ *
+ * Fits HW-PR-NAS, BRP-NAS and GATES on a fixed sampled dataset at
+ * thread counts 1/2/N and reports fit wall-clock plus optimizer
+ * steps/sec (measured via nn::Optimizer::totalSteps()). Results are
+ * written as JSON (default BENCH_train.json) so fit-throughput is
+ * tracked across PRs.
+ *
+ * The run doubles as a determinism check: the same-seed HW-PR-NAS
+ * validation-loss trajectory must be bit-identical at every thread
+ * count, and the process fails if it is not.
+ *
+ * Flags:
+ *   --json[=FILE]      output path (default BENCH_train.json)
+ *   --baseline=FILE    embed FILE's HW-PR-NAS steps/sec at the
+ *                      default thread count and report the speedup
+ *   --quick            tiny configuration for CI smoke runs
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/brpnas.h"
+#include "baselines/gates.h"
+#include "common/threadpool.h"
+#include "core/hwprnas.h"
+#include "nasbench/dataset.h"
+#include "nn/optim.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+/** Sizing knobs for one benchmark run. */
+struct BenchConfig
+{
+    std::size_t total = 320;
+    std::size_t trainCount = 256;
+    std::size_t valCount = 64;
+    std::size_t hwprEpochs = 6;
+    std::size_t baselineEpochs = 4;
+    std::size_t batchSize = 64;
+
+    static BenchConfig quick()
+    {
+        BenchConfig cfg;
+        cfg.total = 96;
+        cfg.trainCount = 64;
+        cfg.valCount = 32;
+        cfg.hwprEpochs = 2;
+        cfg.baselineEpochs = 2;
+        cfg.batchSize = 32;
+        return cfg;
+    }
+};
+
+/** One (model, thread count) measurement. */
+struct CaseResult
+{
+    std::string model;
+    std::size_t threads = 0;
+    double fitSeconds = 0.0;
+    std::uint64_t steps = 0;
+    double stepsPerSec = 0.0;
+};
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Run @p fit once, returning wall time and optimizer-step delta. */
+template <class Fn>
+CaseResult
+measureFit(const std::string &model, std::size_t threads,
+           const Fn &fit)
+{
+    CaseResult r;
+    r.model = model;
+    r.threads = threads;
+    const std::uint64_t steps0 = nn::Optimizer::totalSteps();
+    const double t0 = wallSeconds();
+    fit();
+    r.fitSeconds = wallSeconds() - t0;
+    r.steps = nn::Optimizer::totalSteps() - steps0;
+    r.stepsPerSec =
+        r.fitSeconds > 0.0 ? double(r.steps) / r.fitSeconds : 0.0;
+    std::cout << model << " threads=" << threads << ": "
+              << r.fitSeconds << " s, " << r.steps << " steps, "
+              << r.stepsPerSec << " steps/s\n";
+    return r;
+}
+
+/**
+ * Pull the HW-PR-NAS steps/sec at @p threads out of a previously
+ * written BENCH_train.json. Relies on the exact field order this
+ * binary emits. Returns 0 when not found.
+ */
+double
+baselineStepsPerSec(const std::string &path, std::size_t threads)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot read baseline " << path << "\n";
+        return 0.0;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string key = "\"model\": \"HW-PR-NAS\", \"threads\": " +
+                            std::to_string(threads);
+    const auto at = text.find(key);
+    if (at == std::string::npos)
+        return 0.0;
+    const std::string field = "\"steps_per_sec\": ";
+    const auto fp = text.find(field, at);
+    if (fp == std::string::npos)
+        return 0.0;
+    return std::strtod(text.c_str() + fp + field.size(), nullptr);
+}
+
+int
+run(const std::string &json_path, const std::string &baseline_path,
+    bool quick)
+{
+    const BenchConfig cfg =
+        quick ? BenchConfig::quick() : BenchConfig();
+    const std::size_t hw_threads = ExecContext::global().threads();
+    const std::size_t default_threads = hw_threads;
+
+    std::vector<std::size_t> thread_counts = {1, 2};
+    if (hw_threads > 2)
+        thread_counts.push_back(hw_threads);
+
+    // Fixed dataset shared by every case (the oracle memoizes, so
+    // measurement cost is paid once, before any timing starts).
+    Rng rng(123);
+    nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    const std::vector<const nasbench::SearchSpace *> spaces = {
+        &nasbench::nasBench201()};
+    const nasbench::SampledDataset sampled =
+        nasbench::SampledDataset::sample(spaces, oracle, cfg.total,
+                                         cfg.trainCount, cfg.valCount,
+                                         rng);
+    core::SurrogateDataset data;
+    data.train = sampled.select(sampled.trainIdx);
+    data.val = sampled.select(sampled.valIdx);
+    data.platform = hw::PlatformId::EdgeGpu;
+
+    core::TrainConfig hwpr_cfg;
+    hwpr_cfg.epochs = cfg.hwprEpochs;
+    hwpr_cfg.patience = cfg.hwprEpochs; // no early stop mid-bench
+    hwpr_cfg.batchSize = cfg.batchSize;
+    hwpr_cfg.combinerEpochs = 1;
+
+    core::PredictorTrainConfig base_cfg;
+    base_cfg.epochs = cfg.baselineEpochs;
+    base_cfg.patience = cfg.baselineEpochs;
+    base_cfg.batchSize = cfg.batchSize;
+
+    std::vector<CaseResult> cases;
+    std::vector<double> ref_losses;
+    bool trajectories_identical = true;
+
+    for (std::size_t threads : thread_counts) {
+        ExecContext::setGlobalThreads(threads);
+        ExecContext ctx = ExecContext::global().withSeed(42);
+
+        core::HwPrNas hwpr({}, nasbench::DatasetId::Cifar10, 42);
+        hwpr.setFitConfig(hwpr_cfg);
+        cases.push_back(measureFit("HW-PR-NAS", threads,
+                                   [&] { hwpr.fit(data, ctx); }));
+
+        // Same seed at every thread count must give a bit-identical
+        // validation-loss trajectory.
+        const std::vector<double> &losses = hwpr.valLossHistory();
+        if (threads == thread_counts.front()) {
+            ref_losses = losses;
+        } else if (losses != ref_losses) {
+            trajectories_identical = false;
+            std::cerr << "ERROR: val-loss trajectory at threads="
+                      << threads << " differs from threads="
+                      << thread_counts.front() << "\n";
+        }
+
+        baselines::BrpNas brp(core::EncoderConfig::fast(),
+                              nasbench::DatasetId::Cifar10, 42);
+        cases.push_back(measureFit(
+            "BRP-NAS", threads,
+            [&] { brp.train(data.train, data.val, data.platform,
+                            base_cfg); }));
+
+        baselines::Gates gates(core::EncoderConfig::fast(),
+                               nasbench::DatasetId::Cifar10, 42);
+        cases.push_back(measureFit(
+            "GATES", threads,
+            [&] { gates.train(data.train, data.val, data.platform,
+                              base_cfg); }));
+    }
+    ExecContext::setGlobalThreads(default_threads);
+
+    double baseline_sps = 0.0;
+    if (!baseline_path.empty())
+        baseline_sps =
+            baselineStepsPerSec(baseline_path, default_threads);
+    double current_sps = 0.0;
+    for (const auto &c : cases)
+        if (c.model == "HW-PR-NAS" && c.threads == default_threads)
+            current_sps = c.stepsPerSec;
+
+    std::ofstream out(json_path);
+    if (!out) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    out << "{\n  \"bench\": \"bench_train\",\n"
+        << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+        << "  \"hardware_threads\": " << hw_threads << ",\n"
+        << "  \"default_threads\": " << default_threads << ",\n"
+        << "  \"dataset\": {\"total\": " << cfg.total
+        << ", \"train\": " << cfg.trainCount
+        << ", \"val\": " << cfg.valCount << "},\n"
+        << "  \"config\": {\"hwpr_epochs\": " << cfg.hwprEpochs
+        << ", \"baseline_epochs\": " << cfg.baselineEpochs
+        << ", \"batch_size\": " << cfg.batchSize << "},\n"
+        << "  \"cases\": [";
+    bool first = true;
+    for (const auto &c : cases) {
+        out << (first ? "" : ",") << "\n    {\"model\": \"" << c.model
+            << "\", \"threads\": " << c.threads
+            << ", \"fit_seconds\": " << c.fitSeconds
+            << ", \"steps\": " << c.steps
+            << ", \"steps_per_sec\": " << c.stepsPerSec << "}";
+        first = false;
+    }
+    out << "\n  ],\n"
+        << "  \"loss_trajectory_identical_across_threads\": "
+        << (trajectories_identical ? "true" : "false");
+    if (baseline_sps > 0.0) {
+        out << ",\n  \"baseline_steps_per_sec\": " << baseline_sps
+            << ",\n  \"speedup_vs_baseline\": "
+            << current_sps / baseline_sps;
+        std::cout << "HW-PR-NAS speedup vs baseline at threads="
+                  << default_threads << ": "
+                  << current_sps / baseline_sps << "x\n";
+    }
+    out << "\n}\n";
+    std::cout << "wrote " << json_path << "\n";
+    return trajectories_identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_train.json";
+    std::string baseline_path;
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos)
+                json_path = arg.substr(eq + 1);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_path = arg.substr(arg.find('=') + 1);
+        } else if (arg == "--quick") {
+            quick = true;
+        } else {
+            std::cerr << "usage: bench_train [--json[=FILE]]"
+                      << " [--baseline=FILE] [--quick]\n";
+            return 1;
+        }
+    }
+    return run(json_path, baseline_path, quick);
+}

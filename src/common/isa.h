@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Runtime ISA dispatch macros for numeric hot loops.
+ *
+ * HWPR_TARGET_CLONES clones a function for AVX2+FMA-class hardware
+ * (x86-64-v3) with an ifunc resolver picking the variant once at load
+ * time; other machines run the portable default. One binary, no
+ * baseline-ISA requirement. GCC only — clang's target_clones cannot
+ * take arch= levels. (An x86-64-v4 clone was measured and rejected:
+ * the strided-B AtB worker halves its throughput under 512-bit
+ * codegen on the machines this was tuned on.)
+ *
+ * HWPR_FORCE_INLINE marks helpers that must inline into each clone:
+ * left as standalone functions they would compile once for the
+ * default ISA and every clone would call that scalar copy.
+ *
+ * Determinism contract: a cloned loop may contract multiply+add into
+ * FMA, so its results can differ between ISA variants (machines) —
+ * but never between runs, thread counts, or call sites on the same
+ * machine, because one variant is chosen process-wide at load time.
+ * Kernels whose results must match each other exactly (e.g. the tiled
+ * and naive GEMMs in common/matrix.cc) must both be cloned so
+ * contraction applies to identical accumulation chains in both.
+ */
+
+#ifndef HWPR_COMMON_ISA_H
+#define HWPR_COMMON_ISA_H
+
+/*
+ * Sanitized builds get no clones: the ifunc resolver runs during
+ * relocation processing, before the TSan/ASan runtime initializes,
+ * and segfaults on startup (GCC 12 + glibc 2.36). Every kernel falls
+ * back to the portable default, which keeps the tiled/naive pairs
+ * consistent with each other.
+ */
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define HWPR_TARGET_CLONES \
+    __attribute__((target_clones("arch=x86-64-v3", "default")))
+#else
+#define HWPR_TARGET_CLONES
+#endif
+
+#if defined(__GNUC__)
+#define HWPR_FORCE_INLINE inline __attribute__((always_inline))
+#else
+#define HWPR_FORCE_INLINE inline
+#endif
+
+#endif // HWPR_COMMON_ISA_H

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/isa.h"
 #include "common/threadpool.h"
 
 namespace hwpr
@@ -22,12 +23,429 @@ constexpr std::size_t kGemmGrainFlops = std::size_t(1) << 15;
 /** Elementwise-op threshold / grain (elements). */
 constexpr std::size_t kMapParallelSize = std::size_t(1) << 15;
 
+/**
+ * Register-tile shape. kMr x kNr accumulators live in registers for
+ * the whole k loop, so each output element is one scalar ascending-k
+ * chain — the canonical accumulation order shared with the naive
+ * reference kernels. kNc is the column cache block: the k x kNc panel
+ * of B stays hot while every row block of the chunk sweeps it.
+ */
+constexpr std::size_t kMr = 4;
+constexpr std::size_t kNr = 8;
+constexpr std::size_t kNc = 256;
+
+/**
+ * A * B^T packs B's transpose into a scratch panel once the panel
+ * reaches this many elements; below it the one-off transpose costs
+ * more than the column gathers it saves. Shape-only criterion, so the
+ * chosen path is deterministic.
+ */
+constexpr std::size_t kPackElems = std::size_t(1) << 12;
+
 std::size_t
 rowGrain(std::size_t flops_per_row)
 {
-    return std::max<std::size_t>(
+    const std::size_t rows = std::max<std::size_t>(
         1, kGemmGrainFlops / std::max<std::size_t>(1, flops_per_row));
+    // Align chunks to the register-tile height: parallel chunk
+    // boundaries land on multiples of the grain, so a kMr-aligned
+    // grain keeps every row's full-vs-ragged tile membership — and
+    // therefore its exact instruction sequence — identical at every
+    // thread count.
+    return (rows + kMr - 1) / kMr * kMr;
 }
+
+/*
+ * ISA dispatch (common/isa.h): the chunk workers below are
+ * HWPR_TARGET_CLONES'd for x86-64-v3, and the tile helpers are
+ * HWPR_FORCE_INLINE so each clone vectorizes its own copy. Both the
+ * tiled chunk workers and the naive reference kernels are cloned, so
+ * FP contraction (fused multiply-add) applies to the same ascending-k
+ * chains in both and tiled == naive stays exact on every machine.
+ */
+
+/**
+ * Full MR x NR register tile of C (+)= A * B with compile-time
+ * bounds: the accumulators are fully unrolled into vector registers.
+ * Zero A elements skip their fma row, exactly like the naive i-k-j
+ * kernel — post-ReLU activations are sparse enough that the skip
+ * wins despite the per-(k,r) branch.
+ */
+template <std::size_t MR, std::size_t NR>
+HWPR_FORCE_INLINE void
+gemmTileABFull(const double *a, std::size_t lda, const double *b,
+               std::size_t ldb, double *c, std::size_t ldc,
+               std::size_t kk, bool accumulate)
+{
+    double acc[MR][NR];
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *bk = b + k * ldb;
+        for (std::size_t r = 0; r < MR; ++r) {
+            const double av = a[r * lda + k];
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < NR; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/**
+ * C tile [0,mr) x [0,nr) of C (+)= A * B. @p a points at the first A
+ * row (leading dimension lda), @p b at B's tile columns (ldb), @p c at
+ * the output tile (ldc). Full tiles take the fixed-size register
+ * path; ragged edges run the same loops with runtime bounds.
+ */
+HWPR_FORCE_INLINE void
+gemmTileAB(const double *a, std::size_t lda, const double *b,
+           std::size_t ldb, double *c, std::size_t ldc,
+           std::size_t mr, std::size_t nr, std::size_t kk,
+           bool accumulate)
+{
+    if (mr == kMr && nr == kNr) {
+        gemmTileABFull<kMr, kNr>(a, lda, b, ldb, c, ldc, kk,
+                                 accumulate);
+        return;
+    }
+    double acc[kMr][kNr];
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *bk = b + k * ldb;
+        for (std::size_t r = 0; r < mr; ++r) {
+            const double av = a[r * lda + k];
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < nr; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/** Full-tile variant of gemmTileABt (dot-product form, no skip). */
+template <std::size_t MR, std::size_t NR>
+HWPR_FORCE_INLINE void
+gemmTileABtFull(const double *a, std::size_t lda, const double *b,
+                std::size_t ldb, double *c, std::size_t ldc,
+                std::size_t kk, bool accumulate)
+{
+    double acc[MR][NR];
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        double bk[NR];
+        for (std::size_t j = 0; j < NR; ++j)
+            bk[j] = b[j * ldb + k];
+        for (std::size_t r = 0; r < MR; ++r) {
+            const double av = a[r * lda + k];
+            for (std::size_t j = 0; j < NR; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/**
+ * C tile of C (+)= A * B^T. @p a: first A row (lda), @p b: first of
+ * the nr B rows being dotted against (ldb), @p c: output tile (ldc).
+ */
+HWPR_FORCE_INLINE void
+gemmTileABt(const double *a, std::size_t lda, const double *b,
+            std::size_t ldb, double *c, std::size_t ldc,
+            std::size_t mr, std::size_t nr, std::size_t kk,
+            bool accumulate)
+{
+    if (mr == kMr && nr == kNr) {
+        gemmTileABtFull<kMr, kNr>(a, lda, b, ldb, c, ldc, kk,
+                                  accumulate);
+        return;
+    }
+    double acc[kMr][kNr];
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        double bk[kNr];
+        for (std::size_t j = 0; j < nr; ++j)
+            bk[j] = b[j * ldb + k];
+        for (std::size_t r = 0; r < mr; ++r) {
+            const double av = a[r * lda + k];
+            for (std::size_t j = 0; j < nr; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/** Full-tile variant of gemmTileAtB (zero skip on A columns). */
+template <std::size_t MR, std::size_t NR>
+HWPR_FORCE_INLINE void
+gemmTileAtBFull(const double *a, std::size_t lda, const double *b,
+                std::size_t ldb, double *c, std::size_t ldc,
+                std::size_t kk, bool accumulate)
+{
+    double acc[MR][NR];
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *ak = a + k * lda;
+        const double *bk = b + k * ldb;
+        for (std::size_t r = 0; r < MR; ++r) {
+            const double av = ak[r];
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < NR; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < MR; ++r)
+        for (std::size_t j = 0; j < NR; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/**
+ * C tile of C (+)= A^T * B. @p a points at A's tile columns (A is
+ * k x m, lda = m), so a[k * lda + r] walks mr adjacent columns; @p b
+ * at B's tile columns (ldb).
+ */
+HWPR_FORCE_INLINE void
+gemmTileAtB(const double *a, std::size_t lda, const double *b,
+            std::size_t ldb, double *c, std::size_t ldc,
+            std::size_t mr, std::size_t nr, std::size_t kk,
+            bool accumulate)
+{
+    if (mr == kMr && nr == kNr) {
+        gemmTileAtBFull<kMr, kNr>(a, lda, b, ldb, c, ldc, kk,
+                                  accumulate);
+        return;
+    }
+    double acc[kMr][kNr];
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *ak = a + k * lda;
+        const double *bk = b + k * ldb;
+        for (std::size_t r = 0; r < mr; ++r) {
+            const double av = ak[r];
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < nr; ++j)
+                acc[r][j] += av * bk[j];
+        }
+    }
+    for (std::size_t r = 0; r < mr; ++r)
+        for (std::size_t j = 0; j < nr; ++j)
+            c[r * ldc + j] = acc[r][j];
+}
+
+/**
+ * Chunk workers: output rows [i0, i1) of one GEMM, looping the cache
+ * and register tiles above. These are the ISA-dispatch roots — every
+ * tile helper inlines into them, so the x86-64-v3 clone vectorizes
+ * the whole tree with AVX2+FMA.
+ */
+HWPR_TARGET_CLONES void
+gemmRowsAB(const double *a, const double *b, double *c,
+           std::size_t i0, std::size_t i1, std::size_t n,
+           std::size_t kk, bool accumulate)
+{
+    for (std::size_t j0 = 0; j0 < n; j0 += kNc) {
+        const std::size_t j1 = std::min(n, j0 + kNc);
+        for (std::size_t i = i0; i < i1; i += kMr) {
+            const std::size_t mr = std::min(kMr, i1 - i);
+            for (std::size_t j = j0; j < j1; j += kNr) {
+                const std::size_t nr = std::min(kNr, j1 - j);
+                gemmTileAB(a + i * kk, kk, b + j, n,
+                           c + i * n + j, n, mr, nr, kk, accumulate);
+            }
+        }
+    }
+}
+
+/** Output rows [i0, i1) of A^T * B (A is kk x m, lda = m). */
+HWPR_TARGET_CLONES void
+gemmRowsAtB(const double *a, const double *b, double *c,
+            std::size_t i0, std::size_t i1, std::size_t m,
+            std::size_t n, std::size_t kk, bool accumulate)
+{
+    for (std::size_t i = i0; i < i1; i += kMr) {
+        const std::size_t mr = std::min(kMr, i1 - i);
+        for (std::size_t j = 0; j < n; j += kNr) {
+            const std::size_t nr = std::min(kNr, n - j);
+            gemmTileAtB(a + i, m, b + j, n, c + i * n + j, n, mr, nr,
+                        kk, accumulate);
+        }
+    }
+}
+
+/** Output rows [i0, i1) of A * B^T (B is n x kk). */
+HWPR_TARGET_CLONES void
+gemmRowsABt(const double *a, const double *b, double *c,
+            std::size_t i0, std::size_t i1, std::size_t n,
+            std::size_t kk, bool accumulate)
+{
+    for (std::size_t i = i0; i < i1; i += kMr) {
+        const std::size_t mr = std::min(kMr, i1 - i);
+        for (std::size_t j = 0; j < n; j += kNr) {
+            const std::size_t nr = std::min(kNr, n - j);
+            gemmTileABt(a + i * kk, kk, b + j * kk, kk,
+                        c + i * n + j, n, mr, nr, kk, accumulate);
+        }
+    }
+}
+
+/**
+ * Pack B (n x kk, row-major) as its transpose, a contiguous kk x n
+ * panel. 8x8 blocked so both streams stay within a few cache lines
+ * per tile (~4x faster than the naive strided sweep). Pure data
+ * movement — the values feeding each fma chain are unchanged.
+ */
+HWPR_TARGET_CLONES void
+packTransposed(const double *b, double *bt, std::size_t n,
+               std::size_t kk)
+{
+    constexpr std::size_t blk = 8;
+    for (std::size_t j0 = 0; j0 < n; j0 += blk) {
+        const std::size_t j1 = std::min(j0 + blk, n);
+        for (std::size_t k0 = 0; k0 < kk; k0 += blk) {
+            const std::size_t k1 = std::min(k0 + blk, kk);
+            for (std::size_t j = j0; j < j1; ++j) {
+                const double *brow = b + j * kk;
+                for (std::size_t k = k0; k < k1; ++k)
+                    bt[k * n + j] = brow[k];
+            }
+        }
+    }
+}
+
+/**
+ * Naive reference loops, cloned with the same ISA set as the chunk
+ * workers so FP contraction applies to the identical ascending-k
+ * chains — the tiled == naive contract holds on every machine.
+ * @{
+ */
+HWPR_TARGET_CLONES void
+naiveAB(const double *a, const double *b, double *c, std::size_t m,
+        std::size_t n, std::size_t kk)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * kk;
+        double *crow = c + i * n;
+        for (std::size_t k = 0; k < kk; ++k) {
+            const double av = arow[k];
+            if (av == 0.0)
+                continue;
+            const double *brow = b + k * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+HWPR_TARGET_CLONES void
+naiveAtB(const double *a, const double *b, double *c, std::size_t m,
+         std::size_t n, std::size_t kk)
+{
+    for (std::size_t k = 0; k < kk; ++k) {
+        const double *arow = a + k * m;
+        const double *brow = b + k * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const double av = arow[i];
+            if (av == 0.0)
+                continue;
+            double *crow = c + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+HWPR_TARGET_CLONES void
+naiveABt(const double *a, const double *b, double *c, std::size_t m,
+         std::size_t n, std::size_t kk)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const double *arow = a + i * kk;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double *brow = b + j * kk;
+            double acc = 0.0;
+            for (std::size_t k = 0; k < kk; ++k)
+                acc += arow[k] * brow[k];
+            c[i * n + j] = acc;
+        }
+    }
+}
+/** @} */
+
+/**
+ * @{
+ * @name Elementwise accumulation loops
+ *
+ * Cloned so AVX2 machines run them 4-wide. Every caller sweeps them
+ * serially over the whole buffer (only map() fans out, and it takes a
+ * std::function, not these), so the vector-body/epilogue split
+ * depends only on the length and results are identical at every
+ * thread count.
+ */
+HWPR_TARGET_CLONES void
+addInto(double *a, const double *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] += b[i];
+}
+
+HWPR_TARGET_CLONES void
+subInto(double *a, const double *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] -= b[i];
+}
+
+HWPR_TARGET_CLONES void
+scaleInto(double *a, double s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] *= s;
+}
+
+HWPR_TARGET_CLONES void
+mulInto(double *a, const double *b, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] *= b[i];
+}
+
+HWPR_TARGET_CLONES void
+addScaledInto(double *a, const double *b, double s, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] += s * b[i];
+}
+
+HWPR_TARGET_CLONES void
+addMulInto(double *a, const double *b, const double *c, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] += b[i] * c[i];
+}
+/** @} */
 
 } // namespace
 
@@ -36,8 +454,7 @@ Matrix::operator+=(const Matrix &o)
 {
     HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
                 "shape mismatch in +=");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] += o.data_[i];
+    addInto(data_.data(), o.data_.data(), data_.size());
     return *this;
 }
 
@@ -46,16 +463,14 @@ Matrix::operator-=(const Matrix &o)
 {
     HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
                 "shape mismatch in -=");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] -= o.data_[i];
+    subInto(data_.data(), o.data_.data(), data_.size());
     return *this;
 }
 
 Matrix &
 Matrix::operator*=(double s)
 {
-    for (double &v : data_)
-        v *= s;
+    scaleInto(data_.data(), s, data_.size());
     return *this;
 }
 
@@ -81,8 +496,7 @@ Matrix::hadamard(const Matrix &o) const
     HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
                 "shape mismatch in hadamard");
     Matrix r = *this;
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        r.data_[i] *= o.data_[i];
+    mulInto(r.data_.data(), o.data_.data(), r.data_.size());
     return r;
 }
 
@@ -94,107 +508,170 @@ Matrix::operator*(double s) const
     return r;
 }
 
-Matrix
-Matrix::matmul(const Matrix &o) const
+void
+Matrix::matmulInto(const Matrix &o, Matrix &out,
+                   bool accumulate) const
 {
     HWPR_ASSERT(cols_ == o.rows_, "matmul inner-dim mismatch: ", cols_,
                 " vs ", o.rows_);
-    Matrix r(rows_, o.cols_);
+    HWPR_ASSERT(out.rows_ == rows_ && out.cols_ == o.cols_,
+                "matmulInto output shape mismatch");
     const std::size_t n = o.cols_;
+    const std::size_t kk = cols_;
     auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-            const double *arow = &data_[i * cols_];
-            double *rrow = &r.data_[i * n];
-            for (std::size_t k = 0; k < cols_; ++k) {
-                const double a = arow[k];
-                if (a == 0.0)
-                    continue;
-                const double *brow = &o.data_[k * n];
-                for (std::size_t j = 0; j < n; ++j)
-                    rrow[j] += a * brow[j];
-            }
-        }
+        gemmRowsAB(data_.data(), o.data_.data(), out.data_.data(), i0,
+                   i1, n, kk, accumulate);
     };
-    const std::size_t flops_per_row = cols_ * n;
+    const std::size_t flops_per_row = kk * n;
     if (rows_ * flops_per_row < kGemmParallelFlops)
         rows_kernel(0, rows_);
     else
         ExecContext::global().pool->parallelFor(
             0, rows_, rowGrain(flops_per_row), rows_kernel);
+}
+
+Matrix
+Matrix::matmul(const Matrix &o) const
+{
+    Matrix r(rows_, o.cols_);
+    matmulInto(o, r);
     return r;
+}
+
+void
+Matrix::transposedMatmulInto(const Matrix &o, Matrix &out,
+                             bool accumulate) const
+{
+    // (this^T * o): this is (k x m), o is (k x n), result (m x n).
+    HWPR_ASSERT(rows_ == o.rows_, "transposedMatmul row mismatch");
+    HWPR_ASSERT(out.rows_ == cols_ && out.cols_ == o.cols_,
+                "transposedMatmulInto output shape mismatch");
+    const std::size_t m = cols_;
+    const std::size_t n = o.cols_;
+    const std::size_t kk = rows_;
+    auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
+        gemmRowsAtB(data_.data(), o.data_.data(), out.data_.data(),
+                    i0, i1, m, n, kk, accumulate);
+    };
+    const std::size_t flops_per_row = kk * n;
+    if (m * flops_per_row < kGemmParallelFlops)
+        rows_kernel(0, m);
+    else
+        ExecContext::global().pool->parallelFor(
+            0, m, rowGrain(flops_per_row), rows_kernel);
 }
 
 Matrix
 Matrix::transposedMatmul(const Matrix &o) const
 {
-    // (this^T * o): this is (k x m), o is (k x n), result (m x n).
-    HWPR_ASSERT(rows_ == o.rows_, "transposedMatmul row mismatch");
     Matrix r(cols_, o.cols_);
-    const std::size_t n = o.cols_;
-    const std::size_t flops_per_row = rows_ * n;
-    if (cols_ * flops_per_row < kGemmParallelFlops) {
-        // Serial fast path: k-outer streams both operands.
-        for (std::size_t k = 0; k < rows_; ++k) {
-            const double *arow = &data_[k * cols_];
-            const double *brow = &o.data_[k * n];
-            for (std::size_t i = 0; i < cols_; ++i) {
-                const double a = arow[i];
-                if (a == 0.0)
-                    continue;
-                double *rrow = &r.data_[i * n];
-                for (std::size_t j = 0; j < n; ++j)
-                    rrow[j] += a * brow[j];
-            }
-        }
-        return r;
-    }
-    // Parallel path: each chunk owns whole output rows, accumulating
-    // over k in the same ascending order as the serial path so the
-    // floating-point result is identical.
-    ExecContext::global().pool->parallelFor(
-        0, cols_, rowGrain(flops_per_row),
-        [&](std::size_t i0, std::size_t i1) {
-            for (std::size_t k = 0; k < rows_; ++k) {
-                const double *arow = &data_[k * cols_];
-                const double *brow = &o.data_[k * n];
-                for (std::size_t i = i0; i < i1; ++i) {
-                    const double a = arow[i];
-                    if (a == 0.0)
-                        continue;
-                    double *rrow = &r.data_[i * n];
-                    for (std::size_t j = 0; j < n; ++j)
-                        rrow[j] += a * brow[j];
-                }
-            }
-        });
+    transposedMatmulInto(o, r);
     return r;
 }
 
-Matrix
-Matrix::matmulTransposed(const Matrix &o) const
+void
+Matrix::matmulTransposedInto(const Matrix &o, Matrix &out,
+                             bool accumulate) const
 {
     // (this * o^T): this is (m x k), o is (n x k), result (m x n).
     HWPR_ASSERT(cols_ == o.cols_, "matmulTransposed col mismatch");
-    Matrix r(rows_, o.rows_);
+    HWPR_ASSERT(out.rows_ == rows_ && out.cols_ == o.rows_,
+                "matmulTransposedInto output shape mismatch");
+    const std::size_t n = o.rows_;
+    const std::size_t kk = cols_;
+    const std::size_t flops_per_row = kk * n;
+    if (kk * n >= kPackElems) {
+        // Pack o^T once, then run the contiguous A * B chunk worker
+        // over it: every row tile re-reads the whole B panel, so the
+        // strided column gathers are paid once instead of per tile.
+        // The A * B worker's zero-skip is exact for every finite
+        // contribution; it can only flip the sign of an exact-zero
+        // output (-0.0 vs +0.0), which compares equal.
+        thread_local std::vector<double> packed;
+        packed.resize(kk * n);
+        packTransposed(o.data_.data(), packed.data(), n, kk);
+        // Capture the panel pointer, not the vector: the lambda runs
+        // on pool threads, where the thread_local above is a
+        // different (empty) instance.
+        const double *panel = packed.data();
+        auto rows_kernel = [&, panel](std::size_t i0, std::size_t i1) {
+            gemmRowsAB(data_.data(), panel, out.data_.data(), i0, i1,
+                       n, kk, accumulate);
+        };
+        if (rows_ * flops_per_row < kGemmParallelFlops)
+            rows_kernel(0, rows_);
+        else
+            ExecContext::global().pool->parallelFor(
+                0, rows_, rowGrain(flops_per_row), rows_kernel);
+        return;
+    }
     auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
-        for (std::size_t i = i0; i < i1; ++i) {
-            const double *arow = &data_[i * cols_];
-            for (std::size_t j = 0; j < o.rows_; ++j) {
-                const double *brow = &o.data_[j * cols_];
-                double acc = 0.0;
-                for (std::size_t k = 0; k < cols_; ++k)
-                    acc += arow[k] * brow[k];
-                r.data_[i * o.rows_ + j] = acc;
-            }
-        }
+        gemmRowsABt(data_.data(), o.data_.data(), out.data_.data(),
+                    i0, i1, n, kk, accumulate);
     };
-    const std::size_t flops_per_row = cols_ * o.rows_;
     if (rows_ * flops_per_row < kGemmParallelFlops)
         rows_kernel(0, rows_);
     else
         ExecContext::global().pool->parallelFor(
             0, rows_, rowGrain(flops_per_row), rows_kernel);
+}
+
+Matrix
+Matrix::matmulTransposed(const Matrix &o) const
+{
+    Matrix r(rows_, o.rows_);
+    matmulTransposedInto(o, r);
     return r;
+}
+
+Matrix
+Matrix::matmulNaive(const Matrix &o) const
+{
+    HWPR_ASSERT(cols_ == o.rows_, "matmulNaive inner-dim mismatch");
+    Matrix r(rows_, o.cols_);
+    naiveAB(data_.data(), o.data_.data(), r.data_.data(), rows_,
+            o.cols_, cols_);
+    return r;
+}
+
+Matrix
+Matrix::transposedMatmulNaive(const Matrix &o) const
+{
+    HWPR_ASSERT(rows_ == o.rows_, "transposedMatmulNaive row mismatch");
+    Matrix r(cols_, o.cols_);
+    naiveAtB(data_.data(), o.data_.data(), r.data_.data(), cols_,
+             o.cols_, rows_);
+    return r;
+}
+
+Matrix
+Matrix::matmulTransposedNaive(const Matrix &o) const
+{
+    HWPR_ASSERT(cols_ == o.cols_, "matmulTransposedNaive col mismatch");
+    Matrix r(rows_, o.rows_);
+    naiveABt(data_.data(), o.data_.data(), r.data_.data(), rows_,
+             o.rows_, cols_);
+    return r;
+}
+
+Matrix &
+Matrix::addScaled(const Matrix &o, double s)
+{
+    HWPR_ASSERT(rows_ == o.rows_ && cols_ == o.cols_,
+                "shape mismatch in addScaled");
+    addScaledInto(data_.data(), o.data_.data(), s, data_.size());
+    return *this;
+}
+
+Matrix &
+Matrix::addHadamard(const Matrix &a, const Matrix &b)
+{
+    HWPR_ASSERT(rows_ == a.rows_ && cols_ == a.cols_ &&
+                    rows_ == b.rows_ && cols_ == b.cols_,
+                "shape mismatch in addHadamard");
+    addMulInto(data_.data(), a.data_.data(), b.data_.data(),
+               data_.size());
+    return *this;
 }
 
 Matrix
@@ -232,8 +709,7 @@ Matrix::addRowBroadcast(const Matrix &row) const
                 "broadcast row shape mismatch");
     Matrix r = *this;
     for (std::size_t i = 0; i < rows_; ++i)
-        for (std::size_t j = 0; j < cols_; ++j)
-            r(i, j) += row(0, j);
+        addInto(&r.data_[i * cols_], row.data_.data(), cols_);
     return r;
 }
 

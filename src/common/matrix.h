@@ -2,11 +2,21 @@
  * @file
  * Dense row-major matrix of doubles.
  *
- * This is the numeric workhorse under the autodiff engine. The matmul
- * uses an i-k-j loop order so the inner loop streams both operands.
- * Above a flop threshold the GEMMs and map() fan out over the global
- * ExecContext pool in whole-row chunks whose layout depends only on
- * the shape, so results are bit-identical at every thread count.
+ * This is the numeric workhorse under the autodiff engine. The three
+ * GEMM variants (matmul, transposedMatmul, matmulTransposed) run a
+ * cache-tiled, register-blocked micro-kernel with one canonical
+ * accumulation order: every output element accumulates its k terms in
+ * ascending order in a single scalar chain. Register tiles only change
+ * *which* elements are in flight together, never the per-element
+ * chain, so the result is bit-identical to the kept naive reference
+ * kernels (matmulNaive & co.) at any tile size. Above a flop threshold
+ * the GEMMs and map() fan out over the global ExecContext pool in
+ * whole-row chunks whose layout depends only on the shape, so results
+ * are also bit-identical at every thread count.
+ *
+ * The *Into variants write (or, with accumulate=true, add into) a
+ * caller-provided output buffer so the training hot loop can reuse
+ * arena-pooled matrices instead of allocating per call.
  */
 
 #ifndef HWPR_COMMON_MATRIX_H
@@ -82,6 +92,35 @@ class Matrix
     Matrix transposedMatmul(const Matrix &o) const;
     /** this * o^T without materializing the transpose. */
     Matrix matmulTransposed(const Matrix &o) const;
+
+    /**
+     * this * o into @p out (pre-sized rows x o.cols). With
+     * @p accumulate the product is added to out's current contents
+     * (out += this * o), still one ascending-k chain per element.
+     */
+    void matmulInto(const Matrix &o, Matrix &out,
+                    bool accumulate = false) const;
+    /** this^T * o into @p out (pre-sized cols x o.cols). */
+    void transposedMatmulInto(const Matrix &o, Matrix &out,
+                              bool accumulate = false) const;
+    /** this * o^T into @p out (pre-sized rows x o.rows). */
+    void matmulTransposedInto(const Matrix &o, Matrix &out,
+                              bool accumulate = false) const;
+
+    /**
+     * Naive serial reference kernels, kept as the determinism oracle
+     * for the tiled paths above: same per-element ascending-k
+     * accumulation chains, no tiling, no threading. Tests assert the
+     * tiled kernels match these within 1e-12 on arbitrary shapes.
+     */
+    Matrix matmulNaive(const Matrix &o) const;
+    Matrix transposedMatmulNaive(const Matrix &o) const;
+    Matrix matmulTransposedNaive(const Matrix &o) const;
+
+    /** this += s * o (axpy). */
+    Matrix &addScaled(const Matrix &o, double s);
+    /** this += a ⊙ b (elementwise product accumulate). */
+    Matrix &addHadamard(const Matrix &a, const Matrix &b);
 
     /** Transposed copy. */
     Matrix transposed() const;

@@ -150,6 +150,73 @@ ArchEncoder::encode(
     return out;
 }
 
+EncoderCache
+ArchEncoder::buildCache(
+    std::span<const nasbench::Architecture> archs) const
+{
+    EncoderCache cache;
+    cache.size = archs.size();
+    if (usesAf()) {
+        // Plain (non-arena) matrix: the cache outlives training steps.
+        cache.af = Matrix(archs.size(), nasbench::kNumArchFeatures);
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            const auto scaled = scaler_.apply(
+                nasbench::archFeatures(archs[i], dataset_));
+            for (std::size_t j = 0; j < scaled.size(); ++j)
+                cache.af(i, j) = scaled[j];
+        }
+    }
+    if (usesLstm()) {
+        cache.tokens.reserve(archs.size());
+        for (const auto &a : archs)
+            cache.tokens.push_back(
+                nasbench::spaceFor(a.space).tokenize(a));
+    }
+    if (usesGcn()) {
+        cache.graphs.reserve(archs.size());
+        for (const auto &a : archs)
+            cache.graphs.push_back(graphInput(a));
+    }
+    return cache;
+}
+
+nn::Tensor
+ArchEncoder::encodeCached(const EncoderCache &cache,
+                          const std::vector<std::size_t> &batch) const
+{
+    HWPR_CHECK(!batch.empty(), "empty encoding batch");
+    nn::Tensor out;
+
+    if (usesAf()) {
+        Matrix af = nn::detail::newMatrix(
+            batch.size(), nasbench::kNumArchFeatures, false);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            HWPR_ASSERT(batch[i] < cache.size, "cache index OOB");
+            for (std::size_t j = 0; j < nasbench::kNumArchFeatures;
+                 ++j)
+                af(i, j) = cache.af(batch[i], j);
+        }
+        out = nn::Tensor::constant(std::move(af), "af");
+    }
+    if (usesLstm()) {
+        std::vector<const std::vector<std::size_t> *> seqs;
+        seqs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            seqs.push_back(&cache.tokens[idx]);
+        nn::Tensor enc = lstm_->forward(seqs);
+        out = out.valid() ? nn::concatCols(out, enc) : enc;
+    }
+    if (usesGcn()) {
+        std::vector<const nn::GraphInput *> graphs;
+        graphs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            graphs.push_back(&cache.graphs[idx]);
+        nn::Tensor enc = gcn_->forward(graphs);
+        out = out.valid() ? nn::concatCols(out, enc) : enc;
+    }
+    return out;
+}
+
 Matrix
 ArchEncoder::encodeBatch(
     std::span<const nasbench::Architecture> archs) const

@@ -63,6 +63,27 @@ struct EncoderConfig
     static EncoderConfig fast();
 };
 
+/**
+ * Deterministic per-architecture encoder inputs, computed once per
+ * fit() by ArchEncoder::buildCache() and reused every epoch. Holds the
+ * scaled AF feature rows, the tokenized architecture strings and the
+ * normalized GCN graph inputs — everything encode() would otherwise
+ * recompute per step. The trainable encoder passes (LSTM/GCN forward)
+ * are NOT cached, so encodeCached() is bit-identical to encode() on
+ * the same architectures at every training step.
+ */
+struct EncoderCache
+{
+    /** Scaled AF rows (n x kNumArchFeatures; 0x0 when AF unused). */
+    Matrix af;
+    /** Token sequences for the LSTM branch (empty when unused). */
+    std::vector<std::vector<std::size_t>> tokens;
+    /** Normalized graph inputs for the GCN branch (empty when unused). */
+    std::vector<nn::GraphInput> graphs;
+    /** Number of cached architectures. */
+    std::size_t size = 0;
+};
+
 /** Trainable encoder front-end producing (n x dim) batch encodings. */
 class ArchEncoder : public nn::Module
 {
@@ -80,6 +101,17 @@ class ArchEncoder : public nn::Module
     /** Encode a batch of architectures. */
     nn::Tensor
     encode(const std::vector<nasbench::Architecture> &archs) const;
+
+    /** Precompute the deterministic encoder inputs of @p archs. */
+    EncoderCache
+    buildCache(std::span<const nasbench::Architecture> archs) const;
+
+    /**
+     * Encode cache entries @p batch (indices into the cached set).
+     * Bit-identical to encode() on the same architectures.
+     */
+    nn::Tensor encodeCached(const EncoderCache &cache,
+                            const std::vector<std::size_t> &batch) const;
 
     /**
      * Inference-only encoding on raw matrices: the whole batch is

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -81,6 +82,24 @@ HwPrNas::forward(const std::vector<nasbench::Architecture> &archs,
     return out;
 }
 
+HwPrNas::Forward
+HwPrNas::forwardCached(const EncoderCache &acc_cache,
+                       const EncoderCache &lat_cache,
+                       const std::vector<std::size_t> &batch,
+                       std::size_t head, bool training, Rng &rng) const
+{
+    Forward out;
+    const nn::Tensor acc_enc =
+        accEncoder_->encodeCached(acc_cache, batch);
+    out.accPred = accHead_->forward(acc_enc, training, rng);
+    const nn::Tensor lat_enc =
+        latEncoder_->encodeCached(lat_cache, batch);
+    out.latPred = latHeads_[head]->forward(lat_enc, training, rng);
+    out.score = combiner_->forward(
+        nn::concatCols(out.accPred, out.latPred), training, rng);
+    return out;
+}
+
 void
 HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
                const std::vector<const nasbench::ArchRecord *> &val,
@@ -134,16 +153,28 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
     nn::CosineAnnealing schedule(cfg.learningRate,
                                  cfg.epochs * steps_per_epoch);
 
-    // Pre-computed true objective points for Pareto-rank labelling.
-    auto batch_ranks = [&](const std::vector<std::size_t> &batch,
-                           const std::vector<const nasbench::ArchRecord
-                                                 *> &recs) {
-        std::vector<pareto::Point> pts;
-        pts.reserve(batch.size());
+    // Pareto-rank labelling: the true objective points are a pure
+    // function of the records, so compute them once per fit instead
+    // of re-deriving them for every batch of every epoch.
+    auto points_of =
+        [&](const std::vector<const nasbench::ArchRecord *> &recs) {
+            std::vector<pareto::Point> pts;
+            pts.reserve(recs.size());
+            for (const auto *rec : recs)
+                pts.push_back(
+                    search::trueObjectives(*rec, platform_));
+            return pts;
+        };
+    const std::vector<pareto::Point> train_pts = points_of(train);
+    const std::vector<pareto::Point> val_pts = points_of(val);
+
+    auto batch_ranks = [](const std::vector<std::size_t> &batch,
+                          const std::vector<pareto::Point> &pts) {
+        std::vector<pareto::Point> sub;
+        sub.reserve(batch.size());
         for (std::size_t idx : batch)
-            pts.push_back(
-                search::trueObjectives(*recs[idx], platform_));
-        return pareto::paretoRanks(pts);
+            sub.push_back(pts[idx]);
+        return pareto::paretoRanks(sub);
     };
 
     auto joint_loss = [&](const Forward &f,
@@ -163,38 +194,78 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
     std::vector<std::size_t> val_all(val_archs.size());
     for (std::size_t i = 0; i < val_all.size(); ++i)
         val_all[i] = i;
-    const std::vector<int> val_ranks = batch_ranks(val_all, val);
+    const std::vector<int> val_ranks = batch_ranks(val_all, val_pts);
+
+    // Fit-time fast paths: deterministic encoder inputs are computed
+    // once (encoding cache) and autodiff nodes/buffers are recycled
+    // across steps (graph arena). Both are bit-identical to the plain
+    // path; setTrainFastPath(false) switches it back on for tests.
+    const bool fast = trainFastPath();
+    EncoderCache acc_train_cache, lat_train_cache;
+    EncoderCache acc_val_cache, lat_val_cache;
+    if (fast) {
+        acc_train_cache = accEncoder_->buildCache(train_archs);
+        lat_train_cache = latEncoder_->buildCache(train_archs);
+        acc_val_cache = accEncoder_->buildCache(val_archs);
+        lat_val_cache = latEncoder_->buildCache(val_archs);
+    }
+    nn::GraphArena arena;
+    if (fast)
+        arena.activate();
+
+    auto train_forward = [&](const std::vector<std::size_t> &batch,
+                             bool training) {
+        if (fast)
+            return forwardCached(acc_train_cache, lat_train_cache,
+                                 batch, head, training, rng_);
+        std::vector<nasbench::Architecture> archs;
+        archs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            archs.push_back(train_archs[idx]);
+        return forward(archs, head, training, rng_);
+    };
 
     double best_val = 1e300;
     std::size_t since_best = 0;
     std::vector<Matrix> best_params = snapshotParams(params);
     std::size_t step = 0;
+    valLossHistory_.clear();
 
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
-            std::vector<nasbench::Architecture> archs;
+            // Previous step's tensors are dead here: recycle them.
+            if (fast)
+                arena.reset();
             std::vector<double> acc_t, lat_t;
+            acc_t.reserve(batch.size());
+            lat_t.reserve(batch.size());
             for (std::size_t idx : batch) {
-                archs.push_back(train_archs[idx]);
                 acc_t.push_back(train_accn[idx]);
                 lat_t.push_back(train_latn[idx]);
             }
-            const std::vector<int> ranks = batch_ranks(batch, train);
+            const std::vector<int> ranks =
+                batch_ranks(batch, train_pts);
             if (cfg.cosineAnnealing)
                 opt.setLearningRate(schedule.at(step));
             ++step;
             opt.zeroGrad();
-            const Forward f = forward(archs, head, true, rng_);
+            const Forward f = train_forward(batch, true);
             nn::Tensor loss = joint_loss(f, ranks, acc_t, lat_t);
             nn::backward(loss);
             opt.step();
         }
 
-        const Forward vf = forward(val_archs, head, false, rng_);
+        if (fast)
+            arena.reset();
+        const Forward vf =
+            fast ? forwardCached(acc_val_cache, lat_val_cache,
+                                 val_all, head, false, rng_)
+                 : forward(val_archs, head, false, rng_);
         const double vloss =
             joint_loss(vf, val_ranks, val_accn, val_latn)
                 .value()(0, 0);
+        valLossHistory_.push_back(vloss);
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
@@ -213,13 +284,12 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
              ++epoch) {
             for (const auto &batch : makeBatches(
                      train_archs.size(), cfg.batchSize, rng_)) {
-                std::vector<nasbench::Architecture> archs;
-                for (std::size_t idx : batch)
-                    archs.push_back(train_archs[idx]);
+                if (fast)
+                    arena.reset();
                 const std::vector<int> ranks =
-                    batch_ranks(batch, train);
+                    batch_ranks(batch, train_pts);
                 comb_opt.zeroGrad();
-                const Forward f = forward(archs, head, false, rng_);
+                const Forward f = train_forward(batch, false);
                 nn::Tensor loss =
                     nn::listMleParetoLoss(f.score, ranks);
                 nn::backward(loss);
@@ -227,6 +297,8 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
             }
         }
     }
+    if (fast)
+        arena.deactivate();
     trained_ = true;
 }
 
@@ -294,76 +366,116 @@ HwPrNas::trainMultiPlatform(
     nn::CosineAnnealing schedule(cfg.learningRate,
                                  cfg.epochs * steps_per_epoch);
 
-    auto ranks_for = [&](const std::vector<std::size_t> &batch,
-                         const std::vector<const nasbench::ArchRecord
-                                               *> &recs,
-                         hw::PlatformId platform) {
-        std::vector<pareto::Point> pts;
-        pts.reserve(batch.size());
+    // Per-platform true objective points, once per fit (the points
+    // are a pure function of the records).
+    auto points_for =
+        [&](const std::vector<const nasbench::ArchRecord *> &recs) {
+            std::vector<std::vector<pareto::Point>> pts(
+                platforms.size());
+            for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+                pts[pi].reserve(recs.size());
+                for (const auto *rec : recs)
+                    pts[pi].push_back(search::trueObjectives(
+                        *rec, platforms[pi]));
+            }
+            return pts;
+        };
+    const auto train_pts = points_for(train);
+    const auto val_pts = points_for(val);
+
+    auto ranks_for = [](const std::vector<std::size_t> &batch,
+                        const std::vector<pareto::Point> &pts) {
+        std::vector<pareto::Point> sub;
+        sub.reserve(batch.size());
         for (std::size_t idx : batch)
-            pts.push_back(
-                search::trueObjectives(*recs[idx], platform));
-        return pareto::paretoRanks(pts);
+            sub.push_back(pts[idx]);
+        return pareto::paretoRanks(sub);
     };
 
     // Joint loss over all platforms: the shared encoders/acc branch
-    // see the sum of every platform's listwise + RMSE terms.
-    auto joint_loss = [&](const std::vector<nasbench::Architecture>
-                              &archs,
-                          const std::vector<std::size_t> &batch,
-                          const std::vector<const nasbench::ArchRecord
-                                                *> &recs,
-                          const std::vector<double> &acc_t,
-                          const std::vector<std::vector<double>>
-                              &lat_t,
-                          bool training) {
-        const nn::Tensor acc_enc = accEncoder_->encode(archs);
-        const nn::Tensor acc_pred =
-            accHead_->forward(acc_enc, training, rng_);
-        const nn::Tensor lat_enc = latEncoder_->encode(archs);
+    // see the sum of every platform's listwise + RMSE terms. Encoding
+    // happens in the caller (cached or plain); the encoders consume no
+    // RNG, so the dropout draw order is unchanged.
+    auto joint_loss =
+        [&](const nn::Tensor &acc_enc, const nn::Tensor &lat_enc,
+            const std::vector<std::size_t> &batch,
+            const std::vector<std::vector<pareto::Point>> &pts,
+            const std::vector<double> &acc_t,
+            const std::vector<std::vector<double>> &lat_t,
+            bool training) {
+            const nn::Tensor acc_pred =
+                accHead_->forward(acc_enc, training, rng_);
 
-        nn::Tensor total = nn::scale(
-            nn::mseLoss(acc_pred, acc_t), cfg_.rmseWeight);
-        const double inv_p = 1.0 / double(platforms.size());
-        for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
-            const std::size_t pidx =
-                hw::platformIndex(platforms[pi]);
-            const nn::Tensor lat_pred =
-                latHeads_[pidx]->forward(lat_enc, training, rng_);
-            total = nn::add(
-                total, nn::scale(nn::mseLoss(lat_pred, lat_t[pi]),
-                                 cfg_.rmseWeight * inv_p));
-            if (cfg.listwiseLoss) {
-                const nn::Tensor score = combiner_->forward(
-                    nn::concatCols(acc_pred, lat_pred), training,
-                    rng_);
+            nn::Tensor total = nn::scale(
+                nn::mseLoss(acc_pred, acc_t), cfg_.rmseWeight);
+            const double inv_p = 1.0 / double(platforms.size());
+            for (std::size_t pi = 0; pi < platforms.size(); ++pi) {
+                const std::size_t pidx =
+                    hw::platformIndex(platforms[pi]);
+                const nn::Tensor lat_pred =
+                    latHeads_[pidx]->forward(lat_enc, training,
+                                             rng_);
                 total = nn::add(
-                    total,
-                    nn::scale(nn::listMleParetoLoss(
-                                  score, ranks_for(batch, recs,
-                                                   platforms[pi])),
-                              inv_p));
+                    total, nn::scale(nn::mseLoss(lat_pred, lat_t[pi]),
+                                     cfg_.rmseWeight * inv_p));
+                if (cfg.listwiseLoss) {
+                    const nn::Tensor score = combiner_->forward(
+                        nn::concatCols(acc_pred, lat_pred), training,
+                        rng_);
+                    total = nn::add(
+                        total,
+                        nn::scale(nn::listMleParetoLoss(
+                                      score,
+                                      ranks_for(batch, pts[pi])),
+                                  inv_p));
+                }
             }
-        }
-        return total;
-    };
+            return total;
+        };
 
     std::vector<std::size_t> val_all(val_archs.size());
     for (std::size_t i = 0; i < val_all.size(); ++i)
         val_all[i] = i;
 
+    const bool fast = trainFastPath();
+    EncoderCache acc_train_cache, lat_train_cache;
+    EncoderCache acc_val_cache, lat_val_cache;
+    if (fast) {
+        acc_train_cache = accEncoder_->buildCache(train_archs);
+        lat_train_cache = latEncoder_->buildCache(train_archs);
+        acc_val_cache = accEncoder_->buildCache(val_archs);
+        lat_val_cache = latEncoder_->buildCache(val_archs);
+    }
+    nn::GraphArena arena;
+    if (fast)
+        arena.activate();
+
+    auto encode_train = [&](const std::vector<std::size_t> &batch) {
+        if (fast)
+            return std::make_pair(
+                accEncoder_->encodeCached(acc_train_cache, batch),
+                latEncoder_->encodeCached(lat_train_cache, batch));
+        std::vector<nasbench::Architecture> archs;
+        archs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            archs.push_back(train_archs[idx]);
+        return std::make_pair(accEncoder_->encode(archs),
+                              latEncoder_->encode(archs));
+    };
+
     double best_val = 1e300;
     std::size_t since_best = 0;
     std::vector<Matrix> best_params = snapshotParams(params);
     std::size_t step = 0;
+    valLossHistory_.clear();
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
-            std::vector<nasbench::Architecture> archs;
+            if (fast)
+                arena.reset();
             std::vector<double> acc_t;
             std::vector<std::vector<double>> lat_t(platforms.size());
             for (std::size_t idx : batch) {
-                archs.push_back(train_archs[idx]);
                 acc_t.push_back(train_accn[idx]);
                 for (std::size_t pi = 0; pi < platforms.size(); ++pi)
                     lat_t[pi].push_back(train_latn[pi][idx]);
@@ -372,15 +484,28 @@ HwPrNas::trainMultiPlatform(
                 opt.setLearningRate(schedule.at(step));
             ++step;
             opt.zeroGrad();
-            nn::Tensor loss = joint_loss(archs, batch, train, acc_t,
-                                         lat_t, true);
+            const auto [acc_enc, lat_enc] = encode_train(batch);
+            nn::Tensor loss = joint_loss(acc_enc, lat_enc, batch,
+                                         train_pts, acc_t, lat_t,
+                                         true);
             nn::backward(loss);
             opt.step();
         }
+        if (fast)
+            arena.reset();
+        const auto [vacc_enc, vlat_enc] =
+            fast ? std::make_pair(
+                       accEncoder_->encodeCached(acc_val_cache,
+                                                 val_all),
+                       latEncoder_->encodeCached(lat_val_cache,
+                                                 val_all))
+                 : std::make_pair(accEncoder_->encode(val_archs),
+                                  latEncoder_->encode(val_archs));
         const double vloss =
-            joint_loss(val_archs, val_all, val, val_accn, val_latn,
-                       false)
+            joint_loss(vacc_enc, vlat_enc, val_all, val_pts,
+                       val_accn, val_latn, false)
                 .value()(0, 0);
+        valLossHistory_.push_back(vloss);
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
@@ -390,6 +515,8 @@ HwPrNas::trainMultiPlatform(
         }
     }
     restoreParams(params, best_params);
+    if (fast)
+        arena.deactivate();
     trained_ = true;
 }
 

@@ -174,6 +174,18 @@ class HwPrNas : public Surrogate
     nasbench::DatasetId dataset() const { return dataset_; }
     bool trained() const { return trained_; }
 
+    /**
+     * Per-epoch validation losses of the last train() /
+     * trainMultiPlatform() call, in epoch order. Used by bench_train
+     * and the reproducibility tests to assert that the same-seed loss
+     * trajectory is bit-identical across thread counts and with the
+     * fast-path optimizations toggled on or off.
+     */
+    const std::vector<double> &valLossHistory() const
+    {
+        return valLossHistory_;
+    }
+
     /** All trainable parameters. */
     std::vector<nn::Tensor> params() const;
 
@@ -200,6 +212,17 @@ class HwPrNas : public Surrogate
 
     Forward forward(const std::vector<nasbench::Architecture> &archs,
                     std::size_t head, bool training, Rng &rng) const;
+
+    /**
+     * Training forward over fit-time encoding caches: identical math
+     * (and RNG draw order) to forward(), minus the per-step encoding
+     * input recomputation.
+     */
+    Forward forwardCached(const EncoderCache &acc_cache,
+                          const EncoderCache &lat_cache,
+                          const std::vector<std::size_t> &batch,
+                          std::size_t head, bool training,
+                          Rng &rng) const;
 
     /** Normalized per-row outputs of the raw inference forward. */
     struct RawForward
@@ -244,6 +267,7 @@ class HwPrNas : public Surrogate
     TargetScaler accScaler_;
     /** Per-head latency scalers (index = headIndex of a platform). */
     std::array<TargetScaler, hw::kNumPlatforms> latScalers_;
+    std::vector<double> valLossHistory_;
     bool trained_ = false;
 };
 

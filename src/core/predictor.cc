@@ -135,6 +135,33 @@ MetricPredictor::train(
     nn::CosineAnnealing schedule(cfg.lr,
                                  cfg.epochs * steps_per_epoch);
 
+    // Fit-time fast paths (encoding cache + graph arena), bit-identical
+    // to the plain path; see core/train_util.h.
+    const bool fast = trainFastPath();
+    EncoderCache cache, val_cache;
+    if (fast) {
+        cache = encoder_->buildCache(train_archs);
+        val_cache = encoder_->buildCache(val_archs);
+    }
+    nn::GraphArena arena;
+    if (fast)
+        arena.activate();
+
+    std::vector<std::size_t> val_all(val_archs.size());
+    for (std::size_t i = 0; i < val_all.size(); ++i)
+        val_all[i] = i;
+
+    auto train_forward = [&](const std::vector<std::size_t> &batch) {
+        if (fast)
+            return head_->forward(encoder_->encodeCached(cache, batch),
+                                  true, rng_);
+        std::vector<nasbench::Architecture> archs;
+        archs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            archs.push_back(train_archs[idx]);
+        return forwardNn(archs, true, rng_);
+    };
+
     double best_val = 1e300;
     std::size_t since_best = 0;
     std::vector<Matrix> best_params = snapshotParams(params);
@@ -143,17 +170,17 @@ MetricPredictor::train(
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
-            std::vector<nasbench::Architecture> archs;
+            if (fast)
+                arena.reset();
             std::vector<double> y;
-            for (std::size_t idx : batch) {
-                archs.push_back(train_archs[idx]);
+            y.reserve(batch.size());
+            for (std::size_t idx : batch)
                 y.push_back(train_yn[idx]);
-            }
             if (cfg.cosineAnnealing)
                 opt.setLearningRate(schedule.at(step));
             ++step;
             opt.zeroGrad();
-            const nn::Tensor pred = forwardNn(archs, true, rng_);
+            const nn::Tensor pred = train_forward(batch);
             nn::Tensor loss;
             switch (cfg.loss) {
               case LossKind::Mse:
@@ -176,7 +203,13 @@ MetricPredictor::train(
         }
 
         // Validation loss (same objective, no dropout).
-        const nn::Tensor vp = forwardNn(val_archs, false, rng_);
+        if (fast)
+            arena.reset();
+        const nn::Tensor vp =
+            fast ? head_->forward(
+                       encoder_->encodeCached(val_cache, val_all),
+                       false, rng_)
+                 : forwardNn(val_archs, false, rng_);
         double vloss = 0.0;
         switch (cfg.loss) {
           case LossKind::Mse:
@@ -204,6 +237,8 @@ MetricPredictor::train(
         }
     }
     restoreParams(params, best_params);
+    if (fast)
+        arena.deactivate();
     trained_ = true;
 }
 

@@ -176,6 +176,36 @@ ScalableHwPrNas::train(
         val_all[i] = i;
     const std::vector<int> val_ranks = ranksOf(val, val_all, false);
 
+    // True objective points once per fit; per-batch ranks gather from
+    // these instead of re-deriving every point every step.
+    std::vector<pareto::Point> train_pts;
+    train_pts.reserve(train.size());
+    for (const auto *rec : train)
+        train_pts.push_back(
+            search::trueObjectives(*rec, platform_, false));
+
+    const bool fast = trainFastPath();
+    EncoderCache cache, val_cache;
+    if (fast) {
+        cache = encoder_->buildCache(train_archs);
+        val_cache = encoder_->buildCache(val_archs);
+    }
+    nn::GraphArena arena;
+    if (fast)
+        arena.activate();
+
+    auto train_forward = [&](const std::vector<std::size_t> &batch,
+                             bool training) {
+        if (fast)
+            return mlp_->forward(encoder_->encodeCached(cache, batch),
+                                 training, rng_);
+        std::vector<nasbench::Architecture> archs;
+        archs.reserve(batch.size());
+        for (std::size_t idx : batch)
+            archs.push_back(train_archs[idx]);
+        return forward(archs, training, rng_);
+    };
+
     double best_val = 1e300;
     std::size_t since_best = 0;
     std::vector<Matrix> best_params = snapshotParams(params);
@@ -184,24 +214,31 @@ ScalableHwPrNas::train(
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
-            std::vector<nasbench::Architecture> archs;
+            if (fast)
+                arena.reset();
+            std::vector<pareto::Point> sub;
+            sub.reserve(batch.size());
             for (std::size_t idx : batch)
-                archs.push_back(train_archs[idx]);
-            const std::vector<int> ranks =
-                ranksOf(train, batch, false);
+                sub.push_back(train_pts[idx]);
+            const std::vector<int> ranks = pareto::paretoRanks(sub);
             if (cfg.cosineAnnealing)
                 opt.setLearningRate(schedule.at(step));
             ++step;
             opt.zeroGrad();
             nn::Tensor loss = nn::listMleParetoLoss(
-                forward(archs, true, rng_), ranks);
+                train_forward(batch, true), ranks);
             nn::backward(loss);
             opt.step();
         }
+        if (fast)
+            arena.reset();
+        const nn::Tensor vp =
+            fast ? mlp_->forward(
+                       encoder_->encodeCached(val_cache, val_all),
+                       false, rng_)
+                 : forward(val_archs, false, rng_);
         const double vloss =
-            nn::listMleParetoLoss(forward(val_archs, false, rng_),
-                                  val_ranks)
-                .value()(0, 0);
+            nn::listMleParetoLoss(vp, val_ranks).value()(0, 0);
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
@@ -211,6 +248,8 @@ ScalableHwPrNas::train(
         }
     }
     restoreParams(params, best_params);
+    if (fast)
+        arena.deactivate();
     trained_ = true;
     energyAware_ = false;
 }
@@ -227,21 +266,50 @@ ScalableHwPrNas::addEnergyObjective(
 
     // Fine-tune only the MLP; the encoding component stays frozen
     // (paper Sec. III-F).
+    std::vector<pareto::Point> train_pts;
+    train_pts.reserve(train.size());
+    for (const auto *rec : train)
+        train_pts.push_back(
+            search::trueObjectives(*rec, platform_, true));
+
+    const bool fast = trainFastPath();
+    EncoderCache cache;
+    if (fast)
+        cache = encoder_->buildCache(train_archs);
+    nn::GraphArena arena;
+    if (fast)
+        arena.activate();
+
     nn::AdamW opt(mlp_->params(), lr, 0.0);
     for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
         for (const auto &batch :
              makeBatches(train_archs.size(), batch_size, rng_)) {
-            std::vector<nasbench::Architecture> archs;
+            if (fast)
+                arena.reset();
+            std::vector<pareto::Point> sub;
+            sub.reserve(batch.size());
             for (std::size_t idx : batch)
-                archs.push_back(train_archs[idx]);
-            const std::vector<int> ranks = ranksOf(train, batch, true);
+                sub.push_back(train_pts[idx]);
+            const std::vector<int> ranks = pareto::paretoRanks(sub);
             opt.zeroGrad();
-            nn::Tensor loss = nn::listMleParetoLoss(
-                forward(archs, false, rng_), ranks);
+            const nn::Tensor pred =
+                fast ? mlp_->forward(
+                           encoder_->encodeCached(cache, batch),
+                           false, rng_)
+                     : [&] {
+                           std::vector<nasbench::Architecture> archs;
+                           archs.reserve(batch.size());
+                           for (std::size_t idx : batch)
+                               archs.push_back(train_archs[idx]);
+                           return forward(archs, false, rng_);
+                       }();
+            nn::Tensor loss = nn::listMleParetoLoss(pred, ranks);
             nn::backward(loss);
             opt.step();
         }
     }
+    if (fast)
+        arena.deactivate();
     energyAware_ = true;
 }
 

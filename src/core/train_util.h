@@ -36,6 +36,16 @@ struct TargetScaler
 std::vector<std::vector<std::size_t>>
 makeBatches(std::size_t n, std::size_t batch_size, Rng &rng);
 
+/**
+ * Whether the fit-time fast paths (autodiff graph arena + encoding
+ * cache) are enabled. On by default; both paths are bit-identical to
+ * the plain ones, and the reproducibility tests toggle this off to
+ * assert exactly that.
+ */
+bool trainFastPath();
+/** Enable/disable the fit-time fast paths (process-wide). */
+void setTrainFastPath(bool enabled);
+
 /** Copy current parameter values (for best-epoch restore). */
 std::vector<Matrix> snapshotParams(const std::vector<nn::Tensor> &params);
 

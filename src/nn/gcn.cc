@@ -43,44 +43,55 @@ GcnEncoder::normalizeAdjacency(const Matrix &raw)
 Tensor
 GcnEncoder::forward(const std::vector<GraphInput> &graphs) const
 {
+    std::vector<const GraphInput *> ptrs;
+    ptrs.reserve(graphs.size());
+    for (const auto &g : graphs)
+        ptrs.push_back(&g);
+    return forward(ptrs);
+}
+
+Tensor
+GcnEncoder::forward(const std::vector<const GraphInput *> &graphs) const
+{
     HWPR_CHECK(!graphs.empty(), "empty GCN batch");
 
-    // Stack node features and record block offsets.
-    std::vector<Matrix> adj;
-    std::vector<std::size_t> offsets, global_rows;
+    // Stack node features and record the block structure once; every
+    // layer's blockAdjacencyMatmul shares the same BlockAdjacency.
+    auto blocks = std::make_shared<BlockAdjacency>();
+    std::vector<std::size_t> global_rows;
     std::size_t total = 0;
-    for (const auto &g : graphs) {
-        HWPR_ASSERT(g.features.cols() == cfg_.featDim,
+    for (const auto *g : graphs) {
+        HWPR_ASSERT(g->features.cols() == cfg_.featDim,
                     "feature dim mismatch");
-        HWPR_ASSERT(g.adjacency.rows() == g.features.rows(),
+        HWPR_ASSERT(g->adjacency.rows() == g->features.rows(),
                     "adjacency/features node count mismatch");
-        offsets.push_back(total);
-        adj.push_back(g.adjacency);
-        global_rows.push_back(g.globalNode);
-        total += g.features.rows();
+        blocks->offsets.push_back(total);
+        blocks->adj.push_back(g->adjacency);
+        global_rows.push_back(g->globalNode);
+        total += g->features.rows();
     }
-    Matrix stacked(total, cfg_.featDim);
+    Matrix stacked = detail::newMatrix(total, cfg_.featDim, true);
     for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-        const Matrix &f = graphs[gi].features;
+        const Matrix &f = graphs[gi]->features;
         for (std::size_t i = 0; i < f.rows(); ++i)
             for (std::size_t j = 0; j < f.cols(); ++j)
-                stacked(offsets[gi] + i, j) = f(i, j);
+                stacked(blocks->offsets[gi] + i, j) = f(i, j);
     }
 
     Tensor h = Tensor::constant(std::move(stacked), "gcn_input");
     for (const auto &layer : layers_)
-        h = relu(blockAdjacencyMatmul(layer.forward(h), adj, offsets));
+        h = relu(blockAdjacencyMatmul(layer.forward(h), blocks));
 
     if (cfg_.useGlobalNode)
-        return gatherBlockRows(h, offsets, global_rows);
+        return gatherBlockRows(h, blocks->offsets, global_rows);
 
     // Mean-pool readout: average node embeddings per graph. Expressed
     // with a constant pooling matrix so gradients flow through matmul.
-    Matrix pool(graphs.size(), total);
+    Matrix pool = detail::newMatrix(graphs.size(), total, true);
     for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
-        const std::size_t v = adj[gi].rows();
+        const std::size_t v = blocks->adj[gi].rows();
         for (std::size_t i = 0; i < v; ++i)
-            pool(gi, offsets[gi] + i) = 1.0 / double(v);
+            pool(gi, blocks->offsets[gi] + i) = 1.0 / double(v);
     }
     return matmul(Tensor::constant(std::move(pool), "gcn_pool"), h);
 }

@@ -60,6 +60,14 @@ class GcnEncoder : public Module
     Tensor forward(const std::vector<GraphInput> &graphs) const;
 
     /**
+     * Same, over caller-owned graphs (the fit-time encoding cache
+     * normalizes adjacencies once per fit and passes pointers per
+     * batch). Pointers must stay valid for the duration of the call;
+     * the recorded autodiff nodes copy what they need.
+     */
+    Tensor forward(const std::vector<const GraphInput *> &graphs) const;
+
+    /**
      * Inference-only encoding on raw matrices: no autodiff graph is
      * recorded. Matches forward() bit-for-bit.
      */

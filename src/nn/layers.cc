@@ -24,20 +24,19 @@ applyActivation(const Tensor &x, Activation act)
 void
 applyActivationInPlace(Matrix &x, Activation act)
 {
+    // The detail:: sweeps are the same code the tensor ops run, so
+    // the raw inference path stays bit-identical to autodiff forward.
     switch (act) {
       case Activation::None:
         return;
       case Activation::ReLU:
-        for (double &v : x.raw())
-            v = v > 0.0 ? v : 0.0;
+        detail::reluMap(x, x);
         return;
       case Activation::Tanh:
-        for (double &v : x.raw())
-            v = std::tanh(v);
+        detail::tanhMap(x, x);
         return;
       case Activation::Sigmoid:
-        for (double &v : x.raw())
-            v = 1.0 / (1.0 + std::exp(-v));
+        detail::sigmoidMap(x, x);
         return;
     }
     panic("unknown activation");

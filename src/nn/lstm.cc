@@ -37,28 +37,42 @@ Tensor
 LstmEncoder::forward(
     const std::vector<std::vector<std::size_t>> &sequences) const
 {
+    std::vector<const std::vector<std::size_t> *> ptrs;
+    ptrs.reserve(sequences.size());
+    for (const auto &s : sequences)
+        ptrs.push_back(&s);
+    return forward(ptrs);
+}
+
+Tensor
+LstmEncoder::forward(
+    const std::vector<const std::vector<std::size_t> *> &sequences)
+    const
+{
     HWPR_CHECK(!sequences.empty(), "empty LSTM batch");
     const std::size_t batch = sequences.size();
-    const std::size_t steps = sequences[0].size();
-    for (const auto &s : sequences)
-        HWPR_CHECK(s.size() == steps,
+    const std::size_t steps = sequences[0]->size();
+    for (const auto *s : sequences)
+        HWPR_CHECK(s->size() == steps,
                    "LSTM batch requires equal-length sequences");
     const std::size_t h = cfg_.hidden;
 
     // Embed per time step: inputs[t] is (batch x embedDim).
     std::vector<Tensor> inputs(steps);
+    std::vector<std::size_t> ids(batch);
     for (std::size_t t = 0; t < steps; ++t) {
-        std::vector<std::size_t> ids(batch);
         for (std::size_t b = 0; b < batch; ++b) {
-            HWPR_ASSERT(sequences[b][t] < cfg_.vocab, "token OOB");
-            ids[b] = sequences[b][t];
+            HWPR_ASSERT((*sequences[b])[t] < cfg_.vocab, "token OOB");
+            ids[b] = (*sequences[b])[t];
         }
         inputs[t] = gatherRows(embedding_, ids);
     }
 
     for (const auto &lp : layerParams_) {
-        Tensor h_t = Tensor::constant(Matrix(batch, h), "h0");
-        Tensor c_t = Tensor::constant(Matrix(batch, h), "c0");
+        Tensor h_t = Tensor::constant(
+            detail::newMatrix(batch, h, true), "h0");
+        Tensor c_t = Tensor::constant(
+            detail::newMatrix(batch, h, true), "c0");
         for (std::size_t t = 0; t < steps; ++t) {
             Tensor z = addRowBroadcast(
                 add(matmul(inputs[t], lp.wx), matmul(h_t, lp.wh)),
@@ -105,29 +119,39 @@ LstmEncoder::encodeBatch(
     for (const auto &lp : layerParams_) {
         Matrix h_t(batch, h);
         Matrix c_t(batch, h);
+        Matrix i_g(batch, h), f_g(batch, h), g_g(batch, h),
+            o_g(batch, h), tc(batch, h);
         for (std::size_t t = 0; t < steps; ++t) {
             Matrix z = inputs[t].matmul(lp.wx.value());
             z += h_t.matmul(lp.wh.value());
             z = z.addRowBroadcast(lp.b.value());
-            // Gate order [i, f, g, o]; same scalar math as the
-            // sigmoid/tanh tensor ops so results match bit-for-bit.
+            // Gate order [i, f, g, o]. Split z into contiguous
+            // per-gate panels (the same element order sliceCols
+            // produces) and run the shared activation sweeps, so the
+            // values match the autodiff forward bit-for-bit even
+            // where those sweeps use vector lanes.
             for (std::size_t b = 0; b < batch; ++b) {
                 const double *zr = &z.raw()[b * 4 * h];
-                double *cr = &c_t.raw()[b * h];
-                double *hr = &h_t.raw()[b * h];
                 for (std::size_t j = 0; j < h; ++j) {
-                    const double i_g =
-                        1.0 / (1.0 + std::exp(-zr[j]));
-                    const double f_g =
-                        1.0 / (1.0 + std::exp(-zr[h + j]));
-                    const double g_g = std::tanh(zr[2 * h + j]);
-                    const double o_g =
-                        1.0 / (1.0 + std::exp(-zr[3 * h + j]));
-                    const double c = f_g * cr[j] + i_g * g_g;
-                    cr[j] = c;
-                    hr[j] = o_g * std::tanh(c);
+                    i_g.raw()[b * h + j] = zr[j];
+                    f_g.raw()[b * h + j] = zr[h + j];
+                    g_g.raw()[b * h + j] = zr[2 * h + j];
+                    o_g.raw()[b * h + j] = zr[3 * h + j];
                 }
             }
+            nn::detail::sigmoidMap(i_g, i_g);
+            nn::detail::sigmoidMap(f_g, f_g);
+            nn::detail::tanhMap(g_g, g_g);
+            nn::detail::sigmoidMap(o_g, o_g);
+            // c = f ⊙ c + i ⊙ g, then h = o ⊙ tanh(c): separate
+            // multiply and add rounds, exactly like the mul/add
+            // tensor ops.
+            for (std::size_t j = 0; j < batch * h; ++j)
+                c_t.raw()[j] = f_g.raw()[j] * c_t.raw()[j] +
+                               i_g.raw()[j] * g_g.raw()[j];
+            nn::detail::tanhMap(c_t, tc);
+            for (std::size_t j = 0; j < batch * h; ++j)
+                h_t.raw()[j] = o_g.raw()[j] * tc.raw()[j];
             // This layer's hidden states feed the next layer.
             inputs[t] = h_t;
         }

@@ -52,6 +52,14 @@ class LstmEncoder : public Module
         const std::vector<std::vector<std::size_t>> &sequences) const;
 
     /**
+     * Same, over caller-owned sequences (the fit-time encoding cache
+     * tokenizes once per fit and passes pointers per batch). Pointers
+     * must stay valid for the duration of the call only.
+     */
+    Tensor forward(const std::vector<const std::vector<std::size_t> *>
+                       &sequences) const;
+
+    /**
      * Inference-only encoding on raw matrices: no autodiff graph is
      * recorded. Matches forward() bit-for-bit.
      */

@@ -1,11 +1,67 @@
 #include "nn/optim.h"
 
+#include <atomic>
 #include <cmath>
 
+#include "common/isa.h"
 #include "common/logging.h"
 
 namespace hwpr::nn
 {
+
+namespace
+{
+
+std::atomic<std::uint64_t> total_steps{0};
+
+/** Momentum-SGD element update, cloned for AVX2-class hardware. */
+HWPR_TARGET_CLONES void
+sgdKernel(double *val, const double *g, double *vel, std::size_t n,
+          double momentum, double lr)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        vel[j] = momentum * vel[j] + g[j];
+        val[j] -= lr * vel[j];
+    }
+}
+
+/**
+ * Fused Adam/AdamW element update: one pass over the parameter doing
+ * the decoupled decay (decay_mul = 1 - lr * wd, folded from AdamW's
+ * former separate pass) and the Adam moment/step math. Elements are
+ * independent and the per-element operation order is unchanged, so
+ * the fusion is bit-identical to the two-pass form; decay_mul == 1.0
+ * reproduces plain Adam exactly (multiplying by 1.0 is exact).
+ * Cloned so the sqrt/divide chain vectorizes.
+ */
+HWPR_TARGET_CLONES void
+adamKernel(double *val, const double *g, double *m, double *v,
+           std::size_t n, double beta1, double beta2, double bc1,
+           double bc2, double lr, double eps, double decay_mul)
+{
+    for (std::size_t j = 0; j < n; ++j) {
+        const double x = val[j] * decay_mul;
+        m[j] = beta1 * m[j] + (1.0 - beta1) * g[j];
+        v[j] = beta2 * v[j] + (1.0 - beta2) * g[j] * g[j];
+        const double mhat = m[j] / bc1;
+        const double vhat = v[j] / bc2;
+        val[j] = x - lr * mhat / (std::sqrt(vhat) + eps);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Optimizer::totalSteps()
+{
+    return total_steps.load(std::memory_order_relaxed);
+}
+
+void
+Optimizer::countStep()
+{
+    total_steps.fetch_add(1, std::memory_order_relaxed);
+}
 
 void
 Optimizer::zeroGrad()
@@ -24,14 +80,13 @@ Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
 void
 Sgd::step()
 {
+    countStep();
     for (std::size_t i = 0; i < params_.size(); ++i) {
-        auto &val = params_[i].valueMut();
+        auto &val = params_[i].valueMut().raw();
         const auto &g = params_[i].grad().raw();
         auto &vel = velocity_[i].raw();
-        for (std::size_t j = 0; j < val.size(); ++j) {
-            vel[j] = momentum_ * vel[j] + g[j];
-            val.raw()[j] -= lr_ * vel[j];
-        }
+        sgdKernel(val.data(), g.data(), vel.data(), val.size(),
+                  momentum_, lr_);
     }
 }
 
@@ -49,6 +104,13 @@ Adam::Adam(std::vector<Tensor> params, double lr, double beta1,
 void
 Adam::step()
 {
+    stepFused(1.0);
+}
+
+void
+Adam::stepFused(double decay_mul)
+{
+    countStep();
     ++t_;
     const double bc1 = 1.0 - std::pow(beta1_, double(t_));
     const double bc2 = 1.0 - std::pow(beta2_, double(t_));
@@ -57,13 +119,9 @@ Adam::step()
         const auto &g = params_[i].grad().raw();
         auto &m = m_[i].raw();
         auto &v = v_[i].raw();
-        for (std::size_t j = 0; j < val.size(); ++j) {
-            m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-            v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-            const double mhat = m[j] / bc1;
-            const double vhat = v[j] / bc2;
-            val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-        }
+        adamKernel(val.data(), g.data(), m.data(), v.data(),
+                   val.size(), beta1_, beta2_, bc1, bc2, lr_, eps_,
+                   decay_mul);
     }
 }
 
@@ -77,16 +135,10 @@ AdamW::AdamW(std::vector<Tensor> params, double lr, double weight_decay,
 void
 AdamW::step()
 {
-    // Decoupled decay first, then the Adam update on raw gradients.
-    if (weightDecay_ > 0.0) {
-        for (auto &p : params_) {
-            auto &val = p.valueMut().raw();
-            const double k = 1.0 - lr_ * weightDecay_;
-            for (double &x : val)
-                x *= k;
-        }
-    }
-    Adam::step();
+    // Decoupled decay, folded into the Adam pass: each element is
+    // scaled by (1 - lr * wd) immediately before its own update
+    // instead of in a separate sweep over all parameters.
+    stepFused(weightDecay_ > 0.0 ? 1.0 - lr_ * weightDecay_ : 1.0);
 }
 
 CosineAnnealing::CosineAnnealing(double lr_max, std::size_t total_steps,

@@ -9,6 +9,7 @@
 #define HWPR_NN_OPTIM_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -34,7 +35,17 @@ class Optimizer
     double learningRate() const { return lr_; }
     void setLearningRate(double lr) { lr_ = lr; }
 
+    /**
+     * Process-wide count of optimizer steps taken by any instance.
+     * bench_train divides fit wall-clock by the delta of this counter
+     * to report steps/sec.
+     */
+    static std::uint64_t totalSteps();
+
   protected:
+    /** Bump the process-wide step counter (called by step()). */
+    static void countStep();
+
     std::vector<Tensor> params_;
     double lr_;
 };
@@ -60,6 +71,14 @@ class Adam : public Optimizer
     void step() override;
 
   protected:
+    /**
+     * One fused pass per parameter: scale each element by
+     * @p decay_mul (AdamW's decoupled decay; 1.0 = plain Adam), then
+     * apply its Adam moment update — bit-identical to running the
+     * decay as a separate sweep, with half the memory traffic.
+     */
+    void stepFused(double decay_mul);
+
     double beta1_, beta2_, eps_;
     std::size_t t_ = 0;
     std::vector<Matrix> m_, v_;

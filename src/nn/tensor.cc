@@ -1,23 +1,395 @@
 #include "nn/tensor.h"
 
 #include <cmath>
-#include <unordered_set>
+#include <cstring>
 
+#include "common/isa.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
+
+/**
+ * Vectorized exp/tanh from glibc's libmvec, used for the activation
+ * forward sweeps on AVX2 machines. The 4-lane variants differ from
+ * scalar libm by a few ulp, so the scalar tail of each sweep is only
+ * ever the final size % 4 elements: chunk grains are 4-aligned and
+ * chunks start at multiples of the grain, making every element's
+ * lane-vs-tail membership — and therefore its exact value — identical
+ * at any thread count.
+ */
+#if defined(HWPR_USE_MVEC) && defined(__x86_64__) && \
+    defined(__GNUC__) && !defined(__clang__) && \
+    defined(__GLIBC__) && __GLIBC_PREREQ(2, 35)
+#define HWPR_HAVE_MVEC 1
+#include <immintrin.h>
+extern "C" {
+__m256d _ZGVdN4v_exp(__m256d);
+__m256d _ZGVdN4v_tanh(__m256d);
+}
+#endif
 
 namespace hwpr::nn
 {
 
+namespace
+{
+
+/** Thread's active arena (training is single-threaded per fit). */
+thread_local GraphArena *t_active_arena = nullptr;
+
+std::uint64_t
+shapeKey(std::size_t rows, std::size_t cols)
+{
+    return (std::uint64_t(rows) << 32) | std::uint64_t(cols);
+}
+
+/** Elementwise threshold / grain, mirroring Matrix::map. */
+constexpr std::size_t kEltwiseParallel = std::size_t(1) << 15;
+
+#if HWPR_HAVE_MVEC
+__attribute__((target("avx2"))) void
+tanhRangeAvx2(const double *in, double *out, std::size_t b,
+              std::size_t e)
+{
+    std::size_t i = b;
+    for (; i + 4 <= e; i += 4)
+        _mm256_storeu_pd(out + i,
+                         _ZGVdN4v_tanh(_mm256_loadu_pd(in + i)));
+    for (; i < e; ++i)
+        out[i] = std::tanh(in[i]);
+}
+
+__attribute__((target("avx2"))) void
+sigmoidRangeAvx2(const double *in, double *out, std::size_t b,
+                 std::size_t e)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    std::size_t i = b;
+    for (; i + 4 <= e; i += 4) {
+        const __m256d ex = _ZGVdN4v_exp(_mm256_sub_pd(
+            _mm256_setzero_pd(), _mm256_loadu_pd(in + i)));
+        _mm256_storeu_pd(out + i,
+                         _mm256_div_pd(one, _mm256_add_pd(one, ex)));
+    }
+    for (; i < e; ++i)
+        out[i] = 1.0 / (1.0 + std::exp(-in[i]));
+}
+#endif
+
+bool
+haveAvx2()
+{
+#if HWPR_HAVE_MVEC
+    static const bool have = __builtin_cpu_supports("avx2");
+    return have;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Activation sweeps: libmvec 4-lane kernels on AVX2 hardware, the
+ * scalar forms elsewhere, chunked like mapInto.
+ */
+void
+tanhInto(const Matrix &src, Matrix &dst)
+{
+    const auto &in = src.raw();
+    auto &out = dst.raw();
+    auto range = [&](std::size_t b, std::size_t e) {
+#if HWPR_HAVE_MVEC
+        if (haveAvx2()) {
+            tanhRangeAvx2(in.data(), out.data(), b, e);
+            return;
+        }
+#endif
+        for (std::size_t i = b; i < e; ++i)
+            out[i] = std::tanh(in[i]);
+    };
+    if (in.size() < kEltwiseParallel) {
+        range(0, in.size());
+        return;
+    }
+    ExecContext::global().pool->parallelFor(
+        0, in.size(), kEltwiseParallel / 4, range);
+}
+
+void
+sigmoidInto(const Matrix &src, Matrix &dst)
+{
+    const auto &in = src.raw();
+    auto &out = dst.raw();
+    auto range = [&](std::size_t b, std::size_t e) {
+#if HWPR_HAVE_MVEC
+        if (haveAvx2()) {
+            sigmoidRangeAvx2(in.data(), out.data(), b, e);
+            return;
+        }
+#endif
+        for (std::size_t i = b; i < e; ++i)
+            out[i] = 1.0 / (1.0 + std::exp(-in[i]));
+    };
+    if (in.size() < kEltwiseParallel) {
+        range(0, in.size());
+        return;
+    }
+    ExecContext::global().pool->parallelFor(
+        0, in.size(), kEltwiseParallel / 4, range);
+}
+
+void reluInto(const Matrix &src, Matrix &dst);
+
+/**
+ * @{
+ * @name Elementwise op kernels
+ *
+ * Forward/backward sweeps of the cheap tensor ops, cloned
+ * (common/isa.h) so AVX2 machines run them 4-wide. Each caller sweeps
+ * serially or over 4-aligned chunks, so results are identical at
+ * every thread count.
+ */
+HWPR_TARGET_CLONES void
+addK(const double *a, const double *b, double *o, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] = a[i] + b[i];
+}
+
+HWPR_TARGET_CLONES void
+subK(const double *a, const double *b, double *o, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] = a[i] - b[i];
+}
+
+HWPR_TARGET_CLONES void
+mulK(const double *a, const double *b, double *o, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] = a[i] * b[i];
+}
+
+HWPR_TARGET_CLONES void
+scaleK(const double *a, double s, double *o, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] = a[i] * s;
+}
+
+HWPR_TARGET_CLONES void
+reluK(const double *a, double *o, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        o[i] = a[i] > 0.0 ? a[i] : 0.0;
+}
+
+HWPR_TARGET_CLONES void
+reluGradK(const double *x, const double *g, double *go, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        go[i] += x[i] > 0.0 ? g[i] : 0.0;
+}
+
+HWPR_TARGET_CLONES void
+tanhGradK(const double *y, const double *g, double *go, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        go[i] += g[i] * (1.0 - y[i] * y[i]);
+}
+
+HWPR_TARGET_CLONES void
+sigmoidGradK(const double *y, const double *g, double *go,
+             std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        go[i] += g[i] * y[i] * (1.0 - y[i]);
+}
+
+/** go[i] += g[i]: gradient accumulation into a row segment. */
+HWPR_TARGET_CLONES void
+accK(double *go, const double *g, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        go[i] += g[i];
+}
+/** @} */
+
+void
+reluInto(const Matrix &src, Matrix &dst)
+{
+    const auto &in = src.raw();
+    auto &out = dst.raw();
+    if (in.size() < kEltwiseParallel) {
+        reluK(in.data(), out.data(), in.size());
+        return;
+    }
+    ExecContext::global().pool->parallelFor(
+        0, in.size(), kEltwiseParallel / 4,
+        [&](std::size_t b, std::size_t e) {
+            reluK(in.data() + b, out.data() + b, e - b);
+        });
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// GraphArena
+// ---------------------------------------------------------------------
+
+GraphArena::~GraphArena()
+{
+    if (t_active_arena == this)
+        t_active_arena = nullptr;
+}
+
+void
+GraphArena::activate()
+{
+    HWPR_CHECK(t_active_arena == nullptr,
+               "another GraphArena is already active on this thread");
+    t_active_arena = this;
+}
+
+void
+GraphArena::deactivate()
+{
+    HWPR_CHECK(t_active_arena == this,
+               "deactivate() on a non-active GraphArena");
+    t_active_arena = nullptr;
+}
+
+GraphArena *
+GraphArena::active()
+{
+    return t_active_arena;
+}
+
+void
+GraphArena::reset()
+{
+    for (auto &ptr : live_) {
+        // Nodes still referenced from outside the arena (an external
+        // Tensor handle, or a parents edge of such a node's graph)
+        // are left alone: dropping our reference hands them back to
+        // normal shared_ptr lifetime.
+        if (ptr.use_count() != 1)
+            continue;
+        TensorNode &node = *ptr;
+        if (node.value.size() > 0)
+            pool_[shapeKey(node.value.rows(), node.value.cols())]
+                .push_back(std::move(node.value));
+        if (node.grad.size() > 0)
+            pool_[shapeKey(node.grad.rows(), node.grad.cols())]
+                .push_back(std::move(node.grad));
+        node.value = Matrix();
+        node.grad = Matrix();
+        node.requiresGrad = false;
+        node.parents.clear();
+        node.backward = nullptr;
+        node.name.clear();
+        node.aux.clear();
+        node.blocks.reset();
+        free_.push_back(std::move(ptr));
+    }
+    live_.clear();
+}
+
+Matrix
+GraphArena::acquire(std::size_t rows, std::size_t cols, bool zero)
+{
+    auto it = pool_.find(shapeKey(rows, cols));
+    if (it != pool_.end() && !it->second.empty()) {
+        Matrix m = std::move(it->second.back());
+        it->second.pop_back();
+        if (zero)
+            m.fill(0.0);
+        return m;
+    }
+    return Matrix(rows, cols);
+}
+
+TensorNodePtr
+GraphArena::node()
+{
+    TensorNodePtr n;
+    if (!free_.empty()) {
+        n = std::move(free_.back());
+        free_.pop_back();
+    } else {
+        n = std::make_shared<TensorNode>();
+        n->arenaOwned = true;
+    }
+    live_.push_back(n);
+    return n;
+}
+
+std::size_t
+GraphArena::pooledBuffers() const
+{
+    std::size_t total = 0;
+    for (const auto &[key, vec] : pool_)
+        total += vec.size();
+    return total;
+}
+
+namespace detail
+{
+
+TensorNodePtr
+newNode()
+{
+    if (GraphArena *arena = GraphArena::active())
+        return arena->node();
+    return std::make_shared<TensorNode>();
+}
+
+Matrix
+newMatrix(std::size_t rows, std::size_t cols, bool zero)
+{
+    if (GraphArena *arena = GraphArena::active())
+        return arena->acquire(rows, cols, zero);
+    return Matrix(rows, cols);
+}
+
+void
+tanhMap(const Matrix &src, Matrix &dst)
+{
+    tanhInto(src, dst);
+}
+
+void
+sigmoidMap(const Matrix &src, Matrix &dst)
+{
+    sigmoidInto(src, dst);
+}
+
+void
+reluMap(const Matrix &src, Matrix &dst)
+{
+    reluInto(src, dst);
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------
+// TensorNode / Tensor
+// ---------------------------------------------------------------------
+
 void
 TensorNode::ensureGrad()
 {
-    if (grad.rows() != value.rows() || grad.cols() != value.cols())
+    if (grad.rows() == value.rows() && grad.cols() == value.cols())
+        return;
+    if (arenaOwned && GraphArena::active())
+        grad = GraphArena::active()->acquire(value.rows(),
+                                             value.cols(), true);
+    else
         grad = Matrix(value.rows(), value.cols());
 }
 
 Tensor
 Tensor::param(Matrix m, std::string name)
 {
+    // Parameters outlive every step: never arena-allocated.
     auto node = std::make_shared<TensorNode>();
     node->value = std::move(m);
     node->requiresGrad = true;
@@ -29,11 +401,11 @@ Tensor::param(Matrix m, std::string name)
 Tensor
 Tensor::constant(Matrix m, std::string name)
 {
-    auto node = std::make_shared<TensorNode>();
+    auto node = detail::newNode();
     node->value = std::move(m);
     node->requiresGrad = false;
     node->name = std::move(name);
-    return Tensor(node);
+    return Tensor(std::move(node));
 }
 
 void
@@ -54,7 +426,7 @@ makeOp(Matrix value, std::vector<TensorNodePtr> parents,
        std::function<void(TensorNode &)> backward_fn,
        const char *name)
 {
-    auto node = std::make_shared<TensorNode>();
+    auto node = detail::newNode();
     node->value = std::move(value);
     node->parents = std::move(parents);
     node->name = name;
@@ -66,7 +438,7 @@ makeOp(Matrix value, std::vector<TensorNodePtr> parents,
     }
     if (node->requiresGrad)
         node->backward = std::move(backward_fn);
-    return Tensor(node);
+    return Tensor(std::move(node));
 }
 
 } // namespace
@@ -79,18 +451,24 @@ backward(const Tensor &loss)
                "backward() requires a 1x1 scalar loss, got ",
                loss.rows(), "x", loss.cols());
 
-    // Iterative post-order DFS to build a topological order.
-    std::vector<TensorNode *> topo;
-    std::unordered_set<TensorNode *> visited;
-    std::vector<std::pair<TensorNode *, std::size_t>> stack;
+    // Iterative post-order DFS to build a topological order. The
+    // scratch vectors are thread_local and the visited set is a
+    // per-node stamp, so steady-state backward() does not allocate.
+    static thread_local std::uint64_t visit_epoch = 0;
+    static thread_local std::vector<TensorNode *> topo;
+    static thread_local std::vector<std::pair<TensorNode *, std::size_t>>
+        stack;
+    const std::uint64_t epoch = ++visit_epoch;
+    topo.clear();
+    stack.clear();
     stack.emplace_back(loss.node().get(), 0);
-    visited.insert(loss.node().get());
+    loss.node()->visitMark = epoch;
     while (!stack.empty()) {
         auto &[node, next_child] = stack.back();
         if (next_child < node->parents.size()) {
             TensorNode *child = node->parents[next_child++].get();
-            if (child->requiresGrad && !visited.count(child)) {
-                visited.insert(child);
+            if (child->requiresGrad && child->visitMark != epoch) {
+                child->visitMark = epoch;
                 stack.emplace_back(child, 0);
             }
         } else {
@@ -114,8 +492,15 @@ backward(const Tensor &loss)
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
+    const Matrix &av = a.value();
+    const Matrix &bv = b.value();
+    HWPR_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                "shape mismatch in add");
+    Matrix out = detail::newMatrix(av.rows(), av.cols(), false);
+    addK(av.raw().data(), bv.raw().data(), out.raw().data(),
+         out.size());
     return makeOp(
-        a.value() + b.value(), {a.node(), b.node()},
+        std::move(out), {a.node(), b.node()},
         [](TensorNode &self) {
             for (auto &p : self.parents) {
                 if (p->requiresGrad) {
@@ -130,8 +515,15 @@ add(const Tensor &a, const Tensor &b)
 Tensor
 sub(const Tensor &a, const Tensor &b)
 {
+    const Matrix &av = a.value();
+    const Matrix &bv = b.value();
+    HWPR_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                "shape mismatch in sub");
+    Matrix out = detail::newMatrix(av.rows(), av.cols(), false);
+    subK(av.raw().data(), bv.raw().data(), out.raw().data(),
+         out.size());
     return makeOp(
-        a.value() - b.value(), {a.node(), b.node()},
+        std::move(out), {a.node(), b.node()},
         [](TensorNode &self) {
             auto &pa = self.parents[0];
             auto &pb = self.parents[1];
@@ -150,18 +542,25 @@ sub(const Tensor &a, const Tensor &b)
 Tensor
 mul(const Tensor &a, const Tensor &b)
 {
+    const Matrix &av = a.value();
+    const Matrix &bv = b.value();
+    HWPR_ASSERT(av.rows() == bv.rows() && av.cols() == bv.cols(),
+                "shape mismatch in mul");
+    Matrix out = detail::newMatrix(av.rows(), av.cols(), false);
+    mulK(av.raw().data(), bv.raw().data(), out.raw().data(),
+         out.size());
     return makeOp(
-        a.value().hadamard(b.value()), {a.node(), b.node()},
+        std::move(out), {a.node(), b.node()},
         [](TensorNode &self) {
             auto &pa = self.parents[0];
             auto &pb = self.parents[1];
             if (pa->requiresGrad) {
                 pa->ensureGrad();
-                pa->grad += self.grad.hadamard(pb->value);
+                pa->grad.addHadamard(self.grad, pb->value);
             }
             if (pb->requiresGrad) {
                 pb->ensureGrad();
-                pb->grad += self.grad.hadamard(pa->value);
+                pb->grad.addHadamard(self.grad, pa->value);
             }
         },
         "mul");
@@ -170,12 +569,15 @@ mul(const Tensor &a, const Tensor &b)
 Tensor
 scale(const Tensor &a, double s)
 {
+    const Matrix &av = a.value();
+    Matrix out = detail::newMatrix(av.rows(), av.cols(), false);
+    scaleK(av.raw().data(), s, out.raw().data(), out.size());
     return makeOp(
-        a.value() * s, {a.node()},
+        std::move(out), {a.node()},
         [s](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
-            p->grad += self.grad * s;
+            p->grad.addScaled(self.grad, s);
         },
         "scale");
 }
@@ -183,20 +585,24 @@ scale(const Tensor &a, double s)
 Tensor
 matmul(const Tensor &a, const Tensor &b)
 {
+    Matrix out = detail::newMatrix(a.rows(), b.cols(), false);
+    a.value().matmulInto(b.value(), out);
     return makeOp(
-        a.value().matmul(b.value()), {a.node(), b.node()},
+        std::move(out), {a.node(), b.node()},
         [](TensorNode &self) {
             auto &pa = self.parents[0];
             auto &pb = self.parents[1];
             if (pa->requiresGrad) {
                 pa->ensureGrad();
-                // dA = dC * B^T
-                pa->grad += self.grad.matmulTransposed(pb->value);
+                // dA += dC * B^T
+                self.grad.matmulTransposedInto(pb->value, pa->grad,
+                                               true);
             }
             if (pb->requiresGrad) {
                 pb->ensureGrad();
-                // dB = A^T * dC
-                pb->grad += pa->value.transposedMatmul(self.grad);
+                // dB += A^T * dC
+                pa->value.transposedMatmulInto(self.grad, pb->grad,
+                                               true);
             }
         },
         "matmul");
@@ -205,9 +611,17 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 addRowBroadcast(const Tensor &a, const Tensor &bias)
 {
+    const Matrix &av = a.value();
+    const Matrix &rv = bias.value();
+    HWPR_ASSERT(rv.rows() == 1 && rv.cols() == av.cols(),
+                "broadcast row shape mismatch");
+    Matrix out = detail::newMatrix(av.rows(), av.cols(), false);
+    const std::size_t cols = av.cols();
+    for (std::size_t i = 0; i < av.rows(); ++i)
+        addK(&av.raw()[i * cols], rv.raw().data(),
+             &out.raw()[i * cols], cols);
     return makeOp(
-        a.value().addRowBroadcast(bias.value()),
-        {a.node(), bias.node()},
+        std::move(out), {a.node(), bias.node()},
         [](TensorNode &self) {
             auto &pa = self.parents[0];
             auto &pb = self.parents[1];
@@ -217,7 +631,12 @@ addRowBroadcast(const Tensor &a, const Tensor &bias)
             }
             if (pb->requiresGrad) {
                 pb->ensureGrad();
-                pb->grad += self.grad.columnSums();
+                // Row-by-row accumulation keeps each bias element's
+                // ascending-i summation chain.
+                const std::size_t n = self.grad.cols();
+                for (std::size_t i = 0; i < self.grad.rows(); ++i)
+                    accK(pb->grad.raw().data(),
+                         &self.grad.raw()[i * n], n);
             }
         },
         "bias");
@@ -226,17 +645,17 @@ addRowBroadcast(const Tensor &a, const Tensor &bias)
 Tensor
 relu(const Tensor &a)
 {
+    Matrix out = detail::newMatrix(a.rows(), a.cols(), false);
+    reluInto(a.value(), out);
     return makeOp(
-        a.value().map([](double v) { return v > 0.0 ? v : 0.0; }),
-        {a.node()},
+        std::move(out), {a.node()},
         [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
             const auto &x = p->value.raw();
             const auto &g = self.grad.raw();
             auto &out = p->grad.raw();
-            for (std::size_t i = 0; i < out.size(); ++i)
-                out[i] += x[i] > 0.0 ? g[i] : 0.0;
+            reluGradK(x.data(), g.data(), out.data(), out.size());
         },
         "relu");
 }
@@ -244,17 +663,17 @@ relu(const Tensor &a)
 Tensor
 tanhT(const Tensor &a)
 {
+    Matrix out = detail::newMatrix(a.rows(), a.cols(), false);
+    tanhInto(a.value(), out);
     return makeOp(
-        a.value().map([](double v) { return std::tanh(v); }),
-        {a.node()},
+        std::move(out), {a.node()},
         [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
             const auto &y = self.value.raw();
             const auto &g = self.grad.raw();
             auto &out = p->grad.raw();
-            for (std::size_t i = 0; i < out.size(); ++i)
-                out[i] += g[i] * (1.0 - y[i] * y[i]);
+            tanhGradK(y.data(), g.data(), out.data(), out.size());
         },
         "tanh");
 }
@@ -262,18 +681,17 @@ tanhT(const Tensor &a)
 Tensor
 sigmoid(const Tensor &a)
 {
+    Matrix out = detail::newMatrix(a.rows(), a.cols(), false);
+    sigmoidInto(a.value(), out);
     return makeOp(
-        a.value().map(
-            [](double v) { return 1.0 / (1.0 + std::exp(-v)); }),
-        {a.node()},
+        std::move(out), {a.node()},
         [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
             const auto &y = self.value.raw();
             const auto &g = self.grad.raw();
             auto &out = p->grad.raw();
-            for (std::size_t i = 0; i < out.size(); ++i)
-                out[i] += g[i] * y[i] * (1.0 - y[i]);
+            sigmoidGradK(y.data(), g.data(), out.data(), out.size());
         },
         "sigmoid");
 }
@@ -281,23 +699,35 @@ sigmoid(const Tensor &a)
 Tensor
 concatCols(const Tensor &a, const Tensor &b)
 {
+    const Matrix &av = a.value();
+    const Matrix &bv = b.value();
+    HWPR_ASSERT(av.rows() == bv.rows(), "hconcat row mismatch");
+    Matrix out =
+        detail::newMatrix(av.rows(), av.cols() + bv.cols(), false);
+    for (std::size_t i = 0; i < av.rows(); ++i) {
+        double *dst = &out.raw()[i * out.cols()];
+        std::memcpy(dst, &av.raw()[i * av.cols()],
+                    av.cols() * sizeof(double));
+        std::memcpy(dst + av.cols(), &bv.raw()[i * bv.cols()],
+                    bv.cols() * sizeof(double));
+    }
     return makeOp(
-        Matrix::hconcat(a.value(), b.value()), {a.node(), b.node()},
+        std::move(out), {a.node(), b.node()},
         [](TensorNode &self) {
             auto &pa = self.parents[0];
             auto &pb = self.parents[1];
             const std::size_t ca = pa->value.cols();
             const std::size_t cb = pb->value.cols();
+            const std::size_t n = ca + cb;
             for (std::size_t i = 0; i < self.value.rows(); ++i) {
+                const double *g = &self.grad.raw()[i * n];
                 if (pa->requiresGrad) {
                     pa->ensureGrad();
-                    for (std::size_t j = 0; j < ca; ++j)
-                        pa->grad(i, j) += self.grad(i, j);
+                    accK(&pa->grad.raw()[i * ca], g, ca);
                 }
                 if (pb->requiresGrad) {
                     pb->ensureGrad();
-                    for (std::size_t j = 0; j < cb; ++j)
-                        pb->grad(i, j) += self.grad(i, ca + j);
+                    accK(&pb->grad.raw()[i * cb], g + ca, cb);
                 }
             }
         },
@@ -309,18 +739,22 @@ sliceCols(const Tensor &a, std::size_t begin, std::size_t end)
 {
     HWPR_ASSERT(begin < end && end <= a.cols(),
                 "sliceCols out of range");
-    Matrix out(a.rows(), end - begin);
+    Matrix out = detail::newMatrix(a.rows(), end - begin, false);
+    const std::size_t w = end - begin;
+    const std::size_t cols = a.cols();
     for (std::size_t i = 0; i < a.rows(); ++i)
-        for (std::size_t j = begin; j < end; ++j)
-            out(i, j - begin) = a.value()(i, j);
+        std::memcpy(&out.raw()[i * w],
+                    &a.value().raw()[i * cols + begin],
+                    w * sizeof(double));
     return makeOp(
         std::move(out), {a.node()},
-        [begin, end](TensorNode &self) {
+        [begin, w](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
+            const std::size_t cols = p->value.cols();
             for (std::size_t i = 0; i < self.value.rows(); ++i)
-                for (std::size_t j = begin; j < end; ++j)
-                    p->grad(i, j) += self.grad(i, j - begin);
+                accK(&p->grad.raw()[i * cols + begin],
+                     &self.grad.raw()[i * w], w);
         },
         "slice");
 }
@@ -328,29 +762,33 @@ sliceCols(const Tensor &a, std::size_t begin, std::size_t end)
 Tensor
 gatherRows(const Tensor &table, const std::vector<std::size_t> &indices)
 {
-    Matrix out(indices.size(), table.cols());
+    Matrix out = detail::newMatrix(indices.size(), table.cols(), false);
     for (std::size_t i = 0; i < indices.size(); ++i) {
         HWPR_ASSERT(indices[i] < table.rows(), "gather index OOB");
         for (std::size_t j = 0; j < table.cols(); ++j)
             out(i, j) = table.value()(indices[i], j);
     }
-    return makeOp(
+    // Indices live in the node's reusable aux vector, keeping the
+    // backward closure captureless (inline-stored, no allocation).
+    Tensor t = makeOp(
         std::move(out), {table.node()},
-        [indices](TensorNode &self) {
+        [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
-            for (std::size_t i = 0; i < indices.size(); ++i)
+            for (std::size_t i = 0; i < self.aux.size(); ++i)
                 for (std::size_t j = 0; j < self.value.cols(); ++j)
-                    p->grad(indices[i], j) += self.grad(i, j);
+                    p->grad(self.aux[i], j) += self.grad(i, j);
         },
         "gather");
+    t.node()->aux.assign(indices.begin(), indices.end());
+    return t;
 }
 
 Tensor
 meanAll(const Tensor &a)
 {
     const double inv = 1.0 / double(a.value().size());
-    Matrix out(1, 1);
+    Matrix out = detail::newMatrix(1, 1, false);
     out(0, 0) = a.value().sum() * inv;
     return makeOp(
         std::move(out), {a.node()},
@@ -367,7 +805,7 @@ meanAll(const Tensor &a)
 Tensor
 sumAll(const Tensor &a)
 {
-    Matrix out(1, 1);
+    Matrix out = detail::newMatrix(1, 1, false);
     out(0, 0) = a.value().sum();
     return makeOp(
         std::move(out), {a.node()},
@@ -388,7 +826,7 @@ dropout(const Tensor &a, double p, bool training, Rng &rng)
         return a;
     HWPR_CHECK(p < 1.0, "dropout probability must be < 1");
     const double keep_scale = 1.0 / (1.0 - p);
-    Matrix mask(a.rows(), a.cols());
+    Matrix mask = detail::newMatrix(a.rows(), a.cols(), false);
     for (double &v : mask.raw())
         v = rng.bernoulli(p) ? 0.0 : keep_scale;
     Tensor mask_t = Tensor::constant(std::move(mask), "dropout_mask");
@@ -396,17 +834,17 @@ dropout(const Tensor &a, double p, bool training, Rng &rng)
 }
 
 Tensor
-blockAdjacencyMatmul(const Tensor &h, const std::vector<Matrix> &adj,
-                     const std::vector<std::size_t> &offsets)
+blockAdjacencyMatmul(const Tensor &h,
+                     std::shared_ptr<const BlockAdjacency> blocks)
 {
-    HWPR_ASSERT(adj.size() == offsets.size(),
+    HWPR_ASSERT(blocks && blocks->adj.size() == blocks->offsets.size(),
                 "adjacency/offset count mismatch");
-    Matrix out(h.rows(), h.cols());
+    Matrix out = detail::newMatrix(h.rows(), h.cols(), true);
     const std::size_t f = h.cols();
-    for (std::size_t g = 0; g < adj.size(); ++g) {
-        const Matrix &a = adj[g];
+    for (std::size_t g = 0; g < blocks->adj.size(); ++g) {
+        const Matrix &a = blocks->adj[g];
         const std::size_t v = a.rows();
-        const std::size_t base = offsets[g];
+        const std::size_t base = blocks->offsets[g];
         HWPR_ASSERT(base + v <= h.rows(), "block exceeds batch");
         for (std::size_t i = 0; i < v; ++i) {
             for (std::size_t k = 0; k < v; ++k) {
@@ -420,17 +858,18 @@ blockAdjacencyMatmul(const Tensor &h, const std::vector<Matrix> &adj,
             }
         }
     }
-    return makeOp(
+    Tensor t = makeOp(
         std::move(out), {h.node()},
-        [adj, offsets](TensorNode &self) {
+        [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
             const std::size_t f = self.value.cols();
             // grad_in = A^T * grad_out per block.
-            for (std::size_t g = 0; g < adj.size(); ++g) {
-                const Matrix &a = adj[g];
+            const BlockAdjacency &blocks = *self.blocks;
+            for (std::size_t g = 0; g < blocks.adj.size(); ++g) {
+                const Matrix &a = blocks.adj[g];
                 const std::size_t v = a.rows();
-                const std::size_t base = offsets[g];
+                const std::size_t base = blocks.offsets[g];
                 for (std::size_t i = 0; i < v; ++i) {
                     for (std::size_t k = 0; k < v; ++k) {
                         const double w = a(i, k);
@@ -446,6 +885,18 @@ blockAdjacencyMatmul(const Tensor &h, const std::vector<Matrix> &adj,
             }
         },
         "block_adj");
+    t.node()->blocks = std::move(blocks);
+    return t;
+}
+
+Tensor
+blockAdjacencyMatmul(const Tensor &h, const std::vector<Matrix> &adj,
+                     const std::vector<std::size_t> &offsets)
+{
+    auto blocks = std::make_shared<BlockAdjacency>();
+    blocks->adj = adj;
+    blocks->offsets = offsets;
+    return blockAdjacencyMatmul(h, std::move(blocks));
 }
 
 Tensor
@@ -454,26 +905,27 @@ gatherBlockRows(const Tensor &h, const std::vector<std::size_t> &offsets,
 {
     HWPR_ASSERT(offsets.size() == row_in_block.size(),
                 "offset/row count mismatch");
-    std::vector<std::size_t> rows(offsets.size());
-    for (std::size_t g = 0; g < offsets.size(); ++g)
-        rows[g] = offsets[g] + row_in_block[g];
-
-    Matrix out(rows.size(), h.cols());
-    for (std::size_t g = 0; g < rows.size(); ++g) {
-        HWPR_ASSERT(rows[g] < h.rows(), "block row OOB");
+    Matrix out = detail::newMatrix(offsets.size(), h.cols(), false);
+    for (std::size_t g = 0; g < offsets.size(); ++g) {
+        const std::size_t row = offsets[g] + row_in_block[g];
+        HWPR_ASSERT(row < h.rows(), "block row OOB");
         for (std::size_t j = 0; j < h.cols(); ++j)
-            out(g, j) = h.value()(rows[g], j);
+            out(g, j) = h.value()(row, j);
     }
-    return makeOp(
+    Tensor t = makeOp(
         std::move(out), {h.node()},
-        [rows](TensorNode &self) {
+        [](TensorNode &self) {
             auto &p = self.parents[0];
             p->ensureGrad();
-            for (std::size_t g = 0; g < rows.size(); ++g)
+            for (std::size_t g = 0; g < self.aux.size(); ++g)
                 for (std::size_t j = 0; j < self.value.cols(); ++j)
-                    p->grad(rows[g], j) += self.grad(g, j);
+                    p->grad(self.aux[g], j) += self.grad(g, j);
         },
         "gather_block");
+    t.node()->aux.resize(offsets.size());
+    for (std::size_t g = 0; g < offsets.size(); ++g)
+        t.node()->aux[g] = offsets[g] + row_in_block[g];
+    return t;
 }
 
 } // namespace hwpr::nn

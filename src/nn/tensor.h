@@ -7,15 +7,26 @@
  * topologically sorts the recorded graph and accumulates gradients
  * into every node with requiresGrad set. Parameter nodes are persistent
  * across iterations (layers hold them); intermediate nodes are freed
- * when the last Tensor handle to a graph goes out of scope.
+ * when the last Tensor handle to a graph goes out of scope — unless a
+ * GraphArena is active, in which case op and constant nodes (never
+ * params) and their value/grad buffers are recycled across training
+ * steps instead of being reallocated.
+ *
+ * Arena lifetime rule: call GraphArena::reset() only when no Tensor
+ * handle from the previous step is still live (in the training loop:
+ * at the top of each iteration). Nodes still referenced from outside
+ * the arena at reset() are left alone and simply drop out of the
+ * recycling pool.
  */
 
 #ifndef HWPR_NN_TENSOR_H
 #define HWPR_NN_TENSOR_H
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/matrix.h"
@@ -26,6 +37,13 @@ namespace hwpr::nn
 
 class TensorNode;
 using TensorNodePtr = std::shared_ptr<TensorNode>;
+
+/** Per-graph normalized adjacency blocks (GCN batch structure). */
+struct BlockAdjacency
+{
+    std::vector<Matrix> adj;
+    std::vector<std::size_t> offsets;
+};
 
 /** One vertex in the autodiff graph. */
 class TensorNode
@@ -43,10 +61,110 @@ class TensorNode
     std::function<void(TensorNode &)> backward;
     /** Debug label. */
     std::string name;
+    /** Op-specific index payload (gather/slice ops), reused across
+     *  arena recycles so captureless closures can read it. */
+    std::vector<std::size_t> aux;
+    /** Block-adjacency payload of blockAdjacencyMatmul nodes. */
+    std::shared_ptr<const BlockAdjacency> blocks;
+    /** Visit stamp used by backward()'s allocation-free DFS. */
+    std::uint64_t visitMark = 0;
+    /** True when a GraphArena owns (and may recycle) this node. */
+    bool arenaOwned = false;
 
     /** Ensure grad is allocated and zeroed to value's shape. */
     void ensureGrad();
 };
+
+/**
+ * Per-fit recycling arena for autodiff graphs.
+ *
+ * While active (thread-local), op and constant nodes are drawn from a
+ * freelist and their value/grad matrices from a shape-keyed buffer
+ * pool, so the steady-state training loop stops allocating per step.
+ * reset() reclaims every node whose only reference is the arena
+ * itself; buffers return to the pool zeroed on demand. Parameters
+ * (Tensor::param) are never arena-allocated.
+ */
+class GraphArena
+{
+  public:
+    GraphArena() = default;
+    ~GraphArena();
+
+    GraphArena(const GraphArena &) = delete;
+    GraphArena &operator=(const GraphArena &) = delete;
+
+    /** Make this the calling thread's active arena (at most one). */
+    void activate();
+    /** Clear the thread's active arena (must be this one). */
+    void deactivate();
+    /** The calling thread's active arena, or nullptr. */
+    static GraphArena *active();
+
+    /**
+     * Recycle all nodes the arena alone still references. Call at the
+     * top of each training step, when the previous step's Tensor
+     * handles are gone.
+     */
+    void reset();
+
+    /** A pooled matrix of the given shape (zeroed when @p zero). */
+    Matrix acquire(std::size_t rows, std::size_t cols, bool zero);
+
+    /** A fresh or recycled node, tracked for the next reset(). */
+    TensorNodePtr node();
+
+    /// @name Introspection for tests
+    /// @{
+    std::size_t liveNodes() const { return live_.size(); }
+    std::size_t freeNodes() const { return free_.size(); }
+    std::size_t pooledBuffers() const;
+    /// @}
+
+    /** RAII activation: active for the guard's lifetime. */
+    class Scope
+    {
+      public:
+        explicit Scope(GraphArena &arena) : arena_(arena)
+        {
+            arena_.activate();
+        }
+        ~Scope() { arena_.deactivate(); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        GraphArena &arena_;
+    };
+
+  private:
+    std::vector<TensorNodePtr> live_;
+    std::vector<TensorNodePtr> free_;
+    std::unordered_map<std::uint64_t, std::vector<Matrix>> pool_;
+};
+
+namespace detail
+{
+
+/** Arena-aware node factory (make_shared when no arena is active). */
+TensorNodePtr newNode();
+/** Arena-aware matrix factory (fresh Matrix when no arena). */
+Matrix newMatrix(std::size_t rows, std::size_t cols, bool zero);
+
+/**
+ * Activation sweeps shared by the tensor ops and the raw inference
+ * paths (Mlp::predictBatch, LstmEncoder::encodeBatch). On AVX2
+ * machines the tanh/sigmoid sweeps use libmvec's 4-lane kernels,
+ * whose values differ from scalar libm by a few ulp — every caller
+ * must go through these functions (over buffers with the same element
+ * order) for the raw and autodiff paths to stay bit-identical.
+ * @p src and @p dst may alias; shapes must match.
+ */
+void tanhMap(const Matrix &src, Matrix &dst);
+void sigmoidMap(const Matrix &src, Matrix &dst);
+void reluMap(const Matrix &src, Matrix &dst);
+
+} // namespace detail
 
 /**
  * Value-semantics handle to a TensorNode. All ops are free functions
@@ -131,6 +249,13 @@ Tensor dropout(const Tensor &a, double p, bool training, Rng &rng);
 Tensor blockAdjacencyMatmul(const Tensor &h,
                             const std::vector<Matrix> &adj,
                             const std::vector<std::size_t> &offsets);
+/**
+ * Same, with caller-shared block structure: avoids copying the
+ * adjacency matrices into the node (the fit-time encoding cache keeps
+ * one BlockAdjacency per batch alive for the whole fit).
+ */
+Tensor blockAdjacencyMatmul(const Tensor &h,
+                            std::shared_ptr<const BlockAdjacency> blocks);
 /**
  * Extract one row per block (e.g. the global node of each graph),
  * producing a (num_blocks x F) matrix. Row g is
