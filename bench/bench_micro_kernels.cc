@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/obs.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "core/encoding.h"
@@ -264,6 +265,9 @@ secondsPerCall(const Fn &fn)
 int
 emitBatchJson(const std::string &path)
 {
+    // Snapshot the kernel-level registry activity (GEMM variants,
+    // thread-pool chunking) alongside the throughput numbers.
+    obs::setMetricsEnabled(true);
     const std::size_t hw = ExecContext::global().threads();
     std::vector<std::size_t> thread_counts = {1, 2};
     if (hw > 2)
@@ -318,7 +322,8 @@ emitBatchJson(const std::string &path)
     }
     ExecContext::setGlobalThreads(before);
 
-    out << "\n  ]\n}\n";
+    out << "\n  ],\n  \"metrics\": "
+        << obs::Registry::global().snapshotJson("  ") << "\n}\n";
     std::cout << "wrote " << path << "\n";
     return 0;
 }
@@ -328,6 +333,20 @@ emitBatchJson(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    // Consume observability flags before google-benchmark sees the
+    // argument list (it rejects unknown flags).
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--trace=", 0) == 0) {
+            obs::enableTracing(arg.substr(arg.find('=') + 1));
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            obs::enableMetrics(arg.substr(arg.find('=') + 1));
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--batch-json", 0) == 0) {

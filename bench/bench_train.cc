@@ -17,6 +17,13 @@
  *   --baseline=FILE    embed FILE's HW-PR-NAS steps/sec at the
  *                      default thread count and report the speedup
  *   --quick            tiny configuration for CI smoke runs
+ *   --trace=FILE       write a Chrome trace of the run to FILE
+ *   --metrics=FILE     also write the metrics snapshot to FILE
+ *
+ * Metrics collection is always on for the measured fits and the
+ * registry snapshot is embedded in the output JSON ("metrics" key),
+ * so one bench run shows where fit wall-clock goes (GEMM variants,
+ * epochs, thread-pool chunks) alongside the steps/sec numbers.
  */
 
 #include <chrono>
@@ -29,6 +36,7 @@
 
 #include "baselines/brpnas.h"
 #include "baselines/gates.h"
+#include "common/obs.h"
 #include "common/threadpool.h"
 #include "core/hwprnas.h"
 #include "nasbench/dataset.h"
@@ -136,6 +144,11 @@ run(const std::string &json_path, const std::string &baseline_path,
 {
     const BenchConfig cfg =
         quick ? BenchConfig::quick() : BenchConfig();
+    // Collect metrics for the whole run so the snapshot embedded in
+    // the output JSON covers every measured fit. Recording is a few
+    // clock reads per event (<2% of fit time) and identical across
+    // cases, so relative numbers stay comparable.
+    obs::setMetricsEnabled(true);
     const std::size_t hw_threads = ExecContext::global().threads();
     const std::size_t default_threads = hw_threads;
 
@@ -245,6 +258,8 @@ run(const std::string &json_path, const std::string &baseline_path,
         first = false;
     }
     out << "\n  ],\n"
+        << "  \"metrics\": "
+        << obs::Registry::global().snapshotJson("  ") << ",\n"
         << "  \"loss_trajectory_identical_across_threads\": "
         << (trajectories_identical ? "true" : "false");
     if (baseline_sps > 0.0) {
@@ -278,9 +293,14 @@ main(int argc, char **argv)
             baseline_path = arg.substr(arg.find('=') + 1);
         } else if (arg == "--quick") {
             quick = true;
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            obs::enableTracing(arg.substr(arg.find('=') + 1));
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            obs::enableMetrics(arg.substr(arg.find('=') + 1));
         } else {
             std::cerr << "usage: bench_train [--json[=FILE]]"
-                      << " [--baseline=FILE] [--quick]\n";
+                      << " [--baseline=FILE] [--quick]"
+                      << " [--trace=FILE] [--metrics=FILE]\n";
             return 1;
         }
     }

@@ -1,6 +1,7 @@
 #include "baselines/lut.h"
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "nasbench/space.h"
 
 namespace hwpr::baselines
@@ -93,6 +94,16 @@ Matrix
 LatencyLut::objectivesBatch(
     std::span<const nasbench::Architecture> archs) const
 {
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
+    }
     Matrix out(archs.size(), 1);
     for (std::size_t i = 0; i < archs.size(); ++i)
         out(i, 0) = estimateMs(archs[i]);

@@ -14,9 +14,10 @@
 #define HWPR_COMMON_LOGGING_H
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+
+#include "common/obs.h"
 
 namespace hwpr
 {
@@ -36,14 +37,22 @@ composeMessage(Args &&...args)
 
 } // namespace detail
 
+/*
+ * Every emitter composes the full line first and hands it to
+ * obs::detail::emitLogLine, which issues a single write(2): messages
+ * from concurrent pool workers come out whole, never interleaved.
+ * inform/warn additionally count into the metrics registry
+ * (log.info / log.warn) when metrics are enabled.
+ */
+
 /** Report a user-caused error and terminate with exit code 1. */
 template <typename... Args>
 [[noreturn]] void
 fatal(Args &&...args)
 {
-    std::cerr << "fatal: "
-              << detail::composeMessage(std::forward<Args>(args)...)
-              << std::endl;
+    obs::detail::emitLogLine(
+        "fatal: ",
+        detail::composeMessage(std::forward<Args>(args)...), nullptr);
     std::exit(1);
 }
 
@@ -52,9 +61,9 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args &&...args)
 {
-    std::cerr << "panic: "
-              << detail::composeMessage(std::forward<Args>(args)...)
-              << std::endl;
+    obs::detail::emitLogLine(
+        "panic: ",
+        detail::composeMessage(std::forward<Args>(args)...), nullptr);
     std::abort();
 }
 
@@ -63,9 +72,10 @@ template <typename... Args>
 void
 inform(Args &&...args)
 {
-    std::cerr << "info: "
-              << detail::composeMessage(std::forward<Args>(args)...)
-              << std::endl;
+    obs::detail::emitLogLine(
+        "info: ",
+        detail::composeMessage(std::forward<Args>(args)...),
+        "log.info");
 }
 
 /** Warn about suspicious-but-survivable conditions. */
@@ -73,9 +83,10 @@ template <typename... Args>
 void
 warn(Args &&...args)
 {
-    std::cerr << "warn: "
-              << detail::composeMessage(std::forward<Args>(args)...)
-              << std::endl;
+    obs::detail::emitLogLine(
+        "warn: ",
+        detail::composeMessage(std::forward<Args>(args)...),
+        "log.warn");
 }
 
 } // namespace hwpr

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/isa.h"
+#include "common/obs.h"
 #include "common/threadpool.h"
 
 namespace hwpr
@@ -41,6 +42,57 @@ constexpr std::size_t kNc = 256;
  * chosen path is deterministic.
  */
 constexpr std::size_t kPackElems = std::size_t(1) << 12;
+
+/**
+ * Per-variant GEMM observability. Every entry-point call records wall
+ * time, multiply-add count and call count into the registry when
+ * metrics are armed; only calls big enough to fan out to the pool
+ * (>= kGemmParallelFlops) open a trace span — small products run
+ * thousands of times per training step and would swamp the trace
+ * without changing its story.
+ */
+struct GemmMetrics
+{
+    obs::Histogram &us;
+    obs::Counter &flops;
+    obs::Counter &calls;
+
+    explicit GemmMetrics(const char *variant)
+        : us(obs::Registry::global().histogram(
+              std::string("gemm.") + variant + ".us")),
+          flops(obs::Registry::global().counter(
+              std::string("gemm.") + variant + ".flops")),
+          calls(obs::Registry::global().counter(
+              std::string("gemm.") + variant + ".calls"))
+    {}
+};
+
+/** Scoped per-call recorder for one GemmMetrics set. */
+class GemmTimer
+{
+  public:
+    GemmTimer(GemmMetrics &target, std::size_t flops)
+        : target_(obs::metricsEnabled() ? &target : nullptr),
+          flops_(flops), start_(target_ ? obs::nowMicros() : 0.0)
+    {}
+
+    ~GemmTimer()
+    {
+        if (target_) {
+            target_->us.record(obs::nowMicros() - start_);
+            target_->flops.add(flops_);
+            target_->calls.add();
+        }
+    }
+
+    GemmTimer(const GemmTimer &) = delete;
+    GemmTimer &operator=(const GemmTimer &) = delete;
+
+  private:
+    GemmMetrics *target_;
+    std::size_t flops_;
+    double start_;
+};
 
 std::size_t
 rowGrain(std::size_t flops_per_row)
@@ -523,11 +575,17 @@ Matrix::matmulInto(const Matrix &o, Matrix &out,
                    i1, n, kk, accumulate);
     };
     const std::size_t flops_per_row = kk * n;
-    if (rows_ * flops_per_row < kGemmParallelFlops)
+    static GemmMetrics gm("ab");
+    GemmTimer timer(gm, rows_ * flops_per_row);
+    if (rows_ * flops_per_row < kGemmParallelFlops) {
         rows_kernel(0, rows_);
-    else
+    } else {
+        HWPR_SPAN("gemm.ab", {{"m", double(rows_)},
+                              {"n", double(n)},
+                              {"k", double(kk)}});
         ExecContext::global().pool->parallelFor(
             0, rows_, rowGrain(flops_per_row), rows_kernel);
+    }
 }
 
 Matrix
@@ -554,11 +612,17 @@ Matrix::transposedMatmulInto(const Matrix &o, Matrix &out,
                     i0, i1, m, n, kk, accumulate);
     };
     const std::size_t flops_per_row = kk * n;
-    if (m * flops_per_row < kGemmParallelFlops)
+    static GemmMetrics gm("atb");
+    GemmTimer timer(gm, m * flops_per_row);
+    if (m * flops_per_row < kGemmParallelFlops) {
         rows_kernel(0, m);
-    else
+    } else {
+        HWPR_SPAN("gemm.atb", {{"m", double(m)},
+                               {"n", double(n)},
+                               {"k", double(kk)}});
         ExecContext::global().pool->parallelFor(
             0, m, rowGrain(flops_per_row), rows_kernel);
+    }
 }
 
 Matrix
@@ -580,6 +644,8 @@ Matrix::matmulTransposedInto(const Matrix &o, Matrix &out,
     const std::size_t n = o.rows_;
     const std::size_t kk = cols_;
     const std::size_t flops_per_row = kk * n;
+    static GemmMetrics gm("abt");
+    GemmTimer timer(gm, rows_ * flops_per_row);
     if (kk * n >= kPackElems) {
         // Pack o^T once, then run the contiguous A * B chunk worker
         // over it: every row tile re-reads the whole B panel, so the
@@ -598,22 +664,30 @@ Matrix::matmulTransposedInto(const Matrix &o, Matrix &out,
             gemmRowsAB(data_.data(), panel, out.data_.data(), i0, i1,
                        n, kk, accumulate);
         };
-        if (rows_ * flops_per_row < kGemmParallelFlops)
+        if (rows_ * flops_per_row < kGemmParallelFlops) {
             rows_kernel(0, rows_);
-        else
+        } else {
+            HWPR_SPAN("gemm.abt", {{"m", double(rows_)},
+                                   {"n", double(n)},
+                                   {"k", double(kk)}});
             ExecContext::global().pool->parallelFor(
                 0, rows_, rowGrain(flops_per_row), rows_kernel);
+        }
         return;
     }
     auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
         gemmRowsABt(data_.data(), o.data_.data(), out.data_.data(),
                     i0, i1, n, kk, accumulate);
     };
-    if (rows_ * flops_per_row < kGemmParallelFlops)
+    if (rows_ * flops_per_row < kGemmParallelFlops) {
         rows_kernel(0, rows_);
-    else
+    } else {
+        HWPR_SPAN("gemm.abt", {{"m", double(rows_)},
+                               {"n", double(n)},
+                               {"k", double(kk)}});
         ExecContext::global().pool->parallelFor(
             0, rows_, rowGrain(flops_per_row), rows_kernel);
+    }
 }
 
 Matrix

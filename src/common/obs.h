@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Process-wide runtime observability: RAII trace spans and a metrics
+ * registry, both designed around one hard constraint — when disabled,
+ * an instrumentation site costs one relaxed atomic load and a branch.
+ *
+ * Tracing. `HWPR_SPAN("hwprnas.fit.epoch", {{"epoch", e}})` opens a
+ * span that closes at scope exit. Spans are recorded into per-thread
+ * buffers (each thread appends to its own buffer, no locks on the
+ * record path; buffers are owned by a global registry so they survive
+ * thread exit) and export as Chrome trace-event JSON ("ph":"X"
+ * complete events) loadable in chrome://tracing or Perfetto. Nesting
+ * falls out of the format: same-thread spans whose [ts, ts+dur)
+ * intervals contain each other render as a stack in the thread's
+ * lane. Span names and attribute keys must be string literals (the
+ * recorder stores the pointers).
+ *
+ * Metrics. A registry of named counters (monotonic, relaxed atomic),
+ * gauges (last-written double) and fixed-bucket histograms
+ * (upper-bound buckets + count + sum, all atomics), exported as one
+ * JSON snapshot. Instrumentation sites cache the `Counter&` /
+ * `Histogram&` in a function-local static so the name lookup is paid
+ * once per site, not per event.
+ *
+ * Enabling. `HWPR_TRACE=<path>` / `HWPR_METRICS=<path>` environment
+ * variables arm collection at process start and write the files at
+ * exit; `tools/hwpr --trace/--metrics` and the bench binaries'
+ * `--trace=`/`--metrics=` flags do the same programmatically. Tests
+ * and benches can also toggle collection without any file via
+ * setTracingEnabled()/setMetricsEnabled() and render in-memory with
+ * traceJson()/Registry::snapshotJson().
+ *
+ * Determinism. Recording only reads the steady clock — it never
+ * touches an Rng or changes chunk layouts — so every bit-identical
+ * invariant (same-seed fits, thread-count-invariant searches) holds
+ * with observability on and off.
+ *
+ * Quiescence. Exporting or clearing the trace walks every thread's
+ * buffer; call writeTrace()/traceJson()/clearTrace() only while no
+ * other thread is recording (after pool work has drained — the
+ * parallelFor barrier guarantees that between top-level calls).
+ */
+
+#ifndef HWPR_COMMON_OBS_H
+#define HWPR_COMMON_OBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hwpr::obs
+{
+
+namespace detail
+{
+
+/** Collection master switches; read on every instrumentation site. */
+extern std::atomic<bool> g_tracing;
+extern std::atomic<bool> g_metrics;
+
+/**
+ * Emit "<prefix><message>\n" to stderr as one write(2) so concurrent
+ * emitters never interleave mid-line, and (when metrics are enabled
+ * and @p counter_name is non-null) bump that registry counter.
+ * Backing for the logging.h emitters.
+ */
+void emitLogLine(const char *prefix, const std::string &message,
+                 const char *counter_name);
+
+} // namespace detail
+
+/** True when span recording is armed (one relaxed load). */
+inline bool
+tracingEnabled()
+{
+    return detail::g_tracing.load(std::memory_order_relaxed);
+}
+
+/** True when metric recording is armed (one relaxed load). */
+inline bool
+metricsEnabled()
+{
+    return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+/** Microseconds since an arbitrary process-stable epoch. */
+double nowMicros();
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    /** Back to zero (tests / Registry::reset only). */
+    void
+    reset()
+    {
+        v_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-written value (e.g. the current epoch's validation loss). */
+class Gauge
+{
+  public:
+    void set(double v);
+    double value() const;
+
+  private:
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/**
+ * Fixed-bucket histogram: @p bounds are ascending inclusive upper
+ * bounds; one implicit overflow bucket catches everything above the
+ * last bound. record() is lock-free (relaxed bucket/count increments,
+ * CAS loop for the double sum).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void record(double v);
+
+    std::uint64_t count() const;
+    double sum() const;
+    /** Mean of recorded values (0 when empty). */
+    double mean() const;
+    /** Observations in bucket @p i (bounds().size() + 1 buckets). */
+    std::uint64_t bucketCount(std::size_t i) const;
+    const std::vector<double> &bounds() const { return bounds_; }
+
+    /** Zero all buckets/count/sum (tests / Registry::reset only). */
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumBits_{0};
+};
+
+/**
+ * Scoped wall-time recorder: at destruction adds the elapsed
+ * microseconds to a histogram, but only when metrics are enabled at
+ * construction time (disabled cost: one load + branch).
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist)
+        : hist_(metricsEnabled() ? &hist : nullptr),
+          start_(hist_ ? nowMicros() : 0.0)
+    {}
+
+    ~ScopedTimer()
+    {
+        if (hist_)
+            hist_->record(nowMicros() - start_);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram *hist_;
+    double start_;
+};
+
+/**
+ * Global name -> metric registry. Lookups take a mutex; cache the
+ * returned reference (function-local static) at hot sites. Metrics
+ * are never unregistered, so references stay valid for the process
+ * lifetime.
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry (never destroyed). */
+    static Registry &global();
+
+    /** Find-or-create a counter. */
+    Counter &counter(const std::string &name);
+    /** Find-or-create a gauge. */
+    Gauge &gauge(const std::string &name);
+    /** Find-or-create a histogram with the default wall-time-us
+     *  bounds (1us ... 60s, roughly 1-2-5 per decade). */
+    Histogram &histogram(const std::string &name);
+    /** Find-or-create a histogram with explicit bucket bounds. The
+     *  bounds of an existing histogram are not changed. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds);
+
+    /** Current counter value; 0 when the name was never registered. */
+    std::uint64_t counterValue(const std::string &name) const;
+    /** Current gauge value; 0 when never registered. */
+    double gaugeValue(const std::string &name) const;
+    /** Histogram lookup without creation; nullptr when absent. */
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /**
+     * One JSON object {"counters": {...}, "gauges": {...},
+     * "histograms": {name: {count, sum, mean, buckets: [[bound,
+     * count], ...]}}} with names sorted for stable output.
+     * @p indent prefixes every line (for embedding in bench JSON).
+     */
+    std::string snapshotJson(const std::string &indent = "") const;
+
+    /** Write snapshotJson() to @p path; false on I/O failure. */
+    bool writeSnapshot(const std::string &path) const;
+
+    /** Zero every value, keeping registrations (tests only). */
+    void reset();
+
+    Registry();
+
+  private:
+    struct Impl;
+    Impl *impl_; // leaked with the registry
+};
+
+// ---------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------
+
+/** One numeric span attribute; the key must be a string literal. */
+struct TraceArg
+{
+    const char *key;
+    double value;
+};
+
+/**
+ * RAII trace span; prefer the HWPR_SPAN macro. At most four
+ * attributes are kept (excess is dropped — attributes are a debugging
+ * aid, not a data channel).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (tracingEnabled())
+            open(name, nullptr, 0);
+    }
+
+    Span(const char *name, std::initializer_list<TraceArg> args)
+    {
+        if (tracingEnabled())
+            open(name, args.begin(), args.size());
+    }
+
+    ~Span()
+    {
+        if (name_)
+            close();
+    }
+
+    /**
+     * Attach (or overwrite) a numeric attribute before the span
+     * closes — for values only known at the end of the scope, like a
+     * generation's evaluation count. @p key must be a string literal;
+     * no-op when the span is disabled or attributes are full.
+     */
+    void
+    arg(const char *key, double value)
+    {
+        if (!name_)
+            return;
+        for (std::uint32_t i = 0; i < nargs_; ++i) {
+            if (args_[i].key == key) {
+                args_[i].value = value;
+                return;
+            }
+        }
+        if (nargs_ < kMaxArgs)
+            args_[nargs_++] = {key, value};
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    static constexpr std::size_t kMaxArgs = 4;
+
+  private:
+    void open(const char *name, const TraceArg *args, std::size_t n);
+    void close();
+
+    const char *name_ = nullptr;
+    double start_ = 0.0;
+    std::uint32_t nargs_ = 0;
+    TraceArg args_[kMaxArgs];
+};
+
+/** Arm/disarm span collection (no file; pair with traceJson()). */
+void setTracingEnabled(bool on);
+/** Arm/disarm metric collection (no file). */
+void setMetricsEnabled(bool on);
+
+/**
+ * Arm tracing and schedule a Chrome-trace JSON dump to @p path at
+ * process exit (also what HWPR_TRACE=<path> does).
+ */
+void enableTracing(const std::string &path);
+
+/**
+ * Arm metrics and schedule a registry snapshot to @p path at process
+ * exit (also what HWPR_METRICS=<path> does).
+ */
+void enableMetrics(const std::string &path);
+
+/**
+ * Label the calling thread's lane in the exported trace (emitted as a
+ * "thread_name" metadata event). Safe to call with tracing disabled.
+ */
+void setThreadName(const std::string &name);
+
+/** Render all recorded spans as Chrome trace-event JSON. */
+std::string traceJson();
+
+/** Write traceJson() to @p path; false on I/O failure. */
+bool writeTrace(const std::string &path);
+
+/** Spans recorded so far across all threads. */
+std::size_t traceEventCount();
+
+/** Drop all recorded spans (tests only; see quiescence note). */
+void clearTrace();
+
+} // namespace hwpr::obs
+
+#define HWPR_OBS_CONCAT2(a, b) a##b
+#define HWPR_OBS_CONCAT(a, b) HWPR_OBS_CONCAT2(a, b)
+
+/**
+ * Open a scope-bound trace span:
+ *   HWPR_SPAN("moea.generation", {{"gen", double(g)}});
+ * The name (and attribute keys) must be string literals.
+ */
+#define HWPR_SPAN(...)                                                   \
+    ::hwpr::obs::Span HWPR_OBS_CONCAT(hwpr_obs_span_,                    \
+                                      __COUNTER__)(__VA_ARGS__)
+
+#endif // HWPR_COMMON_OBS_H

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace hwpr
 {
@@ -15,13 +16,55 @@ namespace
 
 thread_local bool tl_on_pool_worker = false;
 
+/** 1-based pool-worker index; 0 = not a pool worker. */
+thread_local std::size_t tl_worker_index = 0;
+
+/** Chunk execute-time histogram (us). */
+obs::Histogram &
+execHistogram()
+{
+    static obs::Histogram &h =
+        obs::Registry::global().histogram("threadpool.task.exec_us");
+    return h;
+}
+
+/** Queue-wait histogram (us): enqueue to first dequeue per task. */
+obs::Histogram &
+waitHistogram()
+{
+    static obs::Histogram &h =
+        obs::Registry::global().histogram("threadpool.task.wait_us");
+    return h;
+}
+
+/**
+ * Per-thread busy-time counter (us of chunk execution), the raw
+ * material for utilization: busy_us / wall_us per lane. Workers get
+ * stable names; every non-worker caller shares one "caller" lane.
+ */
+obs::Counter &
+threadBusyCounter()
+{
+    thread_local obs::Counter *c = &obs::Registry::global().counter(
+        tl_worker_index == 0
+            ? std::string("threadpool.caller.busy_us")
+            : "threadpool.worker." +
+                  std::to_string(tl_worker_index) + ".busy_us");
+    return *c;
+}
+
 } // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
     HWPR_CHECK(threads >= 1, "thread pool needs at least one thread");
     for (std::size_t i = 0; i + 1 < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] {
+            tl_worker_index = i + 1;
+            obs::setThreadName("pool-worker-" +
+                               std::to_string(i + 1));
+            workerLoop();
+        });
 }
 
 ThreadPool::~ThreadPool()
@@ -86,8 +129,23 @@ ThreadPool::parallelFor(
         std::mutex mu;
         std::condition_variable cv;
     };
+    // Metrics (histograms of chunk execute / queue wait time,
+    // per-thread busy counters) are decided once per call; they add
+    // two clock reads per chunk when armed and one relaxed load here
+    // when not. Chunk layout and execution order are untouched.
+    const bool metrics = obs::metricsEnabled();
+    if (metrics) {
+        static obs::Counter &calls = obs::Registry::global().counter(
+            "threadpool.parallel_for.calls");
+        static obs::Counter &chunk_count =
+            obs::Registry::global().counter(
+                "threadpool.task.chunks");
+        calls.add();
+        chunk_count.add(chunks);
+    }
+
     auto sync = std::make_shared<Sync>();
-    auto run_chunks = [sync, begin, end, g, chunks, &fn] {
+    auto run_chunks = [sync, begin, end, g, chunks, metrics, &fn] {
         for (;;) {
             const std::size_t c =
                 sync->next.fetch_add(1, std::memory_order_relaxed);
@@ -95,7 +153,15 @@ ThreadPool::parallelFor(
                 break;
             const std::size_t b = begin + c * g;
             const std::size_t e = std::min(end, b + g);
-            fn(b, e);
+            if (metrics) {
+                const double t0 = obs::nowMicros();
+                fn(b, e);
+                const double dt = obs::nowMicros() - t0;
+                execHistogram().record(dt);
+                threadBusyCounter().add(std::uint64_t(dt));
+            } else {
+                fn(b, e);
+            }
             if (sync->done.fetch_add(1, std::memory_order_acq_rel) +
                     1 ==
                 chunks) {
@@ -112,8 +178,17 @@ ThreadPool::parallelFor(
         std::min(workers_.size(), chunks - 1);
     {
         std::lock_guard<std::mutex> lock(mu_);
-        for (std::size_t i = 0; i < helpers; ++i)
-            queue_.emplace_back(run_chunks);
+        for (std::size_t i = 0; i < helpers; ++i) {
+            if (metrics) {
+                const double tq = obs::nowMicros();
+                queue_.emplace_back([run_chunks, tq] {
+                    waitHistogram().record(obs::nowMicros() - tq);
+                    run_chunks();
+                });
+            } else {
+                queue_.emplace_back(run_chunks);
+            }
+        }
     }
     cv_.notify_all();
 

@@ -1,6 +1,7 @@
 #include "core/encoding.h"
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "nasbench/space.h"
 
 namespace hwpr::core
@@ -222,6 +223,19 @@ ArchEncoder::encodeBatch(
     std::span<const nasbench::Architecture> archs) const
 {
     HWPR_CHECK(!archs.empty(), "empty encoding batch");
+    // Runs both inline and on pool workers (inference chunks); spans
+    // land in the recording thread's lane, which is exactly the
+    // attribution the trace should show.
+    HWPR_SPAN("surrogate.encode_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &enc_hist = obs::Registry::global()
+        .histogram("surrogate.encode_batch.us");
+    obs::ScopedTimer enc_timer(enc_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.encode_batch.rows");
+        rows.add(archs.size());
+    }
     const std::size_t n = archs.size();
     Matrix out(n, dim_);
     std::size_t col = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/serialize.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
@@ -107,6 +108,9 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
 {
     HWPR_CHECK(!train.empty() && !val.empty(),
                "HW-PR-NAS training needs train and validation data");
+    HWPR_SPAN("hwprnas.fit", {{"train_size", double(train.size())},
+                              {"val_size", double(val.size())},
+                              {"epochs", double(cfg.epochs)}});
     platform_ = platform;
     const std::size_t pidx = hw::platformIndex(platform);
 
@@ -203,7 +207,13 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
     const bool fast = trainFastPath();
     EncoderCache acc_train_cache, lat_train_cache;
     EncoderCache acc_val_cache, lat_val_cache;
+    static obs::Histogram &prep_hist =
+        obs::Registry::global().histogram("hwprnas.fit.prep_us");
     if (fast) {
+        HWPR_SPAN("hwprnas.fit.prep",
+                  {{"train_size", double(train_archs.size())},
+                   {"val_size", double(val_archs.size())}});
+        obs::ScopedTimer prep_timer(prep_hist);
         acc_train_cache = accEncoder_->buildCache(train_archs);
         lat_train_cache = latEncoder_->buildCache(train_archs);
         acc_val_cache = accEncoder_->buildCache(val_archs);
@@ -231,7 +241,18 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
     std::size_t step = 0;
     valLossHistory_.clear();
 
+    // Observability: per-epoch spans/timers and loss gauges only read
+    // the clock and already-computed values — nothing here touches
+    // rng_ or alters iteration order.
+    static obs::Histogram &epoch_hist =
+        obs::Registry::global().histogram("hwprnas.fit.epoch_us");
+    static obs::Counter &early_stops =
+        obs::Registry::global().counter("hwprnas.fit.early_stop");
+
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        HWPR_SPAN("hwprnas.fit.epoch", {{"epoch", double(epoch)}});
+        obs::ScopedTimer epoch_timer(epoch_hist);
+        double last_batch_loss = 0.0;
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
             // Previous step's tensors are dead here: recycle them.
@@ -254,6 +275,8 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
             nn::Tensor loss = joint_loss(f, ranks, acc_t, lat_t);
             nn::backward(loss);
             opt.step();
+            if (obs::metricsEnabled())
+                last_batch_loss = loss.value()(0, 0);
         }
 
         if (fast)
@@ -266,11 +289,21 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
             joint_loss(vf, val_ranks, val_accn, val_latn)
                 .value()(0, 0);
         valLossHistory_.push_back(vloss);
+        if (obs::metricsEnabled()) {
+            obs::Registry::global()
+                .gauge("hwprnas.fit.train_loss")
+                .set(last_batch_loss);
+            obs::Registry::global()
+                .gauge("hwprnas.fit.val_loss")
+                .set(vloss);
+        }
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
             best_params = snapshotParams(params);
         } else if (++since_best >= cfg.patience) {
+            if (obs::metricsEnabled())
+                early_stops.add();
             break;
         }
     }
@@ -278,6 +311,8 @@ HwPrNas::train(const std::vector<const nasbench::ArchRecord *> &train,
 
     // Final combiner-only fine-tuning on the listwise loss.
     if (cfg.listwiseLoss && cfg.combinerEpochs > 0) {
+        HWPR_SPAN("hwprnas.fit.combiner",
+                  {{"epochs", double(cfg.combinerEpochs)}});
         nn::AdamW comb_opt(combiner_->params(), cfg.learningRate,
                            cfg.weightDecay);
         for (std::size_t epoch = 0; epoch < cfg.combinerEpochs;
@@ -311,6 +346,11 @@ HwPrNas::trainMultiPlatform(
 {
     HWPR_CHECK(!train.empty() && !val.empty(),
                "multi-platform training needs train and val data");
+    HWPR_SPAN("hwprnas.fit",
+              {{"train_size", double(train.size())},
+               {"val_size", double(val.size())},
+               {"epochs", double(cfg.epochs)},
+               {"platforms", double(platforms.size())}});
     HWPR_CHECK(!platforms.empty(), "no platforms given");
     HWPR_CHECK(!cfg_.sharedLatencyHead,
                "multi-platform training requires per-platform heads");
@@ -440,7 +480,13 @@ HwPrNas::trainMultiPlatform(
     const bool fast = trainFastPath();
     EncoderCache acc_train_cache, lat_train_cache;
     EncoderCache acc_val_cache, lat_val_cache;
+    static obs::Histogram &prep_hist =
+        obs::Registry::global().histogram("hwprnas.fit.prep_us");
     if (fast) {
+        HWPR_SPAN("hwprnas.fit.prep",
+                  {{"train_size", double(train_archs.size())},
+                   {"val_size", double(val_archs.size())}});
+        obs::ScopedTimer prep_timer(prep_hist);
         acc_train_cache = accEncoder_->buildCache(train_archs);
         lat_train_cache = latEncoder_->buildCache(train_archs);
         acc_val_cache = accEncoder_->buildCache(val_archs);
@@ -468,7 +514,14 @@ HwPrNas::trainMultiPlatform(
     std::vector<Matrix> best_params = snapshotParams(params);
     std::size_t step = 0;
     valLossHistory_.clear();
+    static obs::Histogram &epoch_hist =
+        obs::Registry::global().histogram("hwprnas.fit.epoch_us");
+    static obs::Counter &early_stops =
+        obs::Registry::global().counter("hwprnas.fit.early_stop");
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        HWPR_SPAN("hwprnas.fit.epoch", {{"epoch", double(epoch)}});
+        obs::ScopedTimer epoch_timer(epoch_hist);
+        double last_batch_loss = 0.0;
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
             if (fast)
@@ -490,6 +543,8 @@ HwPrNas::trainMultiPlatform(
                                          true);
             nn::backward(loss);
             opt.step();
+            if (obs::metricsEnabled())
+                last_batch_loss = loss.value()(0, 0);
         }
         if (fast)
             arena.reset();
@@ -506,11 +561,21 @@ HwPrNas::trainMultiPlatform(
                        val_accn, val_latn, false)
                 .value()(0, 0);
         valLossHistory_.push_back(vloss);
+        if (obs::metricsEnabled()) {
+            obs::Registry::global()
+                .gauge("hwprnas.fit.train_loss")
+                .set(last_batch_loss);
+            obs::Registry::global()
+                .gauge("hwprnas.fit.val_loss")
+                .set(vloss);
+        }
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
             best_params = snapshotParams(params);
         } else if (++since_best >= cfg.patience) {
+            if (obs::metricsEnabled())
+                early_stops.add();
             break;
         }
     }
@@ -525,6 +590,16 @@ HwPrNas::rawForward(std::span<const nasbench::Architecture> archs,
                     std::size_t head) const
 {
     RawForward out;
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
+    }
     out.score.resize(archs.size());
     out.accNorm.resize(archs.size());
     out.latNorm.resize(archs.size());

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "nasbench/space.h"
@@ -81,6 +82,9 @@ MetricPredictor::train(
 {
     HWPR_CHECK(!train.empty() && !val.empty(),
                "predictor training needs train and validation data");
+    HWPR_SPAN("predictor.fit", {{"train_size", double(train.size())},
+                                {"val_size", double(val.size())},
+                                {"epochs", double(cfg.epochs)}});
 
     std::vector<nasbench::Architecture> train_archs, val_archs;
     std::vector<double> train_y, val_y;
@@ -167,7 +171,13 @@ MetricPredictor::train(
     std::vector<Matrix> best_params = snapshotParams(params);
     std::size_t step = 0;
 
+    static obs::Histogram &epoch_hist =
+        obs::Registry::global().histogram("predictor.fit.epoch_us");
+    static obs::Counter &early_stops =
+        obs::Registry::global().counter("predictor.fit.early_stop");
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        HWPR_SPAN("predictor.fit.epoch", {{"epoch", double(epoch)}});
+        obs::ScopedTimer epoch_timer(epoch_hist);
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
             if (fast)
@@ -228,11 +238,17 @@ MetricPredictor::train(
                             .value()(0, 0);
             break;
         }
+        if (obs::metricsEnabled())
+            obs::Registry::global()
+                .gauge("predictor.fit.val_loss")
+                .set(vloss);
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
             best_params = snapshotParams(params);
         } else if (++since_best >= cfg.patience) {
+            if (obs::metricsEnabled())
+                early_stops.add();
             break;
         }
     }
@@ -247,6 +263,16 @@ MetricPredictor::predict(
     std::span<const nasbench::Architecture> archs) const
 {
     HWPR_CHECK(trained_, "predict() before train()");
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
+    }
     if (regressor_ != RegressorKind::Mlp) {
         // Tree traversal is parallelized over rows inside
         // Gbdt::predictBatch.

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/serialize.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
@@ -152,6 +153,9 @@ ScalableHwPrNas::train(
 {
     HWPR_CHECK(!train.empty() && !val.empty(),
                "scalable model needs train and validation data");
+    HWPR_SPAN("scalable.fit", {{"train_size", double(train.size())},
+                               {"val_size", double(val.size())},
+                               {"epochs", double(cfg.epochs)}});
     platform_ = platform;
 
     std::vector<nasbench::Architecture> train_archs, val_archs;
@@ -211,7 +215,13 @@ ScalableHwPrNas::train(
     std::vector<Matrix> best_params = snapshotParams(params);
     std::size_t step = 0;
 
+    static obs::Histogram &epoch_hist =
+        obs::Registry::global().histogram("scalable.fit.epoch_us");
+    static obs::Counter &early_stops =
+        obs::Registry::global().counter("scalable.fit.early_stop");
     for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+        HWPR_SPAN("scalable.fit.epoch", {{"epoch", double(epoch)}});
+        obs::ScopedTimer epoch_timer(epoch_hist);
         for (const auto &batch :
              makeBatches(train_archs.size(), cfg.batchSize, rng_)) {
             if (fast)
@@ -239,11 +249,17 @@ ScalableHwPrNas::train(
                  : forward(val_archs, false, rng_);
         const double vloss =
             nn::listMleParetoLoss(vp, val_ranks).value()(0, 0);
+        if (obs::metricsEnabled())
+            obs::Registry::global()
+                .gauge("scalable.fit.val_loss")
+                .set(vloss);
         if (vloss < best_val - 1e-9) {
             best_val = vloss;
             since_best = 0;
             best_params = snapshotParams(params);
         } else if (++since_best >= cfg.patience) {
+            if (obs::metricsEnabled())
+                early_stops.add();
             break;
         }
     }
@@ -325,6 +341,16 @@ ScalableHwPrNas::scoreBatch(
     std::span<const nasbench::Architecture> archs) const
 {
     HWPR_CHECK(trained_, "scoreBatch() before train()");
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
+    }
     std::vector<double> out(archs.size());
     constexpr std::size_t kChunk = 16;
     ExecContext::global().pool->parallelFor(

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "pareto/pareto.h"
 
 namespace hwpr::search
@@ -61,6 +62,21 @@ nsga2Select(const std::vector<pareto::Point> &fitness, std::size_t keep)
     return survivors;
 }
 
+/**
+ * Current front hypervolume for a generation span's attribute. Only
+ * meaningful for vector fitness; scalar (ParetoScore) runs return 0.
+ * Callers gate this on obs::tracingEnabled() — it is pure extra
+ * computation (no RNG, no state) and must stay off the disabled path.
+ */
+double
+traceHypervolume(const std::vector<pareto::Point> &fit, EvalKind kind)
+{
+    if (kind != EvalKind::ObjectiveVector || fit.empty())
+        return 0.0;
+    return pareto::hypervolume(fit,
+                               pareto::nadirReference(fit, 0.1));
+}
+
 /** Top-k by scalar Pareto score (descending). */
 std::vector<std::size_t>
 scoreSelect(const std::vector<pareto::Point> &fitness, std::size_t keep)
@@ -93,6 +109,9 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
     SearchResult result;
     const std::size_t n = cfg_.populationSize;
     HWPR_CHECK(n >= 2, "population size must be at least 2");
+    HWPR_SPAN("moea.run",
+              {{"population", double(n)},
+               {"max_generations", double(cfg_.maxGenerations)}});
 
     // Initial population P_0, evaluated with the plugged evaluator.
     // Populations are always handed to evaluate() whole so batched
@@ -133,6 +152,8 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
             result.stats.stoppedByBudget = true;
             break;
         }
+        obs::Span gen_span("moea.generation",
+                           {{"gen", double(gen)}});
         if (evaluator.kind() == EvalKind::ObjectiveVector)
             ranks = pareto::paretoRanks(fit);
 
@@ -204,11 +225,24 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
         pop = std::move(next_pop);
         fit = std::move(next_fit);
         ++result.stats.generations;
+        gen_span.arg("evals", double(result.stats.evaluations));
+        if (obs::tracingEnabled())
+            gen_span.arg("hypervolume",
+                         traceHypervolume(fit, evaluator.kind()));
     }
 
     result.population = std::move(pop);
     result.fitness = std::move(fit);
     result.stats.wallSeconds = nowSeconds() - t0;
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::Registry::global();
+        reg.counter("moea.evaluations")
+            .add(result.stats.evaluations);
+        reg.counter("moea.generations")
+            .add(result.stats.generations);
+        reg.gauge("moea.wall_seconds").set(result.stats.wallSeconds);
+    }
+    lastStats_ = result.stats;
     return result;
 }
 
@@ -218,6 +252,7 @@ RandomSearch::run(const SearchDomain &domain, Evaluator &evaluator,
 {
     const double t0 = nowSeconds();
     SearchResult result;
+    HWPR_SPAN("search.random.run", {{"budget", double(cfg_.budget)}});
 
     std::vector<nasbench::Architecture> sampled;
     sampled.reserve(cfg_.budget);
@@ -249,6 +284,11 @@ RandomSearch::run(const SearchDomain &domain, Evaluator &evaluator,
         result.fitness.push_back(fit[idx]);
     }
     result.stats.wallSeconds = nowSeconds() - t0;
+    if (obs::metricsEnabled())
+        obs::Registry::global()
+            .counter("search.random.evaluations")
+            .add(result.stats.evaluations);
+    lastStats_ = result.stats;
     return result;
 }
 

@@ -76,6 +76,13 @@ class Moea
 
     const MoeaConfig &config() const { return cfg_; }
 
+    /**
+     * Accounting of the most recent run() on this instance (a copy of
+     * the returned result's stats, kept for callers that only hold
+     * the searcher). Zeros before the first run.
+     */
+    const SearchStats &searchStats() const { return lastStats_; }
+
   private:
     /**
      * Elitist survival selection over merged parents + offspring;
@@ -86,6 +93,8 @@ class Moea
            std::size_t keep) const;
 
     MoeaConfig cfg_;
+    /** run() is const (it only reads config); stats are bookkeeping. */
+    mutable SearchStats lastStats_;
 };
 
 /** Random-search configuration. */
@@ -108,8 +117,12 @@ class RandomSearch
     SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
                      Rng &rng) const;
 
+    /** Accounting of the most recent run() (see Moea::searchStats). */
+    const SearchStats &searchStats() const { return lastStats_; }
+
   private:
     RandomSearchConfig cfg_;
+    mutable SearchStats lastStats_;
 };
 
 } // namespace hwpr::search

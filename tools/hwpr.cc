@@ -18,6 +18,7 @@
 
 #include "argparse.h"
 
+#include "common/obs.h"
 #include "common/table.h"
 #include "common/threadpool.h"
 #include "hw/cost_model.h"
@@ -56,6 +57,13 @@ global options:
   --threads N   size of the shared execution thread pool (default:
                 HWPR_THREADS env var, else hardware concurrency).
                 Results are identical at every thread count.
+  --trace FILE  record trace spans and write Chrome trace-event JSON
+                to FILE at exit (view in Perfetto / chrome://tracing;
+                same as HWPR_TRACE=FILE). No effect on results.
+  --metrics FILE
+                collect runtime counters/gauges/histograms and write
+                a JSON snapshot to FILE at exit (same as
+                HWPR_METRICS=FILE). No effect on results.
 datasets:  cifar10 cifar100 imagenet16
 platforms: edgegpu edgetpu raspberrypi4 fpga-zc706 fpga-zcu102
            pixel3 eyeriss
@@ -309,6 +317,10 @@ main(int argc, char **argv)
     if (args.has("threads"))
         ExecContext::setGlobalThreads(
             std::size_t(std::max(1L, args.getInt("threads", 1))));
+    if (args.has("trace"))
+        obs::enableTracing(args.get("trace"));
+    if (args.has("metrics"))
+        obs::enableMetrics(args.get("metrics"));
     if (args.command() == "sample")
         return cmdSample(args);
     if (args.command() == "measure")
