@@ -70,6 +70,18 @@ class BrpNas : public core::Surrogate
 
     hw::PlatformId platform() const { return platform_; }
 
+    /**
+     * Serialize both trained predictors into an atomic CRC-checked
+     * checkpoint (kind "brpnas").
+     */
+    bool save(const std::string &path) const override;
+
+    /**
+     * Restore a baseline written by save(). Returns nullptr on
+     * corruption, format or shape mismatch.
+     */
+    static std::unique_ptr<BrpNas> load(const std::string &path);
+
   private:
     core::EncoderConfig encCfg_;
     nasbench::DatasetId dataset_;

@@ -1,6 +1,10 @@
 #include "baselines/gates.h"
 
+#include <sstream>
+
 #include "common/logging.h"
+#include "common/serialize.h"
+#include "nasbench/dataset_id.h"
 
 namespace hwpr::baselines
 {
@@ -83,6 +87,63 @@ Gates::evaluator() const
 {
     HWPR_CHECK(accuracy_ && latency_, "evaluator() before train()");
     return core::SurrogateEvaluator(*this);
+}
+
+bool
+Gates::save(const std::string &path) const
+{
+    HWPR_CHECK(accuracy_ && latency_, "save() before train()");
+    return atomicSave(path, [this](BinaryWriter &w) {
+        writeHeader(w, "gates", 1);
+        w.writeU64(encCfg_.gcnHidden);
+        w.writeU64(encCfg_.gcnLayers);
+        w.writeU64(encCfg_.lstmHidden);
+        w.writeU64(encCfg_.lstmLayers);
+        w.writeU64(encCfg_.embedDim);
+        w.writeU64(encCfg_.gcnGlobalNode ? 1 : 0);
+        w.writeU64(std::uint64_t(dataset_));
+        w.writeU64(seed_);
+        w.writeU64(std::uint64_t(platform_));
+        accuracy_->saveTo(w);
+        latency_->saveTo(w);
+    });
+}
+
+std::unique_ptr<Gates>
+Gates::load(const std::string &path)
+{
+    std::string body;
+    if (!readVerified(path, body))
+        return nullptr;
+    std::istringstream in(body, std::ios::binary);
+    BinaryReader r(in);
+    if (readHeader(r, "gates") != 1)
+        return nullptr;
+
+    core::EncoderConfig enc_cfg;
+    enc_cfg.gcnHidden = std::size_t(r.readU64());
+    enc_cfg.gcnLayers = std::size_t(r.readU64());
+    enc_cfg.lstmHidden = std::size_t(r.readU64());
+    enc_cfg.lstmLayers = std::size_t(r.readU64());
+    enc_cfg.embedDim = std::size_t(r.readU64());
+    enc_cfg.gcnGlobalNode = r.readU64() != 0;
+    const std::uint64_t dataset_raw = r.readU64();
+    const std::uint64_t seed = r.readU64();
+    const std::uint64_t platform_raw = r.readU64();
+    if (!r.ok() || dataset_raw >= nasbench::allDatasets().size() ||
+        platform_raw >= hw::kNumPlatforms)
+        return nullptr;
+
+    auto model = std::make_unique<Gates>(
+        enc_cfg, nasbench::DatasetId(dataset_raw), seed);
+    model->platform_ = hw::PlatformId(platform_raw);
+    model->accuracy_ = core::MetricPredictor::loadFrom(r);
+    if (!model->accuracy_)
+        return nullptr;
+    model->latency_ = core::MetricPredictor::loadFrom(r);
+    if (!model->latency_)
+        return nullptr;
+    return model;
 }
 
 } // namespace hwpr::baselines

@@ -68,6 +68,18 @@ class Gates : public core::Surrogate
 
     hw::PlatformId platform() const { return platform_; }
 
+    /**
+     * Serialize both trained ranking predictors into an atomic
+     * CRC-checked checkpoint (kind "gates").
+     */
+    bool save(const std::string &path) const override;
+
+    /**
+     * Restore a baseline written by save(). Returns nullptr on
+     * corruption, format or shape mismatch.
+     */
+    static std::unique_ptr<Gates> load(const std::string &path);
+
   private:
     core::EncoderConfig encCfg_;
     nasbench::DatasetId dataset_;

@@ -1,7 +1,12 @@
 #include "baselines/lut.h"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/logging.h"
 #include "common/obs.h"
+#include "common/serialize.h"
+#include "nasbench/dataset_id.h"
 #include "nasbench/space.h"
 
 namespace hwpr::baselines
@@ -108,6 +113,59 @@ LatencyLut::objectivesBatch(
     for (std::size_t i = 0; i < archs.size(); ++i)
         out(i, 0) = estimateMs(archs[i]);
     return out;
+}
+
+bool
+LatencyLut::save(const std::string &path) const
+{
+    return atomicSave(path, [this](BinaryWriter &w) {
+        writeHeader(w, "lut", 1);
+        w.writeU64(std::uint64_t(dataset_));
+        w.writeU64(std::uint64_t(platform_));
+
+        // Sorted by key: the hash map's iteration order is not
+        // deterministic, the file should be.
+        std::vector<std::pair<std::uint64_t, double>> entries(
+            table_.begin(), table_.end());
+        std::sort(entries.begin(), entries.end());
+        w.writeU64(entries.size());
+        for (const auto &[k, v] : entries) {
+            w.writeU64(k);
+            w.writeDouble(v);
+        }
+    });
+}
+
+std::unique_ptr<LatencyLut>
+LatencyLut::load(const std::string &path)
+{
+    std::string body;
+    if (!readVerified(path, body))
+        return nullptr;
+    std::istringstream in(body, std::ios::binary);
+    BinaryReader r(in);
+    if (readHeader(r, "lut") != 1)
+        return nullptr;
+
+    const std::uint64_t dataset_raw = r.readU64();
+    const std::uint64_t platform_raw = r.readU64();
+    const std::uint64_t count = r.readU64();
+    constexpr std::uint64_t kMaxEntries = 1ull << 24;
+    if (!r.ok() || dataset_raw >= nasbench::allDatasets().size() ||
+        platform_raw >= hw::kNumPlatforms || count > kMaxEntries)
+        return nullptr;
+
+    auto lut = std::make_unique<LatencyLut>(
+        nasbench::DatasetId(dataset_raw), hw::PlatformId(platform_raw));
+    lut->table_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t k = r.readU64();
+        const double v = r.readDouble();
+        if (!r.ok())
+            return nullptr;
+        lut->table_.emplace(k, v);
+    }
+    return lut;
 }
 
 } // namespace hwpr::baselines

@@ -80,6 +80,19 @@ class LatencyLut : public core::Surrogate
 
     hw::PlatformId platform() const { return platform_; }
 
+    /**
+     * Serialize the profiled table into an atomic CRC-checked
+     * checkpoint (kind "lut"). Entries are written in sorted key
+     * order, so equal tables produce byte-identical files.
+     */
+    bool save(const std::string &path) const override;
+
+    /**
+     * Restore a table written by save(). Returns nullptr on
+     * corruption or format mismatch.
+     */
+    static std::unique_ptr<LatencyLut> load(const std::string &path);
+
   private:
     /** Canonical signature of an operator workload. */
     static std::uint64_t key(const hw::OpWorkload &op);

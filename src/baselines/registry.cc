@@ -1,0 +1,36 @@
+#include "baselines/registry.h"
+
+#include <mutex>
+
+#include "baselines/brpnas.h"
+#include "baselines/gates.h"
+#include "baselines/lut.h"
+#include "core/surrogate.h"
+
+namespace hwpr::baselines
+{
+
+void
+registerBaselineLoaders()
+{
+    static std::once_flag flag;
+    std::call_once(flag, [] {
+        core::registerSurrogateLoader(
+            "brpnas",
+            [](const std::string &path) -> std::unique_ptr<core::Surrogate> {
+                return BrpNas::load(path);
+            });
+        core::registerSurrogateLoader(
+            "gates",
+            [](const std::string &path) -> std::unique_ptr<core::Surrogate> {
+                return Gates::load(path);
+            });
+        core::registerSurrogateLoader(
+            "lut",
+            [](const std::string &path) -> std::unique_ptr<core::Surrogate> {
+                return LatencyLut::load(path);
+            });
+    });
+}
+
+} // namespace hwpr::baselines

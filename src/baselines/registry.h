@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Checkpoint-loader registration for the baseline surrogates.
+ *
+ * core::loadSurrogate dispatches on the checkpoint's header kind, but
+ * core/ sits below baselines/ in the link order and cannot name the
+ * baseline classes. Calling registerBaselineLoaders() once (tools and
+ * tests do it at startup) plugs the "brpnas", "gates" and "lut"
+ * formats into the core registry. Registration is explicit rather
+ * than a static initializer because static libraries drop unreferenced
+ * objects at link time.
+ */
+
+#ifndef HWPR_BASELINES_REGISTRY_H
+#define HWPR_BASELINES_REGISTRY_H
+
+namespace hwpr::baselines
+{
+
+/**
+ * Register the baseline checkpoint formats with core::loadSurrogate.
+ * Idempotent and thread-safe; call before the first loadSurrogate on
+ * a baseline checkpoint.
+ */
+void registerBaselineLoaders();
+
+} // namespace hwpr::baselines
+
+#endif // HWPR_BASELINES_REGISTRY_H

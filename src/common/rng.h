@@ -13,6 +13,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/logging.h"
@@ -102,6 +104,36 @@ class Rng
 
     /** Access the underlying engine (for std:: distributions). */
     std::mt19937_64 &engine() { return engine_; }
+
+    /**
+     * Serialize the engine state (the standard's textual mt19937_64
+     * representation). Every draw helper constructs its distribution
+     * fresh, so the engine state alone determines the whole future
+     * sequence — restoring it resumes the stream bit-identically.
+     */
+    std::string
+    saveState() const
+    {
+        std::ostringstream out;
+        out << engine_;
+        return out.str();
+    }
+
+    /**
+     * Restore a state captured by saveState(). Returns false (engine
+     * unchanged) when the text is not a valid mt19937_64 state.
+     */
+    bool
+    restoreState(const std::string &state)
+    {
+        std::istringstream in(state);
+        std::mt19937_64 candidate;
+        in >> candidate;
+        if (in.fail())
+            return false;
+        engine_ = candidate;
+        return true;
+    }
 
   private:
     std::mt19937_64 engine_;

@@ -2,11 +2,13 @@
 
 #include <cmath>
 #include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/serialize.h"
+#include "nasbench/dataset_id.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "pareto/pareto.h"
@@ -746,10 +748,14 @@ bool
 HwPrNas::save(const std::string &path) const
 {
     HWPR_CHECK(trained_, "save() before train()");
-    std::ofstream out(path, std::ios::binary);
-    if (!out.is_open())
-        return false;
-    BinaryWriter w(out);
+    return atomicSave(path, [this](BinaryWriter &w) {
+        writeBody(w);
+    });
+}
+
+void
+HwPrNas::writeBody(BinaryWriter &w) const
+{
     writeHeader(w, "hwprnas", 2);
 
     // Configuration.
@@ -782,15 +788,15 @@ HwPrNas::save(const std::string &path) const
     w.writeU64(all.size());
     for (const auto &p : all)
         w.writeMatrix(p.value());
-    return w.ok();
 }
 
 std::unique_ptr<HwPrNas>
 HwPrNas::load(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open())
+    std::string body;
+    if (!readVerified(path, body))
         return nullptr;
+    std::istringstream in(body, std::ios::binary);
     BinaryReader r(in);
     if (readHeader(r, "hwprnas") != 2)
         return nullptr;
@@ -801,23 +807,28 @@ HwPrNas::load(const std::string &path)
     cfg.encoder.lstmHidden = std::size_t(r.readU64());
     cfg.encoder.lstmLayers = std::size_t(r.readU64());
     cfg.encoder.embedDim = std::size_t(r.readU64());
-    cfg.headHidden.resize(r.readU64());
-    if (!r.ok() || cfg.headHidden.size() > 64)
+    const std::uint64_t num_head = r.readU64();
+    if (!r.ok() || num_head > 64)
         return nullptr;
+    cfg.headHidden.resize(num_head);
     for (auto &h : cfg.headHidden)
         h = std::size_t(r.readU64());
-    cfg.combinerHidden.resize(r.readU64());
-    if (!r.ok() || cfg.combinerHidden.size() > 64)
+    const std::uint64_t num_combiner = r.readU64();
+    if (!r.ok() || num_combiner > 64)
         return nullptr;
+    cfg.combinerHidden.resize(num_combiner);
     for (auto &h : cfg.combinerHidden)
         h = std::size_t(r.readU64());
     cfg.useArchFeatures = r.readU64() != 0;
     cfg.rmseWeight = r.readDouble();
     cfg.sharedLatencyHead = r.readU64() != 0;
-    const auto dataset = nasbench::DatasetId(r.readU64());
-    const auto platform = hw::PlatformId(r.readU64());
-    if (!r.ok())
+    const std::uint64_t dataset_raw = r.readU64();
+    const std::uint64_t platform_raw = r.readU64();
+    if (!r.ok() || dataset_raw >= nasbench::allDatasets().size() ||
+        platform_raw >= hw::kNumPlatforms)
         return nullptr;
+    const auto dataset = nasbench::DatasetId(dataset_raw);
+    const auto platform = hw::PlatformId(platform_raw);
 
     auto model = std::make_unique<HwPrNas>(cfg, dataset, 0);
     model->platform_ = platform;

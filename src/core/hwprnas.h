@@ -27,6 +27,7 @@
 #include <memory>
 #include <span>
 
+#include "common/serialize.h"
 #include "core/encoding.h"
 #include "core/surrogate.h"
 #include "core/train_util.h"
@@ -191,14 +192,16 @@ class HwPrNas : public Surrogate
 
     /**
      * Serialize the trained model (configuration, scalers and all
-     * parameters) to a binary checkpoint.
+     * parameters) to a binary checkpoint. The write is atomic
+     * (temp file + fsync + rename) and the file carries a CRC32
+     * footer that load() verifies.
      * @return false when the file cannot be written.
      */
     bool save(const std::string &path) const override;
 
     /**
      * Restore a model from a checkpoint written by save(). Returns
-     * nullptr on format or shape mismatch.
+     * nullptr on corruption, format or shape mismatch.
      */
     static std::unique_ptr<HwPrNas> load(const std::string &path);
 
@@ -241,6 +244,9 @@ class HwPrNas : public Surrogate
                           std::size_t head) const;
 
     std::size_t headIndex(hw::PlatformId platform) const;
+
+    /** Checkpoint body (header + config + scalers + params). */
+    void writeBody(BinaryWriter &w) const;
 
     /**
      * Instantiate encoders, heads and the combiner. @p scaler_fit

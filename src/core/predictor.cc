@@ -296,6 +296,164 @@ MetricPredictor::predict(
     return out;
 }
 
+namespace
+{
+
+/** Feature-row width of the GBDT path (see gbdtFeatures()). */
+constexpr std::size_t kGbdtFeatureDim =
+    nasbench::kNumArchFeatures + nasbench::kTokenLength + 1;
+
+void
+writeScaler(BinaryWriter &w, const nasbench::FeatureScaler &scaler)
+{
+    w.writeDoubles(scaler.mean);
+    w.writeDoubles(scaler.std);
+}
+
+nasbench::FeatureScaler
+readScaler(BinaryReader &r)
+{
+    nasbench::FeatureScaler s;
+    s.mean = r.readDoubles();
+    s.std = r.readDoubles();
+    return s;
+}
+
+} // namespace
+
+void
+MetricPredictor::saveTo(BinaryWriter &w) const
+{
+    HWPR_CHECK(trained_, "saveTo() before train()");
+    w.writeU64(std::uint64_t(encoding_));
+    w.writeU64(std::uint64_t(regressor_));
+    w.writeU64(std::uint64_t(dataset_));
+    w.writeU64(encCfg_.gcnHidden);
+    w.writeU64(encCfg_.gcnLayers);
+    w.writeU64(encCfg_.lstmHidden);
+    w.writeU64(encCfg_.lstmLayers);
+    w.writeU64(encCfg_.embedDim);
+    w.writeU64(encCfg_.gcnGlobalNode ? 1 : 0);
+    w.writeDouble(targetScaler_.mu);
+    w.writeDouble(targetScaler_.sigma);
+
+    if (regressor_ != RegressorKind::Mlp) {
+        writeScaler(w, gbdtScaler_);
+        trees_->saveTo(w);
+        return;
+    }
+
+    writeScaler(w, encoder_->scaler());
+    const auto &hidden = head_->config().hidden;
+    w.writeU64(hidden.size());
+    for (std::size_t h : hidden)
+        w.writeU64(h);
+
+    std::vector<nn::Tensor> params = encoder_->params();
+    for (const auto &p : head_->params())
+        params.push_back(p);
+    w.writeU64(params.size());
+    for (const auto &p : params)
+        w.writeMatrix(p.value());
+}
+
+std::unique_ptr<MetricPredictor>
+MetricPredictor::loadFrom(BinaryReader &r)
+{
+    const std::uint64_t encoding = r.readU64();
+    const std::uint64_t regressor = r.readU64();
+    const std::uint64_t dataset = r.readU64();
+    if (!r.ok() || encoding > std::uint64_t(EncodingKind::ALL) ||
+        regressor > std::uint64_t(RegressorKind::LGBoost) ||
+        dataset >= nasbench::allDatasets().size())
+        return nullptr;
+
+    EncoderConfig cfg;
+    cfg.gcnHidden = std::size_t(r.readU64());
+    cfg.gcnLayers = std::size_t(r.readU64());
+    cfg.lstmHidden = std::size_t(r.readU64());
+    cfg.lstmLayers = std::size_t(r.readU64());
+    cfg.embedDim = std::size_t(r.readU64());
+    cfg.gcnGlobalNode = r.readU64() != 0;
+    const double mu = r.readDouble();
+    const double sigma = r.readDouble();
+    // Oversized layer dimensions would make the skeleton build below
+    // allocate huge parameter matrices before any shape check.
+    constexpr std::size_t kMaxDim = 1 << 16;
+    if (!r.ok() || cfg.gcnHidden > kMaxDim || cfg.gcnLayers > 64 ||
+        cfg.lstmHidden > kMaxDim || cfg.lstmLayers > 64 ||
+        cfg.embedDim > kMaxDim)
+        return nullptr;
+
+    auto pred = std::make_unique<MetricPredictor>(
+        EncodingKind(encoding), cfg, RegressorKind(regressor),
+        nasbench::DatasetId(dataset), 0);
+    pred->targetScaler_.mu = mu;
+    pred->targetScaler_.sigma = sigma;
+
+    if (pred->regressor_ != RegressorKind::Mlp) {
+        pred->gbdtScaler_ = readScaler(r);
+        if (!r.ok() ||
+            pred->gbdtScaler_.mean.size() !=
+                nasbench::kNumArchFeatures ||
+            pred->gbdtScaler_.std.size() != nasbench::kNumArchFeatures)
+            return nullptr;
+        pred->trees_ = std::make_unique<gbdt::Gbdt>(
+            pred->regressor_ == RegressorKind::XGBoost
+                ? gbdt::xgboostConfig()
+                : gbdt::lgboostConfig());
+        if (!pred->trees_->loadFrom(r, kGbdtFeatureDim))
+            return nullptr;
+        pred->trained_ = true;
+        return pred;
+    }
+
+    nasbench::FeatureScaler scaler = readScaler(r);
+    const std::uint64_t num_hidden = r.readU64();
+    if (!r.ok() || num_hidden > 64)
+        return nullptr;
+    std::vector<std::size_t> hidden(num_hidden);
+    for (auto &h : hidden) {
+        h = std::size_t(r.readU64());
+        if (h == 0 || h > kMaxDim)
+            return nullptr;
+    }
+    if (!r.ok())
+        return nullptr;
+
+    // Build the skeleton; the dummy-architecture scaler fit is
+    // replaced by the loaded one, and all parameters are overwritten.
+    Rng dummy_rng(0);
+    pred->encoder_ = std::make_unique<ArchEncoder>(
+        pred->encoding_, cfg, pred->dataset_,
+        std::vector<nasbench::Architecture>{
+            nasbench::nasBench201().sample(dummy_rng)},
+        pred->rng_);
+    pred->encoder_->setScaler(std::move(scaler));
+    nn::MlpConfig mlp_cfg;
+    mlp_cfg.inDim = pred->encoder_->dim();
+    mlp_cfg.hidden = hidden;
+    mlp_cfg.outDim = 1;
+    mlp_cfg.dropout = 0.0;
+    pred->head_ =
+        std::make_unique<nn::Mlp>(mlp_cfg, pred->rng_, "pred");
+
+    std::vector<nn::Tensor> params = pred->encoder_->params();
+    for (const auto &p : pred->head_->params())
+        params.push_back(p);
+    if (r.readU64() != params.size())
+        return nullptr;
+    for (auto &p : params) {
+        Matrix m = r.readMatrix();
+        if (!r.ok() || m.rows() != p.value().rows() ||
+            m.cols() != p.value().cols())
+            return nullptr;
+        p.valueMut() = std::move(m);
+    }
+    pred->trained_ = true;
+    return pred;
+}
+
 PredictorQuality
 evaluatePredictor(const MetricPredictor &predictor,
                   const std::vector<const nasbench::ArchRecord *> &test,

@@ -19,6 +19,7 @@
 #include <memory>
 #include <span>
 
+#include "common/serialize.h"
 #include "core/encoding.h"
 #include "core/train_util.h"
 #include "gbdt/gbdt.h"
@@ -93,6 +94,19 @@ class MetricPredictor
      */
     std::vector<double>
     predict(std::span<const nasbench::Architecture> archs) const;
+
+    /**
+     * Serialize the trained predictor (configuration, scalers and
+     * either the encoder+head parameters or the tree ensemble) into
+     * an enclosing checkpoint stream.
+     */
+    void saveTo(BinaryWriter &w) const;
+
+    /**
+     * Restore a predictor written by saveTo(). Returns nullptr on any
+     * corruption (bad enums, size mismatches, truncation).
+     */
+    static std::unique_ptr<MetricPredictor> loadFrom(BinaryReader &r);
 
     RegressorKind regressor() const { return regressor_; }
     EncodingKind encoding() const { return encoding_; }

@@ -1,10 +1,12 @@
 #include "core/scalable.h"
 
 #include <fstream>
+#include <sstream>
 
 #include "common/logging.h"
 #include "common/obs.h"
 #include "common/serialize.h"
+#include "nasbench/dataset_id.h"
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "pareto/pareto.h"
@@ -47,42 +49,40 @@ bool
 ScalableHwPrNas::save(const std::string &path) const
 {
     HWPR_CHECK(trained_, "save() before train()");
-    std::ofstream out(path, std::ios::binary);
-    if (!out.is_open())
-        return false;
-    BinaryWriter w(out);
-    writeHeader(w, "hwpr-scalable", 1);
+    return atomicSave(path, [this](BinaryWriter &w) {
+        writeHeader(w, "hwpr-scalable", 1);
 
-    w.writeU64(cfg_.encoder.gcnHidden);
-    w.writeU64(cfg_.encoder.gcnLayers);
-    w.writeU64(cfg_.encoder.lstmHidden);
-    w.writeU64(cfg_.encoder.lstmLayers);
-    w.writeU64(cfg_.encoder.embedDim);
-    w.writeU64(cfg_.encoder.gcnGlobalNode ? 1 : 0);
-    w.writeU64(cfg_.mlpHidden.size());
-    for (std::size_t h : cfg_.mlpHidden)
-        w.writeU64(h);
-    w.writeU64(std::uint64_t(dataset_));
-    w.writeU64(std::uint64_t(platform_));
-    w.writeU64(energyAware_ ? 1 : 0);
-    w.writeDoubles(encoder_->scaler().mean);
-    w.writeDoubles(encoder_->scaler().std);
+        w.writeU64(cfg_.encoder.gcnHidden);
+        w.writeU64(cfg_.encoder.gcnLayers);
+        w.writeU64(cfg_.encoder.lstmHidden);
+        w.writeU64(cfg_.encoder.lstmLayers);
+        w.writeU64(cfg_.encoder.embedDim);
+        w.writeU64(cfg_.encoder.gcnGlobalNode ? 1 : 0);
+        w.writeU64(cfg_.mlpHidden.size());
+        for (std::size_t h : cfg_.mlpHidden)
+            w.writeU64(h);
+        w.writeU64(std::uint64_t(dataset_));
+        w.writeU64(std::uint64_t(platform_));
+        w.writeU64(energyAware_ ? 1 : 0);
+        w.writeDoubles(encoder_->scaler().mean);
+        w.writeDoubles(encoder_->scaler().std);
 
-    std::vector<nn::Tensor> params = encoder_->params();
-    for (const auto &p : mlp_->params())
-        params.push_back(p);
-    w.writeU64(params.size());
-    for (const auto &p : params)
-        w.writeMatrix(p.value());
-    return w.ok();
+        std::vector<nn::Tensor> params = encoder_->params();
+        for (const auto &p : mlp_->params())
+            params.push_back(p);
+        w.writeU64(params.size());
+        for (const auto &p : params)
+            w.writeMatrix(p.value());
+    });
 }
 
 std::unique_ptr<ScalableHwPrNas>
 ScalableHwPrNas::load(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open())
+    std::string body;
+    if (!readVerified(path, body))
         return nullptr;
+    std::istringstream in(body, std::ios::binary);
     BinaryReader r(in);
     if (readHeader(r, "hwpr-scalable") != 1)
         return nullptr;
@@ -94,14 +94,20 @@ ScalableHwPrNas::load(const std::string &path)
     cfg.encoder.lstmLayers = std::size_t(r.readU64());
     cfg.encoder.embedDim = std::size_t(r.readU64());
     cfg.encoder.gcnGlobalNode = r.readU64() != 0;
-    cfg.mlpHidden.resize(r.readU64());
-    if (!r.ok() || cfg.mlpHidden.size() > 64)
+    const std::uint64_t num_hidden = r.readU64();
+    if (!r.ok() || num_hidden > 64)
         return nullptr;
+    cfg.mlpHidden.resize(num_hidden);
     for (auto &h : cfg.mlpHidden)
         h = std::size_t(r.readU64());
-    const auto dataset = nasbench::DatasetId(r.readU64());
-    const auto platform = hw::PlatformId(r.readU64());
+    const std::uint64_t dataset_raw = r.readU64();
+    const std::uint64_t platform_raw = r.readU64();
     const bool energy_aware = r.readU64() != 0;
+    if (!r.ok() || dataset_raw >= nasbench::allDatasets().size() ||
+        platform_raw >= hw::kNumPlatforms)
+        return nullptr;
+    const auto dataset = nasbench::DatasetId(dataset_raw);
+    const auto platform = hw::PlatformId(platform_raw);
     nasbench::FeatureScaler scaler;
     scaler.mean = r.readDoubles();
     scaler.std = r.readDoubles();

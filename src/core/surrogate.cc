@@ -1,6 +1,10 @@
 #include "core/surrogate.h"
 
+#include <map>
+#include <mutex>
+
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "core/hwprnas.h"
 #include "core/scalable.h"
 
@@ -57,14 +61,52 @@ SurrogateEvaluator::evaluate(
     return out;
 }
 
+namespace
+{
+
+std::mutex &
+loaderMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, SurrogateLoader> &
+loaderRegistry()
+{
+    static std::map<std::string, SurrogateLoader> registry;
+    return registry;
+}
+
+} // namespace
+
+void
+registerSurrogateLoader(const std::string &kind, SurrogateLoader loader)
+{
+    std::lock_guard<std::mutex> lock(loaderMutex());
+    loaderRegistry()[kind] = std::move(loader);
+}
+
 std::unique_ptr<Surrogate>
 loadSurrogate(const std::string &path)
 {
-    if (auto hwpr = HwPrNas::load(path))
-        return hwpr;
-    if (auto scalable = ScalableHwPrNas::load(path))
-        return scalable;
-    return nullptr;
+    const std::string kind = checkpointKind(path);
+    if (kind.empty())
+        return nullptr; // missing, corrupt or not a checkpoint
+    if (kind == "hwprnas")
+        return HwPrNas::load(path);
+    if (kind == "hwpr-scalable")
+        return ScalableHwPrNas::load(path);
+
+    SurrogateLoader loader;
+    {
+        std::lock_guard<std::mutex> lock(loaderMutex());
+        auto it = loaderRegistry().find(kind);
+        if (it == loaderRegistry().end())
+            return nullptr;
+        loader = it->second;
+    }
+    return loader(path);
 }
 
 } // namespace hwpr::core

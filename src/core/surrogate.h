@@ -21,6 +21,7 @@
 #ifndef HWPR_CORE_SURROGATE_H
 #define HWPR_CORE_SURROGATE_H
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -130,9 +131,28 @@ class SurrogateEvaluator : public search::Evaluator
 };
 
 /**
- * Restore a surrogate from a checkpoint written by Surrogate::save,
- * probing the known binary formats (HW-PR-NAS, then the scalable
- * variant). Returns nullptr when no format matches.
+ * Factory restoring one surrogate family from a checkpoint path.
+ * Returns nullptr on corruption or mismatch.
+ */
+using SurrogateLoader =
+    std::function<std::unique_ptr<Surrogate>(const std::string &)>;
+
+/**
+ * Register a loader for a checkpoint kind (the string written by
+ * writeHeader). Layers above core — the baselines library cannot be
+ * linked from here — register their formats through this hook; see
+ * baselines::registerBaselineLoaders(). Re-registering a kind
+ * replaces the previous loader. Thread-safe.
+ */
+void registerSurrogateLoader(const std::string &kind,
+                             SurrogateLoader loader);
+
+/**
+ * Restore a surrogate from a checkpoint written by Surrogate::save.
+ * The file's CRC footer is verified and its header kind dispatched to
+ * the matching loader (HW-PR-NAS and the scalable variant are built
+ * in; other families come from registerSurrogateLoader). Returns
+ * nullptr when the file is corrupt or the kind unknown.
  */
 std::unique_ptr<Surrogate> loadSurrogate(const std::string &path);
 

@@ -138,4 +138,32 @@ Gbdt::predictRow(const Matrix &x, std::size_t row) const
     return acc;
 }
 
+void
+Gbdt::saveTo(BinaryWriter &w) const
+{
+    w.writeDouble(cfg_.learningRate);
+    w.writeDouble(base_);
+    w.writeU64(trees_.size());
+    for (const auto &tree : trees_)
+        tree.saveTo(w);
+}
+
+bool
+Gbdt::loadFrom(BinaryReader &r, std::size_t num_features)
+{
+    trees_.clear();
+    cfg_.learningRate = r.readDouble();
+    base_ = r.readDouble();
+    const std::uint64_t count = r.readU64();
+    constexpr std::uint64_t kMaxTrees = 1ull << 16;
+    if (!r.ok() || count > kMaxTrees)
+        return false;
+    std::vector<RegressionTree> trees(count);
+    for (auto &tree : trees)
+        if (!tree.loadFrom(r, num_features))
+            return false;
+    trees_ = std::move(trees);
+    return true;
+}
+
 } // namespace hwpr::gbdt

@@ -68,6 +68,19 @@ class Gbdt
     /** Predict a single row. */
     double predictRow(const Matrix &x, std::size_t row) const;
 
+    /**
+     * Serialize the fitted ensemble (learning rate, base prediction
+     * and trees — everything predict() consumes).
+     */
+    void saveTo(BinaryWriter &w) const;
+
+    /**
+     * Restore an ensemble written by saveTo(). @p num_features bounds
+     * the split-feature indices. Returns false on any corruption;
+     * the ensemble is left empty in that case.
+     */
+    bool loadFrom(BinaryReader &r, std::size_t num_features);
+
     std::size_t numTrees() const { return trees_.size(); }
     const GbdtConfig &config() const { return cfg_; }
 

@@ -259,4 +259,51 @@ RegressionTree::numLeaves() const
     return n;
 }
 
+void
+RegressionTree::saveTo(BinaryWriter &w) const
+{
+    w.writeU64(nodes_.size());
+    for (const auto &node : nodes_) {
+        w.writeU64(node.leaf ? 1 : 0);
+        w.writeDouble(node.weight);
+        w.writeU64(node.feature);
+        w.writeDouble(node.threshold);
+        w.writeI64(node.left);
+        w.writeI64(node.right);
+    }
+}
+
+bool
+RegressionTree::loadFrom(BinaryReader &r, std::size_t num_features)
+{
+    nodes_.clear();
+    const std::uint64_t count = r.readU64();
+    // Trees are depth/leaf bounded at fit time; anything bigger than
+    // this is a corrupt header, not a model.
+    constexpr std::uint64_t kMaxNodes = 1ull << 20;
+    if (!r.ok() || count == 0 || count > kMaxNodes)
+        return false;
+    std::vector<Node> nodes(count);
+    for (auto &node : nodes) {
+        node.leaf = r.readU64() != 0;
+        node.weight = r.readDouble();
+        node.feature = std::size_t(r.readU64());
+        node.threshold = r.readDouble();
+        node.left = int(r.readI64());
+        node.right = int(r.readI64());
+        if (!r.ok())
+            return false;
+        // predictRow() follows split features and child indices
+        // unchecked; reject any interior node pointing outside the
+        // feature row or the node array.
+        if (!node.leaf &&
+            (node.feature >= num_features || node.left < 0 ||
+             std::uint64_t(node.left) >= count || node.right < 0 ||
+             std::uint64_t(node.right) >= count))
+            return false;
+    }
+    nodes_ = std::move(nodes);
+    return true;
+}
+
 } // namespace hwpr::gbdt

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/serialize.h"
 
 namespace hwpr::gbdt
 {
@@ -73,6 +74,16 @@ class RegressionTree
 
     /** Whether fit() produced at least a root. */
     bool fitted() const { return !nodes_.empty(); }
+
+    /** Serialize the fitted tree (node list). */
+    void saveTo(BinaryWriter &w) const;
+
+    /**
+     * Restore a tree written by saveTo(). Returns false (tree left
+     * empty) on truncation or out-of-range node counts, split-feature
+     * indices (against @p num_features) or child indices.
+     */
+    bool loadFrom(BinaryReader &r, std::size_t num_features);
 
   private:
     struct Node

@@ -32,12 +32,33 @@ paretoRanks(const std::vector<Point> &points)
     if (n == 0)
         return ranks;
 
+    // NaN objectives make dominates() return false both ways, which
+    // would hand a broken surrogate output rank 1 and poison elitist
+    // selection. Exclude such points from the sort entirely and
+    // assign them a rank strictly worse than every finite point.
+    std::vector<bool> invalid(n, false);
+    std::size_t num_valid = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (double v : points[i]) {
+            if (std::isnan(v)) {
+                invalid[i] = true;
+                break;
+            }
+        }
+        if (!invalid[i])
+            ++num_valid;
+    }
+
     // Deb's fast non-dominated sort: for each point, the set it
     // dominates and the count of points dominating it.
     std::vector<std::vector<std::size_t>> dominated(n);
     std::vector<int> dom_count(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
+        if (invalid[i])
+            continue;
         for (std::size_t j = i + 1; j < n; ++j) {
+            if (invalid[j])
+                continue;
             if (dominates(points[i], points[j])) {
                 dominated[i].push_back(j);
                 ++dom_count[j];
@@ -50,7 +71,7 @@ paretoRanks(const std::vector<Point> &points)
 
     std::vector<std::size_t> current;
     for (std::size_t i = 0; i < n; ++i) {
-        if (dom_count[i] == 0) {
+        if (!invalid[i] && dom_count[i] == 0) {
             ranks[i] = 1;
             current.push_back(i);
         }
@@ -69,6 +90,14 @@ paretoRanks(const std::vector<Point> &points)
         ++rank;
         current = std::move(next);
     }
+
+    // All NaN points share one rank after the last finite front (rank
+    // is left at max finite rank + 1 by the loop above; 1 when no
+    // point is finite).
+    const int worst = num_valid == n ? 0 : (num_valid == 0 ? 1 : rank);
+    for (std::size_t i = 0; i < n; ++i)
+        if (invalid[i])
+            ranks[i] = worst;
     return ranks;
 }
 
@@ -240,9 +269,12 @@ hypervolumeWfg(const std::vector<Point> &points, const Point &ref)
     for (const auto &p : points) {
         HWPR_CHECK(p.size() == ref.size(),
                    "point/reference dim mismatch");
+        // Positive-form comparison so NaN objectives fail the filter
+        // (NaN > ref and NaN <= ref are both false — the exclusion
+        // style would let NaN points through).
         bool inside = true;
         for (std::size_t d = 0; d < p.size(); ++d)
-            if (p[d] > ref[d])
+            if (!(p[d] <= ref[d]))
                 inside = false;
         if (inside)
             valid.push_back(p);
@@ -256,8 +288,15 @@ hypervolume(const std::vector<Point> &points, const Point &ref)
     if (points.empty())
         return 0.0;
     const std::size_t m = ref.size();
+    for (double v : ref)
+        HWPR_CHECK(!std::isnan(v), "NaN hypervolume reference point");
     for (const auto &p : points)
         HWPR_CHECK(p.size() == m, "point/reference dim mismatch");
+    // Points carrying NaN objectives contribute nothing: every sweep
+    // keeps only points with p[d] <= ref[d] in all dimensions, a
+    // comparison NaN always fails. (A NaN that slipped past that
+    // filter would silently corrupt the sweep accumulations, so the
+    // clipping is the single NaN gate for all three algorithms.)
     if (m == 2)
         return hypervolume2D(points, ref);
     if (m == 3)

@@ -33,6 +33,11 @@ bool dominates(const Point &a, const Point &b);
  * Fast non-dominated sort. Returns 1-based Pareto ranks: rank 1 is
  * the non-dominated front F1, rank 2 the front after removing F1
  * (Eqs. 1-3 of the paper), and so on. O(m n^2).
+ *
+ * Points with any NaN objective (a misbehaving surrogate) are
+ * excluded from the sort and assigned one shared rank strictly worse
+ * than every finite point, so they can never displace real solutions
+ * from the elitist fronts.
  */
 std::vector<int> paretoRanks(const std::vector<Point> &points);
 
@@ -53,8 +58,10 @@ std::vector<double> crowdingDistance(const std::vector<Point> &front);
 /**
  * Exact hypervolume dominated by @p points with respect to reference
  * point @p ref (minimization: a point contributes iff it is <= ref in
- * every objective). Dedicated sweep algorithms for 2 and 3
- * objectives; the recursive WFG algorithm for higher dimensions.
+ * every objective — which also excludes NaN-carrying points, whose
+ * comparisons all fail). A NaN reference point fails loudly.
+ * Dedicated sweep algorithms for 2 and 3 objectives; the recursive
+ * WFG algorithm for higher dimensions.
  */
 double hypervolume(const std::vector<Point> &points, const Point &ref);
 

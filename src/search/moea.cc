@@ -4,10 +4,13 @@
 #include <chrono>
 #include <limits>
 #include <numeric>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/logging.h"
 #include "common/obs.h"
+#include "common/serialize.h"
+#include "nasbench/space.h"
 #include "pareto/pareto.h"
 
 namespace hwpr::search
@@ -105,6 +108,13 @@ SearchResult
 Moea::run(const SearchDomain &domain, Evaluator &evaluator,
           Rng &rng) const
 {
+    return run(domain, evaluator, rng, CheckpointOptions{});
+}
+
+SearchResult
+Moea::run(const SearchDomain &domain, Evaluator &evaluator, Rng &rng,
+          const CheckpointOptions &ckpt) const
+{
     const double t0 = nowSeconds();
     SearchResult result;
     const std::size_t n = cfg_.populationSize;
@@ -113,18 +123,53 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
               {{"population", double(n)},
                {"max_generations", double(cfg_.maxGenerations)}});
 
-    // Initial population P_0, evaluated with the plugged evaluator.
-    // Populations are always handed to evaluate() whole so batched
-    // surrogates (core::SurrogateEvaluator) amortize encoding and
-    // fan the forward pass out over the shared thread pool.
     std::vector<nasbench::Architecture> pop;
-    pop.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        pop.push_back(domain.sample(rng));
-    std::vector<pareto::Point> fit = evaluator.evaluate(pop);
-    result.stats.evaluations += pop.size();
-    result.stats.simulatedSeconds +=
-        evaluator.simulatedCostSeconds(pop.size());
+    std::vector<pareto::Point> fit;
+    if (ckpt.resume) {
+        // Continue exactly where the snapshot stopped: restore the
+        // population, accounting and RNG engine, and skip the initial
+        // sampling. The budget flag is recomputed below, so resuming
+        // a budget-stopped run under a larger budget makes progress.
+        HWPR_CHECK(ckpt.resume->populationSize == n &&
+                       ckpt.resume->population.size() == n,
+                   "checkpoint population size does not match the "
+                   "search configuration");
+        HWPR_CHECK(rng.restoreState(ckpt.resume->rngState),
+                   "corrupt RNG state in search checkpoint");
+        pop = ckpt.resume->population;
+        fit = ckpt.resume->fitness;
+        result.stats = ckpt.resume->stats;
+        result.stats.stoppedByBudget = false;
+    } else {
+        // Initial population P_0, evaluated with the plugged
+        // evaluator. Populations are always handed to evaluate()
+        // whole so batched surrogates (core::SurrogateEvaluator)
+        // amortize encoding and fan the forward pass out over the
+        // shared thread pool.
+        pop.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            pop.push_back(domain.sample(rng));
+        fit = evaluator.evaluate(pop);
+        result.stats.evaluations += pop.size();
+        result.stats.simulatedSeconds +=
+            evaluator.simulatedCostSeconds(pop.size());
+    }
+    const double wall0 = result.stats.wallSeconds;
+
+    auto writeCheckpoint = [&]() {
+        if (ckpt.dir.empty())
+            return;
+        MoeaCheckpoint ck;
+        ck.populationSize = n;
+        ck.stats = result.stats;
+        ck.stats.wallSeconds = wall0 + nowSeconds() - t0;
+        ck.rngState = rng.saveState();
+        ck.population = pop;
+        ck.fitness = fit;
+        if (!saveMoeaCheckpoint(ckpt.dir + "/moea.ckpt", ck))
+            warn("failed to write search checkpoint to ", ckpt.dir);
+    };
+    writeCheckpoint();
 
     // Tournament parent selection. For vector evaluators the
     // tournament compares Pareto ranks (recomputed per generation);
@@ -145,7 +190,8 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
         return best;
     };
 
-    for (std::size_t gen = 0; gen < cfg_.maxGenerations; ++gen) {
+    for (std::size_t gen = result.stats.generations;
+         gen < cfg_.maxGenerations; ++gen) {
         if (cfg_.simulatedBudgetSeconds > 0.0 &&
             result.stats.simulatedSeconds >=
                 cfg_.simulatedBudgetSeconds) {
@@ -214,8 +260,9 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
             next_fit.push_back(merged_fit[idx]);
         }
         // Deduplication can leave fewer than n unique survivors once
-        // the search converges; pad with copies of the fittest so
-        // the population (and offspring budget) stays constant.
+        // the search converges; pad by cycling through the survivors
+        // in selection order (fittest first, then the rest) so the
+        // population (and offspring budget) stays constant.
         while (next_pop.size() < n && !next_pop.empty()) {
             const std::size_t src =
                 next_pop.size() % survivors.size();
@@ -229,11 +276,16 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
         if (obs::tracingEnabled())
             gen_span.arg("hypervolume",
                          traceHypervolume(fit, evaluator.kind()));
+        if (ckpt.every != 0 &&
+            result.stats.generations % ckpt.every == 0)
+            writeCheckpoint();
     }
+    // Final state (covers budget stops and every > 1 strides).
+    writeCheckpoint();
 
     result.population = std::move(pop);
     result.fitness = std::move(fit);
-    result.stats.wallSeconds = nowSeconds() - t0;
+    result.stats.wallSeconds = wall0 + nowSeconds() - t0;
     if (obs::metricsEnabled()) {
         auto &reg = obs::Registry::global();
         reg.counter("moea.evaluations")
@@ -244,6 +296,100 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator,
     }
     lastStats_ = result.stats;
     return result;
+}
+
+bool
+saveMoeaCheckpoint(const std::string &path, const MoeaCheckpoint &ck)
+{
+    return atomicSave(path, [&ck](BinaryWriter &w) {
+        writeHeader(w, "moea-checkpoint", 1);
+        w.writeU64(ck.populationSize);
+        w.writeDouble(ck.stats.wallSeconds);
+        w.writeDouble(ck.stats.simulatedSeconds);
+        w.writeU64(ck.stats.evaluations);
+        w.writeU64(ck.stats.generations);
+        w.writeU64(ck.stats.stoppedByBudget ? 1 : 0);
+        w.writeString(ck.rngState);
+        w.writeU64(ck.population.size());
+        for (const auto &arch : ck.population) {
+            w.writeU64(std::uint64_t(arch.space));
+            w.writeU64(arch.genome.size());
+            for (int g : arch.genome)
+                w.writeI64(g);
+        }
+        w.writeU64(ck.fitness.size());
+        for (const auto &p : ck.fitness)
+            w.writeDoubles(p);
+    });
+}
+
+bool
+loadMoeaCheckpoint(const std::string &path, MoeaCheckpoint &ck)
+{
+    std::string body;
+    if (!readVerified(path, body))
+        return false;
+    std::istringstream in(body, std::ios::binary);
+    BinaryReader r(in);
+    if (readHeader(r, "moea-checkpoint") != 1)
+        return false;
+
+    MoeaCheckpoint out;
+    out.populationSize = std::size_t(r.readU64());
+    out.stats.wallSeconds = r.readDouble();
+    out.stats.simulatedSeconds = r.readDouble();
+    out.stats.evaluations = std::size_t(r.readU64());
+    out.stats.generations = std::size_t(r.readU64());
+    out.stats.stoppedByBudget = r.readU64() != 0;
+    out.rngState = r.readString();
+
+    const std::uint64_t pop_count = r.readU64();
+    constexpr std::uint64_t kMaxPopulation = 1ull << 20;
+    if (!r.ok() || pop_count > kMaxPopulation)
+        return false;
+    out.population.reserve(pop_count);
+    for (std::uint64_t i = 0; i < pop_count; ++i) {
+        const std::uint64_t space_raw = r.readU64();
+        const std::uint64_t len = r.readU64();
+        if (!r.ok() ||
+            space_raw > std::uint64_t(nasbench::SpaceId::FBNet))
+            return false;
+        const auto space_id = nasbench::SpaceId(space_raw);
+        const auto &space = nasbench::spaceFor(space_id);
+        if (len != space.genomeLength())
+            return false;
+        nasbench::Architecture arch;
+        arch.space = space_id;
+        arch.genome.reserve(len);
+        for (std::uint64_t pos = 0; pos < len; ++pos) {
+            const std::int64_t g = r.readI64();
+            if (!r.ok() || g < 0 ||
+                std::uint64_t(g) >= space.numOptions(pos))
+                return false;
+            arch.genome.push_back(int(g));
+        }
+        out.population.push_back(std::move(arch));
+    }
+
+    const std::uint64_t fit_count = r.readU64();
+    if (!r.ok() || fit_count != pop_count)
+        return false;
+    out.fitness.reserve(fit_count);
+    for (std::uint64_t i = 0; i < fit_count; ++i) {
+        pareto::Point p = r.readDoubles();
+        if (!r.ok() || p.empty() || p.size() > 64)
+            return false;
+        out.fitness.push_back(std::move(p));
+    }
+
+    // The engine state must parse, or resume would silently restart
+    // the random sequence.
+    Rng probe(0);
+    if (!probe.restoreState(out.rngState))
+        return false;
+
+    ck = std::move(out);
+    return true;
 }
 
 SearchResult
@@ -267,8 +413,16 @@ RandomSearch::run(const SearchDomain &domain, Evaluator &evaluator,
         sampled.push_back(domain.sample(rng));
         simulated += evaluator.simulatedCostSeconds(1);
     }
-    HWPR_CHECK(!sampled.empty(), "random search budget exhausted "
-                                 "before any evaluation");
+    if (sampled.empty()) {
+        // The simulated budget cannot even cover one evaluation.
+        // Return an empty result — flagged as budget-stopped — rather
+        // than aborting: sweep drivers iterate over budget grids and
+        // must be able to skip the degenerate points.
+        result.stats.stoppedByBudget = true;
+        result.stats.wallSeconds = nowSeconds() - t0;
+        lastStats_ = result.stats;
+        return result;
+    }
 
     std::vector<pareto::Point> fit = evaluator.evaluate(sampled);
     result.stats.evaluations = sampled.size();

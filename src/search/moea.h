@@ -49,6 +49,56 @@ struct SearchResult
     SearchStats stats;
 };
 
+/**
+ * Generation-level snapshot of an in-progress MOEA run: everything
+ * needed to continue the search exactly where it stopped. Resuming
+ * from the checkpoint written at the end of generation k reproduces
+ * the uninterrupted same-seed run bit for bit — each generation is a
+ * pure function of (population, fitness, stats, RNG engine state),
+ * and the Rng helpers construct their distributions fresh per call,
+ * so the engine state alone pins the remaining random sequence.
+ */
+struct MoeaCheckpoint
+{
+    /** Config echo; resume rejects a mismatched population size. */
+    std::size_t populationSize = 0;
+    SearchStats stats;
+    /** Textual std::mt19937_64 state (Rng::saveState). */
+    std::string rngState;
+    std::vector<nasbench::Architecture> population;
+    std::vector<pareto::Point> fitness;
+};
+
+/**
+ * Atomically write a search checkpoint (kind "moea-checkpoint") with
+ * a CRC32 footer. Returns false when the write fails; any previous
+ * checkpoint at @p path survives intact in that case.
+ */
+bool saveMoeaCheckpoint(const std::string &path,
+                        const MoeaCheckpoint &ck);
+
+/**
+ * Load and verify a checkpoint written by saveMoeaCheckpoint.
+ * Returns false — leaving @p ck untouched — on any corruption:
+ * CRC/footer mismatch, wrong kind, out-of-range genomes, fitness or
+ * RNG state that does not parse.
+ */
+bool loadMoeaCheckpoint(const std::string &path, MoeaCheckpoint &ck);
+
+/** Crash-safety knobs for Moea::run. */
+struct CheckpointOptions
+{
+    /** Directory receiving "moea.ckpt"; empty disables
+     *  checkpointing. Must already exist. */
+    std::string dir;
+    /** Write every N completed generations (the initial population
+     *  and the final state are always written). */
+    std::size_t every = 1;
+    /** Resume from this snapshot instead of sampling a fresh
+     *  population; nullptr starts from scratch. */
+    const MoeaCheckpoint *resume = nullptr;
+};
+
 /** MOEA configuration (paper defaults, Sec. IV-C1). */
 struct MoeaConfig
 {
@@ -73,6 +123,18 @@ class Moea
     /** Run the search. */
     SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
                      Rng &rng) const;
+
+    /**
+     * Run with crash-safe checkpointing and/or resume. With a
+     * checkpoint directory set, the search state lands on disk after
+     * the initial evaluation and after every @p ckpt.every
+     * generations, so a killed process can continue from the last
+     * completed generation; with @p ckpt.resume set, the run picks up
+     * from that snapshot (the evaluator and config must match the
+     * original run for the trajectory to be reproduced).
+     */
+    SearchResult run(const SearchDomain &domain, Evaluator &evaluator,
+                     Rng &rng, const CheckpointOptions &ckpt) const;
 
     const MoeaConfig &config() const { return cfg_; }
 

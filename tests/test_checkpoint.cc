@@ -1,0 +1,705 @@
+/**
+ * @file
+ * Crash-safety tests for the checkpoint layer: atomic save semantics,
+ * CRC-verified loads, save/load round trips for all five surrogate
+ * families through core::loadSurrogate, generation-level MOEA
+ * checkpoint/resume bit-identity, and fault injection (truncation,
+ * bit flips, wrong kinds) proving corrupted artifacts are rejected
+ * cleanly instead of crashing or silently mis-loading.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "baselines/brpnas.h"
+#include "baselines/gates.h"
+#include "baselines/lut.h"
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/threadpool.h"
+#include "core/hwprnas.h"
+#include "core/scalable.h"
+#include "core/surrogate.h"
+#include "pareto/pareto.h"
+#include "search/domain.h"
+#include "search/moea.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+// -------------------------------------------------------------------
+// Shared tiny training setup (mirrors test_surrogate_iface).
+// -------------------------------------------------------------------
+
+const nasbench::SampledDataset &
+tinyData()
+{
+    static const nasbench::SampledDataset data = [] {
+        static nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+        Rng rng(88);
+        return nasbench::SampledDataset::sample(
+            {&nasbench::nasBench201(), &nasbench::fbnet()}, oracle,
+            260, 180, 40, rng);
+    }();
+    return data;
+}
+
+core::SurrogateDataset
+tinySurrogateData()
+{
+    const auto &data = tinyData();
+    core::SurrogateDataset d;
+    d.train = data.select(data.trainIdx);
+    d.val = data.select(data.valIdx);
+    d.platform = hw::PlatformId::EdgeGpu;
+    return d;
+}
+
+std::vector<nasbench::Architecture>
+testArchs()
+{
+    const auto &data = tinyData();
+    std::vector<nasbench::Architecture> out;
+    for (const auto *r : data.select(data.testIdx))
+        out.push_back(r->arch);
+    return out;
+}
+
+core::EncoderConfig
+tinyEncoder()
+{
+    core::EncoderConfig cfg;
+    cfg.gcnHidden = 12;
+    cfg.lstmHidden = 12;
+    cfg.embedDim = 8;
+    return cfg;
+}
+
+core::PredictorTrainConfig
+quickPredictorFit()
+{
+    core::PredictorTrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.patience = 3;
+    return cfg;
+}
+
+/**
+ * Loaded-model predictions must match the original bit for bit: a
+ * checkpoint stores exact doubles, so any drift means the format
+ * dropped or transformed state.
+ */
+void
+expectObjectivesIdentical(const core::Surrogate &a,
+                          const core::Surrogate &b,
+                          const std::vector<nasbench::Architecture> &
+                              archs)
+{
+    const Matrix oa = a.objectivesBatch(archs);
+    const Matrix ob = b.objectivesBatch(archs);
+    ASSERT_EQ(oa.rows(), ob.rows());
+    ASSERT_EQ(oa.cols(), ob.cols());
+    for (std::size_t i = 0; i < oa.raw().size(); ++i)
+        EXPECT_DOUBLE_EQ(oa.raw()[i], ob.raw()[i]);
+}
+
+// -------------------------------------------------------------------
+// Deterministic, instant evaluator for the search tests.
+// -------------------------------------------------------------------
+
+class HashEvaluator : public search::Evaluator
+{
+  public:
+    explicit HashEvaluator(double cost_per_eval = 0.0)
+        : cost_(cost_per_eval)
+    {}
+
+    search::EvalKind kind() const override
+    {
+        return search::EvalKind::ObjectiveVector;
+    }
+    std::string name() const override { return "hash-eval"; }
+    std::size_t numObjectives() const override { return 2; }
+
+    std::vector<pareto::Point>
+    evaluate(const std::vector<nasbench::Architecture> &archs) override
+    {
+        std::vector<pareto::Point> out;
+        out.reserve(archs.size());
+        for (const auto &a : archs) {
+            const std::uint64_t h = a.hash(17);
+            out.push_back({double(h % 997) * 0.1,
+                           double((h >> 13) % 991) * 0.1});
+        }
+        return out;
+    }
+
+    double simulatedCostSeconds(std::size_t batch) const override
+    {
+        return cost_ * double(batch);
+    }
+
+  private:
+    double cost_;
+};
+
+search::MoeaConfig
+smallMoea(std::size_t generations)
+{
+    search::MoeaConfig cfg;
+    cfg.populationSize = 16;
+    cfg.maxGenerations = generations;
+    cfg.simulatedBudgetSeconds = 0.0;
+    return cfg;
+}
+
+} // namespace
+
+// -------------------------------------------------------------------
+// Rng engine state
+// -------------------------------------------------------------------
+
+TEST(RngState, SaveRestoreReproducesSequence)
+{
+    Rng rng(123);
+    for (int i = 0; i < 37; ++i)
+        rng.uniform();
+    const std::string state = rng.saveState();
+    std::vector<double> expected;
+    for (int i = 0; i < 20; ++i)
+        expected.push_back(rng.uniform());
+
+    Rng other(999);
+    ASSERT_TRUE(other.restoreState(state));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_DOUBLE_EQ(other.uniform(), expected[std::size_t(i)]);
+}
+
+TEST(RngState, RestoreRejectsGarbageAndKeepsEngine)
+{
+    Rng rng(7);
+    const double next = Rng(7).uniform();
+    EXPECT_FALSE(rng.restoreState("not an engine state"));
+    EXPECT_FALSE(rng.restoreState(""));
+    // A failed restore must leave the engine untouched.
+    EXPECT_DOUBLE_EQ(rng.uniform(), next);
+}
+
+// -------------------------------------------------------------------
+// atomicSave / readVerified
+// -------------------------------------------------------------------
+
+TEST(AtomicSave, RoundTripAndNoTempLeftBehind)
+{
+    const std::string path = tempPath("hwpr_atomic_roundtrip.bin");
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "unit-test", 1);
+        w.writeU64(42);
+        w.writeDouble(2.5);
+    }));
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+    std::string body;
+    ASSERT_TRUE(readVerified(path, body));
+    std::istringstream in(body, std::ios::binary);
+    BinaryReader r(in);
+    EXPECT_EQ(readHeader(r, "unit-test"), 1u);
+    EXPECT_EQ(r.readU64(), 42u);
+    EXPECT_DOUBLE_EQ(r.readDouble(), 2.5);
+    EXPECT_EQ(checkpointKind(path), "unit-test");
+    std::remove(path.c_str());
+}
+
+TEST(AtomicSave, OverwriteReplacesPreviousCheckpoint)
+{
+    const std::string path = tempPath("hwpr_atomic_overwrite.bin");
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "first", 1);
+    }));
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "second", 1);
+    }));
+    EXPECT_EQ(checkpointKind(path), "second");
+    std::remove(path.c_str());
+}
+
+TEST(ReadVerified, MissingFileRejected)
+{
+    std::string body;
+    EXPECT_FALSE(
+        readVerified(tempPath("hwpr_does_not_exist.bin"), body));
+    EXPECT_TRUE(body.empty());
+}
+
+TEST(ReadVerified, TruncationRejectedAtEveryLength)
+{
+    const std::string path = tempPath("hwpr_truncation.bin");
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "trunc-test", 1);
+        for (std::uint64_t i = 0; i < 16; ++i)
+            w.writeU64(i);
+    }));
+    const std::string full = readFile(path);
+    ASSERT_GT(full.size(), 24u);
+
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        writeFile(path, full.substr(0, len));
+        std::string body;
+        EXPECT_FALSE(readVerified(path, body))
+            << "accepted a file truncated to " << len << " bytes";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ReadVerified, BitFlipsRejectedEverywhere)
+{
+    const std::string path = tempPath("hwpr_bitflip.bin");
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "flip-test", 2);
+        for (std::uint64_t i = 0; i < 32; ++i)
+            w.writeDouble(double(i) * 0.25);
+    }));
+    const std::string full = readFile(path);
+
+    // Flip one bit at a spread of offsets covering header, body and
+    // the footer (length, CRC and magic words).
+    for (std::size_t pos = 0; pos < full.size();
+         pos += full.size() / 37 + 1) {
+        for (int bit : {0, 3, 7}) {
+            std::string corrupt = full;
+            corrupt[pos] = char(corrupt[pos] ^ (1 << bit));
+            writeFile(path, corrupt);
+            std::string body;
+            EXPECT_FALSE(readVerified(path, body))
+                << "accepted a bit flip at byte " << pos;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ReadVerified, LegacyFileWithoutFooterRejected)
+{
+    // A pre-footer checkpoint (bare header + payload) must fail
+    // verification rather than parse as garbage.
+    const std::string path = tempPath("hwpr_legacy.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        BinaryWriter w(out);
+        writeHeader(w, "hwprnas", 2);
+        w.writeU64(99);
+    }
+    std::string body;
+    EXPECT_FALSE(readVerified(path, body));
+    EXPECT_EQ(checkpointKind(path), "");
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------------
+// Five-surrogate save/load round trips through core::loadSurrogate
+// -------------------------------------------------------------------
+
+TEST(SurrogateCheckpoint, HwPrNasRoundTrip)
+{
+    core::HwPrNasConfig mc;
+    mc.encoder = tinyEncoder();
+    core::HwPrNas model(mc, nasbench::DatasetId::Cifar10, 1);
+    core::TrainConfig tc;
+    tc.epochs = 3;
+    tc.combinerEpochs = 1;
+    model.setFitConfig(tc);
+    ExecContext ctx = ExecContext::global().withSeed(7);
+    model.fit(tinySurrogateData(), ctx);
+
+    const std::string path = tempPath("hwpr_ckpt_hwprnas.bin");
+    ASSERT_TRUE(model.save(path));
+    EXPECT_EQ(checkpointKind(path), "hwprnas");
+    const auto loaded = core::loadSurrogate(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->name(), "HW-PR-NAS");
+    expectObjectivesIdentical(model, *loaded, testArchs());
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, ScalableRoundTrip)
+{
+    core::ScalableConfig sc;
+    sc.encoder = tinyEncoder();
+    core::ScalableHwPrNas model(sc, nasbench::DatasetId::Cifar10, 1);
+    core::TrainConfig tc;
+    tc.epochs = 3;
+    model.setFitConfig(tc);
+    ExecContext ctx = ExecContext::global().withSeed(9);
+    model.fit(tinySurrogateData(), ctx);
+
+    const std::string path = tempPath("hwpr_ckpt_scalable.bin");
+    ASSERT_TRUE(model.save(path));
+    EXPECT_EQ(checkpointKind(path), "hwpr-scalable");
+    const auto loaded = core::loadSurrogate(path);
+    ASSERT_NE(loaded, nullptr);
+    expectObjectivesIdentical(model, *loaded, testArchs());
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, BrpNasRoundTrip)
+{
+    baselines::registerBaselineLoaders();
+    baselines::BrpNas model(tinyEncoder(),
+                            nasbench::DatasetId::Cifar10, 3);
+    const auto data = tinySurrogateData();
+    model.train(data.train, data.val, data.platform,
+                quickPredictorFit());
+
+    const std::string path = tempPath("hwpr_ckpt_brpnas.bin");
+    ASSERT_TRUE(model.save(path));
+    EXPECT_EQ(checkpointKind(path), "brpnas");
+    const auto loaded = core::loadSurrogate(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->name(), "BRP-NAS");
+    expectObjectivesIdentical(model, *loaded, testArchs());
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, GatesRoundTrip)
+{
+    baselines::registerBaselineLoaders();
+    baselines::Gates model(tinyEncoder(),
+                           nasbench::DatasetId::Cifar10, 4);
+    const auto data = tinySurrogateData();
+    model.train(data.train, data.val, data.platform,
+                quickPredictorFit());
+
+    const std::string path = tempPath("hwpr_ckpt_gates.bin");
+    ASSERT_TRUE(model.save(path));
+    EXPECT_EQ(checkpointKind(path), "gates");
+    const auto loaded = core::loadSurrogate(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->name(), "GATES");
+    expectObjectivesIdentical(model, *loaded, testArchs());
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, LutRoundTrip)
+{
+    baselines::registerBaselineLoaders();
+    baselines::LatencyLut model(nasbench::DatasetId::Cifar10,
+                                hw::PlatformId::EdgeGpu);
+    ExecContext ctx = ExecContext::global().withSeed(11);
+    model.fit(tinySurrogateData(), ctx);
+    ASSERT_GT(model.numEntries(), 0u);
+
+    const std::string path = tempPath("hwpr_ckpt_lut.bin");
+    ASSERT_TRUE(model.save(path));
+    EXPECT_EQ(checkpointKind(path), "lut");
+    const auto loaded = core::loadSurrogate(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->name(), "LUT");
+    expectObjectivesIdentical(model, *loaded, testArchs());
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, CorruptedModelRejectedNotCrashed)
+{
+    baselines::registerBaselineLoaders();
+    baselines::LatencyLut model(nasbench::DatasetId::Cifar10,
+                                hw::PlatformId::EdgeGpu);
+    ExecContext ctx = ExecContext::global().withSeed(12);
+    model.fit(tinySurrogateData(), ctx);
+    const std::string path = tempPath("hwpr_ckpt_corrupt.bin");
+    ASSERT_TRUE(model.save(path));
+
+    const std::string full = readFile(path);
+    for (std::size_t pos = 0; pos < full.size();
+         pos += full.size() / 23 + 1) {
+        std::string corrupt = full;
+        corrupt[pos] = char(corrupt[pos] ^ 0x40);
+        writeFile(path, corrupt);
+        EXPECT_EQ(core::loadSurrogate(path), nullptr)
+            << "accepted a corrupted checkpoint (flip at byte " << pos
+            << ")";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SurrogateCheckpoint, UnknownKindRejected)
+{
+    const std::string path = tempPath("hwpr_ckpt_unknown.bin");
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "mystery-model", 1);
+        w.writeU64(5);
+    }));
+    EXPECT_EQ(core::loadSurrogate(path), nullptr);
+    std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------------
+// MOEA checkpoint/resume
+// -------------------------------------------------------------------
+
+TEST(MoeaCheckpointTest, SaveLoadRoundTrip)
+{
+    search::MoeaCheckpoint ck;
+    ck.populationSize = 4;
+    ck.stats.wallSeconds = 1.5;
+    ck.stats.simulatedSeconds = 9.0;
+    ck.stats.evaluations = 80;
+    ck.stats.generations = 5;
+    Rng rng(3);
+    const search::SearchDomain domain =
+        search::SearchDomain::unionBenchmarks();
+    for (int i = 0; i < 4; ++i) {
+        ck.population.push_back(domain.sample(rng));
+        ck.fitness.push_back({double(i), double(10 - i)});
+    }
+    ck.rngState = rng.saveState();
+
+    const std::string path = tempPath("hwpr_moea_roundtrip.ckpt");
+    ASSERT_TRUE(search::saveMoeaCheckpoint(path, ck));
+    EXPECT_EQ(checkpointKind(path), "moea-checkpoint");
+
+    search::MoeaCheckpoint back;
+    ASSERT_TRUE(search::loadMoeaCheckpoint(path, back));
+    EXPECT_EQ(back.populationSize, ck.populationSize);
+    EXPECT_DOUBLE_EQ(back.stats.wallSeconds, ck.stats.wallSeconds);
+    EXPECT_DOUBLE_EQ(back.stats.simulatedSeconds,
+                     ck.stats.simulatedSeconds);
+    EXPECT_EQ(back.stats.evaluations, ck.stats.evaluations);
+    EXPECT_EQ(back.stats.generations, ck.stats.generations);
+    EXPECT_EQ(back.rngState, ck.rngState);
+    ASSERT_EQ(back.population.size(), ck.population.size());
+    for (std::size_t i = 0; i < back.population.size(); ++i)
+        EXPECT_TRUE(back.population[i] == ck.population[i]);
+    ASSERT_EQ(back.fitness.size(), ck.fitness.size());
+    for (std::size_t i = 0; i < back.fitness.size(); ++i)
+        EXPECT_EQ(back.fitness[i], ck.fitness[i]);
+    std::remove(path.c_str());
+}
+
+TEST(MoeaCheckpointTest, CorruptionRejected)
+{
+    search::MoeaCheckpoint ck;
+    ck.populationSize = 2;
+    Rng rng(4);
+    const search::SearchDomain domain =
+        search::SearchDomain::unionBenchmarks();
+    ck.population = {domain.sample(rng), domain.sample(rng)};
+    ck.fitness = {{1, 2}, {2, 1}};
+    ck.rngState = rng.saveState();
+    const std::string path = tempPath("hwpr_moea_corrupt.ckpt");
+    ASSERT_TRUE(search::saveMoeaCheckpoint(path, ck));
+
+    const std::string full = readFile(path);
+    for (std::size_t pos = 0; pos < full.size();
+         pos += full.size() / 19 + 1) {
+        std::string corrupt = full;
+        corrupt[pos] = char(corrupt[pos] ^ 0x10);
+        writeFile(path, corrupt);
+        search::MoeaCheckpoint out;
+        EXPECT_FALSE(search::loadMoeaCheckpoint(path, out))
+            << "accepted corruption at byte " << pos;
+    }
+
+    // Wrong kind.
+    ASSERT_TRUE(atomicSave(path, [](BinaryWriter &w) {
+        writeHeader(w, "hwprnas", 2);
+    }));
+    search::MoeaCheckpoint out;
+    EXPECT_FALSE(search::loadMoeaCheckpoint(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(MoeaCheckpointTest, OutOfRangeGenomeRejected)
+{
+    // Hand-craft a checkpoint whose genome gene is out of range for
+    // the declared space; the CRC is valid, so only semantic
+    // validation can catch it.
+    const std::string path = tempPath("hwpr_moea_badgene.ckpt");
+    Rng rng(5);
+    const std::string state = rng.saveState();
+    const auto &space = nasbench::nasBench201();
+    ASSERT_TRUE(atomicSave(path, [&](BinaryWriter &w) {
+        writeHeader(w, "moea-checkpoint", 1);
+        w.writeU64(1); // populationSize
+        w.writeDouble(0.0);
+        w.writeDouble(0.0);
+        w.writeU64(0);
+        w.writeU64(0);
+        w.writeU64(0);
+        w.writeString(state);
+        w.writeU64(1); // population count
+        w.writeU64(std::uint64_t(nasbench::SpaceId::NasBench201));
+        w.writeU64(space.genomeLength());
+        for (std::size_t i = 0; i < space.genomeLength(); ++i)
+            w.writeI64(9999); // far out of range
+        w.writeU64(1); // fitness count
+        w.writeDoubles({1.0, 2.0});
+    }));
+    search::MoeaCheckpoint out;
+    EXPECT_FALSE(search::loadMoeaCheckpoint(path, out));
+    std::remove(path.c_str());
+}
+
+TEST(MoeaResume, BitIdenticalToUninterruptedRun)
+{
+    const search::SearchDomain domain =
+        search::SearchDomain::unionBenchmarks();
+    const std::size_t total_gens = 12;
+
+    // Reference: one uninterrupted run.
+    HashEvaluator ref_eval;
+    Rng ref_rng(42);
+    const auto reference = search::Moea(smallMoea(total_gens))
+                               .run(domain, ref_eval, ref_rng);
+
+    for (std::size_t stop_at : {std::size_t(1), std::size_t(5),
+                                std::size_t(11)}) {
+        const std::string dir =
+            tempPath("hwpr_moea_resume_" + std::to_string(stop_at));
+        std::filesystem::create_directories(dir);
+
+        // "Killed" run: stops after stop_at generations, leaving its
+        // checkpoint behind.
+        {
+            HashEvaluator eval;
+            Rng rng(42);
+            search::CheckpointOptions ckpt;
+            ckpt.dir = dir;
+            search::Moea(smallMoea(stop_at))
+                .run(domain, eval, rng, ckpt);
+        }
+
+        // Resumed run: picks the checkpoint up and finishes.
+        search::MoeaCheckpoint resume;
+        ASSERT_TRUE(
+            search::loadMoeaCheckpoint(dir + "/moea.ckpt", resume));
+        EXPECT_EQ(resume.stats.generations, stop_at);
+        HashEvaluator eval;
+        Rng rng(7777); // seed irrelevant: state comes from the file
+        search::CheckpointOptions ckpt;
+        ckpt.resume = &resume;
+        const auto resumed = search::Moea(smallMoea(total_gens))
+                                 .run(domain, eval, rng, ckpt);
+
+        // Population, fitness and accounting all match bit for bit.
+        EXPECT_EQ(resumed.stats.generations,
+                  reference.stats.generations);
+        EXPECT_EQ(resumed.stats.evaluations,
+                  reference.stats.evaluations);
+        ASSERT_EQ(resumed.population.size(),
+                  reference.population.size());
+        for (std::size_t i = 0; i < resumed.population.size(); ++i)
+            EXPECT_TRUE(resumed.population[i] ==
+                        reference.population[i])
+                << "population diverged at index " << i
+                << " (resumed from generation " << stop_at << ")";
+        ASSERT_EQ(resumed.fitness.size(), reference.fitness.size());
+        for (std::size_t i = 0; i < resumed.fitness.size(); ++i)
+            EXPECT_EQ(resumed.fitness[i], reference.fitness[i]);
+
+        const pareto::Point ref_pt =
+            pareto::nadirReference(reference.fitness, 0.1);
+        EXPECT_DOUBLE_EQ(
+            pareto::hypervolume(resumed.fitness, ref_pt),
+            pareto::hypervolume(reference.fitness, ref_pt));
+        std::filesystem::remove_all(dir);
+    }
+}
+
+TEST(MoeaResume, CompletedRunResumesToSameResult)
+{
+    // Resuming a checkpoint that already reached maxGenerations must
+    // return the stored state unchanged (the CI kill-and-resume smoke
+    // relies on this when the kill lands after the run finished).
+    const search::SearchDomain domain =
+        search::SearchDomain::unionBenchmarks();
+    const std::string dir = tempPath("hwpr_moea_resume_done");
+    std::filesystem::create_directories(dir);
+
+    HashEvaluator eval;
+    Rng rng(21);
+    search::CheckpointOptions ckpt;
+    ckpt.dir = dir;
+    const auto full =
+        search::Moea(smallMoea(6)).run(domain, eval, rng, ckpt);
+
+    search::MoeaCheckpoint resume;
+    ASSERT_TRUE(
+        search::loadMoeaCheckpoint(dir + "/moea.ckpt", resume));
+    HashEvaluator eval2;
+    Rng rng2(1);
+    search::CheckpointOptions resume_opts;
+    resume_opts.resume = &resume;
+    const auto again =
+        search::Moea(smallMoea(6)).run(domain, eval2, rng2,
+                                       resume_opts);
+    ASSERT_EQ(again.population.size(), full.population.size());
+    for (std::size_t i = 0; i < again.population.size(); ++i)
+        EXPECT_TRUE(again.population[i] == full.population[i]);
+    std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------------
+// RandomSearch budget handling
+// -------------------------------------------------------------------
+
+TEST(RandomSearchBudget, ZeroAffordableEvaluationsReturnsEmpty)
+{
+    // Each evaluation costs more than the whole budget: the search
+    // must report an empty, budget-stopped result instead of
+    // aborting the process.
+    search::RandomSearchConfig cfg;
+    cfg.budget = 50;
+    cfg.keep = 10;
+    cfg.simulatedBudgetSeconds = 1.0;
+    HashEvaluator eval(100.0); // 100 s per evaluation
+    Rng rng(2);
+    const auto result = search::RandomSearch(cfg).run(
+        search::SearchDomain::unionBenchmarks(), eval, rng);
+    EXPECT_TRUE(result.population.empty());
+    EXPECT_TRUE(result.fitness.empty());
+    EXPECT_EQ(result.stats.evaluations, 0u);
+    EXPECT_TRUE(result.stats.stoppedByBudget);
+}
+
+TEST(RandomSearchBudget, PartialBudgetStillReturnsSurvivors)
+{
+    search::RandomSearchConfig cfg;
+    cfg.budget = 50;
+    cfg.keep = 10;
+    cfg.simulatedBudgetSeconds = 5.0;
+    HashEvaluator eval(1.0); // budget affords 5 of the 50
+    Rng rng(3);
+    const auto result = search::RandomSearch(cfg).run(
+        search::SearchDomain::unionBenchmarks(), eval, rng);
+    EXPECT_EQ(result.stats.evaluations, 5u);
+    EXPECT_TRUE(result.stats.stoppedByBudget);
+    EXPECT_FALSE(result.population.empty());
+}

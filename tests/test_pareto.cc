@@ -63,6 +63,39 @@ TEST(ParetoRanks, EmptyInput)
     EXPECT_TRUE(pareto::paretoRanks({}).empty());
 }
 
+TEST(ParetoRanks, NanPointsGetWorstRank)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // Without the NaN guard, dominates() is false both ways for the
+    // NaN point, so it would sit undominated in front 1.
+    const std::vector<Point> pts = {
+        {3, 3}, {nan, 1}, {1, 1}, {2, nan}};
+    const auto ranks = pareto::paretoRanks(pts);
+    EXPECT_EQ(ranks[2], 1);
+    EXPECT_EQ(ranks[0], 2);
+    // Both NaN points share a rank strictly worse than every finite
+    // point.
+    EXPECT_EQ(ranks[1], 3);
+    EXPECT_EQ(ranks[3], 3);
+}
+
+TEST(ParetoRanks, AllNanShareRankOne)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<Point> pts = {{nan, 1}, {1, nan}};
+    for (int r : pareto::paretoRanks(pts))
+        EXPECT_EQ(r, 1);
+}
+
+TEST(ParetoRanks, NanPointsNeverNonDominated)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<Point> pts = {{nan, 0}, {5, 5}};
+    const auto front = pareto::nonDominatedIndices(pts);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 1u);
+}
+
 /**
  * Property test over random clouds: the three conditions the paper
  * states for the Pareto-rank sorting (Eqs. 1-3).
@@ -268,6 +301,24 @@ TEST(HypervolumeWfg, FourObjectivesKnownBox)
         pareto::hypervolume({{1, 1, 1, 1}, {1, 1, 1, 1}},
                             {2, 2, 2, 2}),
         1.0);
+}
+
+TEST(Hypervolume, NanPointsContributeNothing)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // 2-D sweep, 3-D sweep and the WFG recursion (4-D) must all drop
+    // NaN points at the clipping step instead of absorbing NaN into
+    // the accumulation.
+    EXPECT_DOUBLE_EQ(
+        pareto::hypervolume({{1, 1}, {nan, 0}}, {3, 3}), 4.0);
+    EXPECT_DOUBLE_EQ(
+        pareto::hypervolume({{1, 1, 1}, {0, nan, 0}}, {2, 2, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        pareto::hypervolume({{1, 1, 1, 1}, {nan, 0, 0, 0}},
+                            {2, 2, 2, 2}),
+        1.0);
+    // A cloud of only NaN points has zero hypervolume.
+    EXPECT_DOUBLE_EQ(pareto::hypervolume({{nan, nan}}, {3, 3}), 0.0);
 }
 
 TEST(HypervolumeWfg, FourObjectivesInclusionExclusion)

@@ -123,3 +123,52 @@ TEST(Serialize, AbsurdSizesRejected)
     EXPECT_TRUE(v.empty());
     EXPECT_FALSE(r.ok());
 }
+
+TEST(Serialize, MatrixOverflowWrapRejected)
+{
+    // An adversarial header whose dimension product wraps in 64 bits
+    // (2^33 x 2^33 == 2^66 == 0 mod 2^64) must be rejected, not
+    // treated as a tiny allocation.
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(1ull << 33);
+    w.writeU64(1ull << 33);
+    BinaryReader r(ss);
+    const Matrix m = r.readMatrix();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, MatrixModerateOverflowRejected)
+{
+    // Both dimensions individually under the element bound, but the
+    // product is over it.
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(1ull << 20);
+    w.writeU64(1ull << 20);
+    BinaryReader r(ss);
+    const Matrix m = r.readMatrix();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, AbsurdStringLengthRejected)
+{
+    std::stringstream ss;
+    BinaryWriter w(ss);
+    w.writeU64(1ull << 40); // bogus string length
+    BinaryReader r(ss);
+    EXPECT_TRUE(r.readString().empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, Crc32MatchesReferenceVector)
+{
+    // The standard CRC-32 (IEEE/zlib) check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+    // Chaining via the seed equals one pass over the whole buffer.
+    const std::uint32_t part = crc32("12345", 5);
+    EXPECT_EQ(crc32("6789", 4, part), 0xcbf43926u);
+}

@@ -8,16 +8,19 @@
  *   hwpr train   --dataset cifar10 --platform edgegpu --samples 1200
  *                --epochs 40 --out model.bin
  *   hwpr search  --model model.bin --pop 60 --gens 40
+ *                [--checkpoint-dir DIR [--resume]]
  *
  * Every subcommand prints aligned tables; see --help output for the
  * full option list.
  */
 
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
 
 #include "argparse.h"
 
+#include "baselines/registry.h"
 #include "common/obs.h"
 #include "common/table.h"
 #include "common/threadpool.h"
@@ -53,6 +56,13 @@ subcommands:
            --lr X --seed S --out FILE
   search   run the MOEA with a trained surrogate checkpoint
            --model FILE --pop N --gens G --seed S
+           --checkpoint-dir DIR   write a crash-safe search
+                                  checkpoint (DIR/moea.ckpt) after
+                                  every generation
+           --resume               continue from DIR/moea.ckpt; with
+                                  the same model, config and seed the
+                                  result is bit-identical to an
+                                  uninterrupted run
 global options:
   --threads N   size of the shared execution thread pool (default:
                 HWPR_THREADS env var, else hardware concurrency).
@@ -269,8 +279,9 @@ cmdSearch(const Args &args)
 {
     const std::string path = args.get("model", "hwpr_model.bin");
     const auto model = core::HwPrNas::load(path);
-    HWPR_CHECK(model != nullptr, "could not load checkpoint '", path,
-               "'");
+    HWPR_CHECK(model != nullptr,
+               "could not load checkpoint '", path,
+               "' (missing, corrupt or not a HW-PR-NAS model)");
     std::cout << "loaded surrogate for "
               << hw::platformName(model->platform()) << " / "
               << nasbench::datasetName(model->dataset()) << std::endl;
@@ -281,8 +292,26 @@ cmdSearch(const Args &args)
     mc.maxGenerations = std::size_t(args.getInt("gens", 40));
     mc.simulatedBudgetSeconds = 0.0;
     Rng rng(std::uint64_t(args.getInt("seed", 1)));
+
+    search::CheckpointOptions ckpt;
+    search::MoeaCheckpoint resume_state;
+    ckpt.dir = args.get("checkpoint-dir", "");
+    if (!ckpt.dir.empty())
+        std::filesystem::create_directories(ckpt.dir);
+    if (args.has("resume")) {
+        HWPR_CHECK(!ckpt.dir.empty(),
+                   "--resume requires --checkpoint-dir");
+        const std::string ck_path = ckpt.dir + "/moea.ckpt";
+        HWPR_CHECK(search::loadMoeaCheckpoint(ck_path, resume_state),
+                   "missing or corrupt search checkpoint '", ck_path,
+                   "'");
+        ckpt.resume = &resume_state;
+        std::cout << "resuming from generation "
+                  << resume_state.stats.generations << std::endl;
+    }
+
     const auto result = search::Moea(mc).run(
-        search::SearchDomain::unionBenchmarks(), eval, rng);
+        search::SearchDomain::unionBenchmarks(), eval, rng, ckpt);
 
     nasbench::Oracle oracle(model->dataset());
     const auto front =
@@ -314,6 +343,7 @@ main(int argc, char **argv)
         usage();
         return args.command().empty() ? 1 : 0;
     }
+    baselines::registerBaselineLoaders();
     if (args.has("threads"))
         ExecContext::setGlobalThreads(
             std::size_t(std::max(1L, args.getInt("threads", 1))));
