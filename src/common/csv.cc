@@ -9,6 +9,7 @@ namespace hwpr
 
 CsvWriter::CsvWriter(const std::string &path,
                      const std::vector<std::string> &header)
+    : path_(path)
 {
     const std::filesystem::path p(path);
     if (p.has_parent_path())
@@ -49,6 +50,16 @@ CsvWriter::writeRow(const std::vector<std::string> &row)
         }
     }
     out_ << "\n";
+    // Flush per row so a full disk or closed stream surfaces on the
+    // row that hit it instead of being silently dropped at
+    // destruction (result CSVs are small; the flush cost is noise).
+    out_.flush();
+    if (!out_) {
+        ok_ = false;
+        warn("write to CSV file ", path_,
+             " failed (disk full or stream closed); remaining rows "
+             "discarded");
+    }
 }
 
 bool

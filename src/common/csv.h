@@ -22,15 +22,20 @@ class CsvWriter
     CsvWriter(const std::string &path,
               const std::vector<std::string> &header);
 
-    /** Append one row of preformatted cells. */
+    /** Append one row of preformatted cells (no-op once !ok()). */
     void addRow(const std::vector<std::string> &row);
 
-    /** Whether the file opened successfully. */
+    /**
+     * False when the open failed OR any row write failed (full disk,
+     * closed stream). Each row is flushed, so this reflects the bytes
+     * actually on disk; a failure warns once and discards the rest.
+     */
     bool ok() const { return ok_; }
 
   private:
     void writeRow(const std::vector<std::string> &row);
 
+    std::string path_;
     std::ofstream out_;
     bool ok_ = false;
 };

@@ -35,13 +35,14 @@ constexpr std::size_t kMr = 4;
 constexpr std::size_t kNr = 8;
 constexpr std::size_t kNc = 256;
 
-/**
- * A * B^T packs B's transpose into a scratch panel once the panel
- * reaches this many elements; below it the one-off transpose costs
- * more than the column gathers it saves. Shape-only criterion, so the
- * chosen path is deterministic.
- */
-constexpr std::size_t kPackElems = std::size_t(1) << 12;
+// A * B^T always packs B's transpose into a scratch panel and reuses
+// the A * B chunk worker. A dedicated kernel over the strided B rows
+// looks cheaper for small panels, but its gathered inner loop is the
+// one GEMM shape GCC fails to contract into fused multiply-adds, so
+// its results drift one ulp from every other kernel and break the
+// tiled == naive bit-identity contract (caught by the property
+// suite). Packing is O(k*n) data movement against O(m*k*n) compute
+// and keeps a single accumulation code path for all three variants.
 
 /**
  * Per-variant GEMM observability. Every entry-point call records wall
@@ -184,66 +185,6 @@ gemmTileAB(const double *a, std::size_t lda, const double *b,
             c[r * ldc + j] = acc[r][j];
 }
 
-/** Full-tile variant of gemmTileABt (dot-product form, no skip). */
-template <std::size_t MR, std::size_t NR>
-HWPR_FORCE_INLINE void
-gemmTileABtFull(const double *a, std::size_t lda, const double *b,
-                std::size_t ldb, double *c, std::size_t ldc,
-                std::size_t kk, bool accumulate)
-{
-    double acc[MR][NR];
-    for (std::size_t r = 0; r < MR; ++r)
-        for (std::size_t j = 0; j < NR; ++j)
-            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
-    for (std::size_t k = 0; k < kk; ++k) {
-        double bk[NR];
-        for (std::size_t j = 0; j < NR; ++j)
-            bk[j] = b[j * ldb + k];
-        for (std::size_t r = 0; r < MR; ++r) {
-            const double av = a[r * lda + k];
-            for (std::size_t j = 0; j < NR; ++j)
-                acc[r][j] += av * bk[j];
-        }
-    }
-    for (std::size_t r = 0; r < MR; ++r)
-        for (std::size_t j = 0; j < NR; ++j)
-            c[r * ldc + j] = acc[r][j];
-}
-
-/**
- * C tile of C (+)= A * B^T. @p a: first A row (lda), @p b: first of
- * the nr B rows being dotted against (ldb), @p c: output tile (ldc).
- */
-HWPR_FORCE_INLINE void
-gemmTileABt(const double *a, std::size_t lda, const double *b,
-            std::size_t ldb, double *c, std::size_t ldc,
-            std::size_t mr, std::size_t nr, std::size_t kk,
-            bool accumulate)
-{
-    if (mr == kMr && nr == kNr) {
-        gemmTileABtFull<kMr, kNr>(a, lda, b, ldb, c, ldc, kk,
-                                  accumulate);
-        return;
-    }
-    double acc[kMr][kNr];
-    for (std::size_t r = 0; r < mr; ++r)
-        for (std::size_t j = 0; j < nr; ++j)
-            acc[r][j] = accumulate ? c[r * ldc + j] : 0.0;
-    for (std::size_t k = 0; k < kk; ++k) {
-        double bk[kNr];
-        for (std::size_t j = 0; j < nr; ++j)
-            bk[j] = b[j * ldb + k];
-        for (std::size_t r = 0; r < mr; ++r) {
-            const double av = a[r * lda + k];
-            for (std::size_t j = 0; j < nr; ++j)
-                acc[r][j] += av * bk[j];
-        }
-    }
-    for (std::size_t r = 0; r < mr; ++r)
-        for (std::size_t j = 0; j < nr; ++j)
-            c[r * ldc + j] = acc[r][j];
-}
-
 /** Full-tile variant of gemmTileAtB (zero skip on A columns). */
 template <std::size_t MR, std::size_t NR>
 HWPR_FORCE_INLINE void
@@ -347,22 +288,6 @@ gemmRowsAtB(const double *a, const double *b, double *c,
     }
 }
 
-/** Output rows [i0, i1) of A * B^T (B is n x kk). */
-HWPR_TARGET_CLONES void
-gemmRowsABt(const double *a, const double *b, double *c,
-            std::size_t i0, std::size_t i1, std::size_t n,
-            std::size_t kk, bool accumulate)
-{
-    for (std::size_t i = i0; i < i1; i += kMr) {
-        const std::size_t mr = std::min(kMr, i1 - i);
-        for (std::size_t j = 0; j < n; j += kNr) {
-            const std::size_t nr = std::min(kNr, n - j);
-            gemmTileABt(a + i * kk, kk, b + j * kk, kk,
-                        c + i * n + j, n, mr, nr, kk, accumulate);
-        }
-    }
-}
-
 /**
  * Pack B (n x kk, row-major) as its transpose, a contiguous kk x n
  * panel. 8x8 blocked so both streams stay within a few cache lines
@@ -433,14 +358,25 @@ HWPR_TARGET_CLONES void
 naiveABt(const double *a, const double *b, double *c, std::size_t m,
          std::size_t n, std::size_t kk)
 {
+    // Same expression shape as the tile kernel: gather the k-th
+    // column of B^T into a contiguous buffer, then run the axpy
+    // acc += av * bk[j]. A dot-product form of this loop computes the
+    // same ascending-k chain on paper, but the compiler contracts the
+    // two shapes into fused multiply-adds differently, which broke
+    // the tiled == naive bit-identity contract for A * B^T (caught by
+    // the property suite).
+    std::vector<double> bk(n);
     for (std::size_t i = 0; i < m; ++i) {
         const double *arow = a + i * kk;
-        for (std::size_t j = 0; j < n; ++j) {
-            const double *brow = b + j * kk;
-            double acc = 0.0;
-            for (std::size_t k = 0; k < kk; ++k)
-                acc += arow[k] * brow[k];
-            c[i * n + j] = acc;
+        double *crow = c + i * n;
+        for (std::size_t k = 0; k < kk; ++k) {
+            const double av = arow[k];
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < n; ++j)
+                bk[j] = b[j * kk + k];
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * bk[j];
         }
     }
 }
@@ -646,38 +582,24 @@ Matrix::matmulTransposedInto(const Matrix &o, Matrix &out,
     const std::size_t flops_per_row = kk * n;
     static GemmMetrics gm("abt");
     GemmTimer timer(gm, rows_ * flops_per_row);
-    if (kk * n >= kPackElems) {
-        // Pack o^T once, then run the contiguous A * B chunk worker
-        // over it: every row tile re-reads the whole B panel, so the
-        // strided column gathers are paid once instead of per tile.
-        // The A * B worker's zero-skip is exact for every finite
-        // contribution; it can only flip the sign of an exact-zero
-        // output (-0.0 vs +0.0), which compares equal.
-        thread_local std::vector<double> packed;
-        packed.resize(kk * n);
-        packTransposed(o.data_.data(), packed.data(), n, kk);
-        // Capture the panel pointer, not the vector: the lambda runs
-        // on pool threads, where the thread_local above is a
-        // different (empty) instance.
-        const double *panel = packed.data();
-        auto rows_kernel = [&, panel](std::size_t i0, std::size_t i1) {
-            gemmRowsAB(data_.data(), panel, out.data_.data(), i0, i1,
-                       n, kk, accumulate);
-        };
-        if (rows_ * flops_per_row < kGemmParallelFlops) {
-            rows_kernel(0, rows_);
-        } else {
-            HWPR_SPAN("gemm.abt", {{"m", double(rows_)},
-                                   {"n", double(n)},
-                                   {"k", double(kk)}});
-            ExecContext::global().pool->parallelFor(
-                0, rows_, rowGrain(flops_per_row), rows_kernel);
-        }
-        return;
-    }
-    auto rows_kernel = [&](std::size_t i0, std::size_t i1) {
-        gemmRowsABt(data_.data(), o.data_.data(), out.data_.data(),
-                    i0, i1, n, kk, accumulate);
+    // Pack o^T once, then run the contiguous A * B chunk worker over
+    // it: every row tile re-reads the whole B panel, so the strided
+    // column gathers are paid once instead of per tile — and A * B^T
+    // shares the A * B accumulation code (and therefore its exact FP
+    // contraction) instead of keeping a gathered tile kernel the
+    // compiler fuses differently. The worker's zero-skip is exact for
+    // every finite contribution; it can only flip the sign of an
+    // exact-zero output (-0.0 vs +0.0), which compares equal.
+    thread_local std::vector<double> packed;
+    packed.resize(kk * n);
+    packTransposed(o.data_.data(), packed.data(), n, kk);
+    // Capture the panel pointer, not the vector: the lambda runs on
+    // pool threads, where the thread_local above is a different
+    // (empty) instance.
+    const double *panel = packed.data();
+    auto rows_kernel = [&, panel](std::size_t i0, std::size_t i1) {
+        gemmRowsAB(data_.data(), panel, out.data_.data(), i0, i1,
+                   n, kk, accumulate);
     };
     if (rows_ * flops_per_row < kGemmParallelFlops) {
         rows_kernel(0, rows_);

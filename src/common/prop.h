@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Header-only property-testing / differential-testing harness.
+ *
+ * The paper's headline numbers flow through hand-written numeric code
+ * (non-dominated sorting, hypervolume, Kendall tau, GEMM,
+ * serialization); a silent bug in any of them corrupts every reported
+ * result. This harness makes "compare against an independent oracle on
+ * thousands of generated inputs" a one-liner:
+ *
+ *     auto gen = prop::vectorOf(prop::gridDouble(0, 5), 0, 40);
+ *     auto r = prop::forAll<std::vector<double>>(
+ *         prop::Config::fromEnv(0xBADCAB1E),
+ *         gen, prop::show,
+ *         [](const std::vector<double> &v)
+ *             -> std::optional<std::string> {
+ *             if (fastImpl(v) == slowOracle(v))
+ *                 return std::nullopt;
+ *             return "fast != oracle";
+ *         });
+ *     EXPECT_TRUE(r.ok) << r.message;
+ *
+ * Every case is generated from a deterministic per-case seed derived
+ * from Config::seed, so a failure is reproducible from the seed and
+ * case index printed in the message (or by re-running with
+ * HWPR_PROP_SEED / HWPR_PROP_CASES set — see Config::fromEnv). On
+ * failure the harness greedily shrinks the counterexample through the
+ * generator's shrink function before reporting, so the printed input
+ * is near-minimal.
+ *
+ * The harness itself only depends on common/rng.h; domain-specific
+ * generators (architectures, objective-point sets with NaN/Inf
+ * injection) live next to the tests that use them (tests/prop/).
+ */
+
+#ifndef HWPR_COMMON_PROP_H
+#define HWPR_COMMON_PROP_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hwpr::prop
+{
+
+/** Harness configuration: master seed and case count. */
+struct Config
+{
+    /** Master seed; each case derives its own RNG from it. */
+    std::uint64_t seed = 0xC0FFEEull;
+    /** Generated cases per property. */
+    std::size_t cases = 1000;
+    /** Cap on property re-evaluations spent shrinking a failure. */
+    std::size_t maxShrinkSteps = 500;
+
+    /**
+     * Default config for a test, honoring environment overrides:
+     * HWPR_PROP_SEED replays a printed failure seed, HWPR_PROP_CASES
+     * scales the case count (e.g. a long fuzzing run in CI).
+     */
+    static Config
+    fromEnv(std::uint64_t default_seed, std::size_t default_cases = 1000)
+    {
+        Config cfg;
+        cfg.seed = default_seed;
+        cfg.cases = default_cases;
+        if (const char *s = std::getenv("HWPR_PROP_SEED"))
+            cfg.seed = std::strtoull(s, nullptr, 0);
+        if (const char *c = std::getenv("HWPR_PROP_CASES"))
+            cfg.cases = std::strtoull(c, nullptr, 0);
+        return cfg;
+    }
+};
+
+/**
+ * A generator: samples a value from an Rng and proposes simpler
+ * variants of a failing value (most aggressive first). An empty
+ * shrink result marks the value as atomic.
+ */
+template <typename T>
+struct Gen
+{
+    std::function<T(Rng &)> sample;
+    std::function<std::vector<T>(const T &)> shrink =
+        [](const T &) { return std::vector<T>{}; };
+};
+
+/** Outcome of a forAll run; message is set on failure. */
+struct Result
+{
+    bool ok = true;
+    std::string message;
+};
+
+/** SplitMix64 finalizer: decorrelates per-case seeds. */
+inline std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t z = seed + (index + 1) * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Render any streamable value (and vectors of them). */
+inline std::string
+show(double v)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << v;
+    return out.str();
+}
+
+inline std::string
+show(int v)
+{
+    return std::to_string(v);
+}
+
+inline std::string
+show(std::size_t v)
+{
+    return std::to_string(v);
+}
+
+template <typename T>
+std::string
+show(const std::vector<T> &v)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out << (i ? ", " : "") << show(v[i]);
+    out << "]";
+    return out.str();
+}
+
+/**
+ * Check @p property on @p cfg.cases generated values. The property
+ * returns std::nullopt on success and a failure description
+ * otherwise. The first failing value is shrunk greedily (first
+ * failing shrink candidate is adopted, repeat) and reported with the
+ * seed, case index and shrink count needed to reproduce it.
+ */
+template <typename T>
+Result
+forAll(const Config &cfg, const Gen<T> &gen,
+       const std::function<std::string(const T &)> &render,
+       const std::function<std::optional<std::string>(const T &)>
+           &property)
+{
+    for (std::size_t c = 0; c < cfg.cases; ++c) {
+        Rng rng(mixSeed(cfg.seed, c));
+        T value = gen.sample(rng);
+        std::optional<std::string> failure = property(value);
+        if (!failure)
+            continue;
+
+        // Greedy shrink: walk to a locally minimal failing value.
+        std::size_t steps = 0, shrunk = 0;
+        bool progressed = true;
+        while (progressed && steps < cfg.maxShrinkSteps) {
+            progressed = false;
+            for (T &cand : gen.shrink(value)) {
+                if (++steps > cfg.maxShrinkSteps)
+                    break;
+                std::optional<std::string> f = property(cand);
+                if (f) {
+                    value = std::move(cand);
+                    failure = std::move(f);
+                    progressed = true;
+                    ++shrunk;
+                    break;
+                }
+            }
+        }
+
+        std::ostringstream msg;
+        msg << "property failed (seed=0x" << std::hex << cfg.seed
+            << std::dec << ", case " << c << " of " << cfg.cases
+            << ", " << shrunk << " shrink steps)\n  counterexample: "
+            << render(value) << "\n  failure: " << *failure
+            << "\n  reproduce with HWPR_PROP_SEED=0x" << std::hex
+            << cfg.seed << std::dec;
+        return {false, msg.str()};
+    }
+    return {};
+}
+
+/** forAll using the built-in show() for the counterexample. */
+template <typename T>
+Result
+forAll(const Config &cfg, const Gen<T> &gen,
+       const std::function<std::optional<std::string>(const T &)>
+           &property)
+{
+    return forAll<T>(
+        cfg, gen, [](const T &v) { return show(v); }, property);
+}
+
+/** Uniform double in [lo, hi); shrinks toward zero. */
+inline Gen<double>
+doubleIn(double lo, double hi)
+{
+    Gen<double> g;
+    g.sample = [lo, hi](Rng &rng) { return rng.uniform(lo, hi); };
+    g.shrink = [](const double &v) {
+        std::vector<double> out;
+        if (v != 0.0)
+            out.push_back(0.0);
+        const double t = double(std::int64_t(v));
+        if (t != v)
+            out.push_back(t);
+        if (v / 2.0 != v && v / 2.0 != 0.0)
+            out.push_back(v / 2.0);
+        return out;
+    };
+    return g;
+}
+
+/**
+ * Integer-valued double from a small grid — deliberately tie-heavy so
+ * rank/dominance code sees duplicated values constantly.
+ */
+inline Gen<double>
+gridDouble(int lo, int hi)
+{
+    Gen<double> g;
+    g.sample = [lo, hi](Rng &rng) { return double(rng.intIn(lo, hi)); };
+    g.shrink = [lo](const double &v) {
+        std::vector<double> out;
+        const double anchor = lo <= 0 ? 0.0 : double(lo);
+        if (v != anchor)
+            out.push_back(anchor);
+        return out;
+    };
+    return g;
+}
+
+/**
+ * Double mixing a tie-heavy grid, a uniform range, extreme magnitudes
+ * and (with probability @p special_prob) the specials NaN and ±Inf —
+ * the values broken surrogates actually emit.
+ */
+inline Gen<double>
+anyDouble(double special_prob = 0.0)
+{
+    Gen<double> g;
+    g.sample = [special_prob](Rng &rng) {
+        const double roll = rng.uniform();
+        if (roll < special_prob) {
+            switch (rng.intIn(0, 2)) {
+            case 0:
+                return std::numeric_limits<double>::quiet_NaN();
+            case 1:
+                return std::numeric_limits<double>::infinity();
+            default:
+                return -std::numeric_limits<double>::infinity();
+            }
+        }
+        if (roll < special_prob + 0.05)
+            return rng.bernoulli(0.5) ? 1e300 : 1e-300;
+        if (roll < 0.6)
+            return double(rng.intIn(-4, 4));
+        return rng.uniform(-1e3, 1e3);
+    };
+    g.shrink = [](const double &v) {
+        std::vector<double> out;
+        // Specials stay special while shrinking (the failure usually
+        // hinges on them); finite values collapse toward zero.
+        if (v == v && v != std::numeric_limits<double>::infinity() &&
+            v != -std::numeric_limits<double>::infinity()) {
+            if (v != 0.0)
+                out.push_back(0.0);
+            const double t = double(std::int64_t(v));
+            if (t != v)
+                out.push_back(t);
+        }
+        return out;
+    };
+    return g;
+}
+
+/** Uniform int in [lo, hi]; shrinks toward lo. */
+inline Gen<int>
+intIn(int lo, int hi)
+{
+    Gen<int> g;
+    g.sample = [lo, hi](Rng &rng) { return rng.intIn(lo, hi); };
+    g.shrink = [lo](const int &v) {
+        std::vector<int> out;
+        if (v != lo)
+            out.push_back(lo);
+        if ((lo + v) / 2 != v && (lo + v) / 2 != lo)
+            out.push_back((lo + v) / 2);
+        return out;
+    };
+    return g;
+}
+
+/**
+ * Vector of @p elem values with length in [minLen, maxLen].
+ * Shrinking first drops halves, then single elements, then shrinks
+ * individual elements — so counterexamples end up short and simple.
+ */
+template <typename T>
+Gen<std::vector<T>>
+vectorOf(Gen<T> elem, std::size_t min_len, std::size_t max_len)
+{
+    Gen<std::vector<T>> g;
+    g.sample = [elem, min_len, max_len](Rng &rng) {
+        const std::size_t n =
+            min_len + rng.index(max_len - min_len + 1);
+        std::vector<T> v;
+        v.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            v.push_back(elem.sample(rng));
+        return v;
+    };
+    g.shrink = [elem, min_len](const std::vector<T> &v) {
+        std::vector<std::vector<T>> out;
+        const std::size_t n = v.size();
+        if (n > min_len) {
+            // Halves first: fastest route to a short failure.
+            const std::size_t half = std::max(min_len, n / 2);
+            out.emplace_back(v.begin(), v.begin() + half);
+            out.emplace_back(v.end() - half, v.end());
+            for (std::size_t i = 0; i < n; ++i) {
+                std::vector<T> cand;
+                cand.reserve(n - 1);
+                for (std::size_t j = 0; j < n; ++j)
+                    if (j != i)
+                        cand.push_back(v[j]);
+                out.push_back(std::move(cand));
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            for (T &simpler : elem.shrink(v[i])) {
+                std::vector<T> cand = v;
+                cand[i] = std::move(simpler);
+                out.push_back(std::move(cand));
+            }
+        }
+        return out;
+    };
+    return g;
+}
+
+/**
+ * A set of objective points: each case fixes a dimensionality in
+ * [minDims, maxDims], then samples [minPoints, maxPoints] points of
+ * @p value coordinates. Shrinking drops points and simplifies
+ * coordinates but never changes the dimensionality.
+ */
+struct PointSetSpec
+{
+    std::size_t minPoints = 0;
+    std::size_t maxPoints = 24;
+    std::size_t minDims = 2;
+    std::size_t maxDims = 4;
+    Gen<double> value = gridDouble(0, 5);
+};
+
+inline Gen<std::vector<std::vector<double>>>
+pointSet(const PointSetSpec &spec)
+{
+    Gen<std::vector<std::vector<double>>> g;
+    g.sample = [spec](Rng &rng) {
+        const std::size_t m =
+            spec.minDims + rng.index(spec.maxDims - spec.minDims + 1);
+        const std::size_t n =
+            spec.minPoints +
+            rng.index(spec.maxPoints - spec.minPoints + 1);
+        std::vector<std::vector<double>> pts(
+            n, std::vector<double>(m));
+        for (auto &p : pts)
+            for (auto &v : p)
+                v = spec.value.sample(rng);
+        return pts;
+    };
+    g.shrink = [spec](const std::vector<std::vector<double>> &pts) {
+        std::vector<std::vector<std::vector<double>>> out;
+        const std::size_t n = pts.size();
+        if (n > spec.minPoints) {
+            const std::size_t half = std::max(spec.minPoints, n / 2);
+            out.emplace_back(pts.begin(), pts.begin() + half);
+            out.emplace_back(pts.end() - half, pts.end());
+            for (std::size_t i = 0; i < n; ++i) {
+                std::vector<std::vector<double>> cand;
+                cand.reserve(n - 1);
+                for (std::size_t j = 0; j < n; ++j)
+                    if (j != i)
+                        cand.push_back(pts[j]);
+                out.push_back(std::move(cand));
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t d = 0; d < pts[i].size(); ++d) {
+                for (double simpler : spec.value.shrink(pts[i][d])) {
+                    auto cand = pts;
+                    cand[i][d] = simpler;
+                    out.push_back(std::move(cand));
+                }
+            }
+        }
+        return out;
+    };
+    return g;
+}
+
+} // namespace hwpr::prop
+
+#endif // HWPR_COMMON_PROP_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -38,6 +39,20 @@ stdError(const std::vector<double> &v)
     return stddev(v) / std::sqrt(double(v.size()));
 }
 
+namespace
+{
+
+bool
+anyNaN(const std::vector<double> &v)
+{
+    for (double x : v)
+        if (std::isnan(x))
+            return true;
+    return false;
+}
+
+} // namespace
+
 double
 pearson(const std::vector<double> &x, const std::vector<double> &y)
 {
@@ -45,6 +60,8 @@ pearson(const std::vector<double> &x, const std::vector<double> &y)
     const std::size_t n = x.size();
     if (n < 2)
         return 0.0;
+    if (anyNaN(x) || anyNaN(y))
+        return std::numeric_limits<double>::quiet_NaN();
     const double mx = mean(x), my = mean(y);
     double sxy = 0.0, sxx = 0.0, syy = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -85,6 +102,11 @@ double
 spearman(const std::vector<double> &x, const std::vector<double> &y)
 {
     HWPR_CHECK(x.size() == y.size(), "spearman length mismatch");
+    // NaN breaks strict weak ordering: sorting NaN-carrying data in
+    // averageRanks is undefined behaviour and used to yield a
+    // plausible-looking but garbage correlation. Propagate instead.
+    if (anyNaN(x) || anyNaN(y))
+        return std::numeric_limits<double>::quiet_NaN();
     return pearson(averageRanks(x), averageRanks(y));
 }
 
@@ -151,6 +173,11 @@ kendallTau(const std::vector<double> &x, const std::vector<double> &y)
     const std::size_t n = x.size();
     if (n < 2)
         return 0.0;
+    // NaN violates the sort comparator's strict weak ordering, so a
+    // single poisoned prediction used to produce a silently wrong tau
+    // (or out-of-bounds reads inside std::sort). Propagate instead.
+    if (anyNaN(x) || anyNaN(y))
+        return std::numeric_limits<double>::quiet_NaN();
 
     // Sort pairs by x (breaking x-ties by y); discordant pairs are then
     // exactly the y-inversions, minus pairs tied in both.

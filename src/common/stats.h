@@ -24,10 +24,22 @@ double stddev(const std::vector<double> &v);
 /** Standard error of the mean: stddev / sqrt(n). */
 double stdError(const std::vector<double> &v);
 
-/** Pearson linear correlation coefficient. */
+/**
+ * Pearson linear correlation coefficient.
+ *
+ * Degenerate inputs are defined for all three correlations: n < 2 or
+ * a constant (zero-variance / all-tied) vector yields 0.0, and any
+ * NaN in either input yields NaN. The NaN propagation is explicit —
+ * NaN breaks the strict weak ordering of the rank sorts, which is
+ * undefined behaviour and used to return silently wrong correlations.
+ */
 double pearson(const std::vector<double> &x, const std::vector<double> &y);
 
-/** Spearman rank correlation (Pearson over average ranks). */
+/**
+ * Spearman rank correlation (Pearson over average ranks). Degenerate
+ * inputs as for pearson(): 0.0 for n < 2 or a constant vector, NaN if
+ * either input contains NaN.
+ */
 double spearman(const std::vector<double> &x,
                 const std::vector<double> &y);
 
@@ -35,6 +47,8 @@ double spearman(const std::vector<double> &x,
  * Kendall tau-b rank correlation, the metric used in Fig. 4 and
  * Table I. Computed in O(n log n) via merge-sort inversion counting,
  * with the tau-b tie correction so tied predictions are not rewarded.
+ * Degenerate inputs as for pearson(): 0.0 for n < 2 or a constant
+ * vector (tau-b denominator zero), NaN if either input contains NaN.
  */
 double kendallTau(const std::vector<double> &x,
                   const std::vector<double> &y);

@@ -164,6 +164,23 @@ namespace
 {
 
 /**
+ * Shared contribution filter for every hypervolume algorithm: a point
+ * counts iff all its objectives are finite and weakly dominate the
+ * reference. Non-finite objectives are surrogate failures — NaN fails
+ * every comparison (the positive-form `<=` test rejects it), and a
+ * -inf objective would claim an infinite (or, against a zero-width
+ * box, NaN via inf*0 in the WFG recursion) volume.
+ */
+bool
+contributes(const Point &p, const Point &ref)
+{
+    for (std::size_t d = 0; d < ref.size(); ++d)
+        if (!(std::isfinite(p[d]) && p[d] <= ref[d]))
+            return false;
+    return true;
+}
+
+/**
  * 2-D hypervolume for minimization: points clipped to those weakly
  * dominating the reference, swept in ascending x.
  */
@@ -172,7 +189,7 @@ hypervolume2D(std::vector<Point> pts, const Point &ref)
 {
     std::vector<Point> valid;
     for (auto &p : pts)
-        if (p[0] <= ref[0] && p[1] <= ref[1])
+        if (contributes(p, ref))
             valid.push_back(std::move(p));
     if (valid.empty())
         return 0.0;
@@ -203,7 +220,7 @@ hypervolume3D(std::vector<Point> pts, const Point &ref)
 {
     std::vector<Point> valid;
     for (auto &p : pts)
-        if (p[0] <= ref[0] && p[1] <= ref[1] && p[2] <= ref[2])
+        if (contributes(p, ref))
             valid.push_back(std::move(p));
     if (valid.empty())
         return 0.0;
@@ -269,14 +286,7 @@ hypervolumeWfg(const std::vector<Point> &points, const Point &ref)
     for (const auto &p : points) {
         HWPR_CHECK(p.size() == ref.size(),
                    "point/reference dim mismatch");
-        // Positive-form comparison so NaN objectives fail the filter
-        // (NaN > ref and NaN <= ref are both false — the exclusion
-        // style would let NaN points through).
-        bool inside = true;
-        for (std::size_t d = 0; d < p.size(); ++d)
-            if (!(p[d] <= ref[d]))
-                inside = false;
-        if (inside)
+        if (contributes(p, ref))
             valid.push_back(p);
     }
     return wfgRecurse(std::move(valid), ref);
@@ -289,14 +299,15 @@ hypervolume(const std::vector<Point> &points, const Point &ref)
         return 0.0;
     const std::size_t m = ref.size();
     for (double v : ref)
-        HWPR_CHECK(!std::isnan(v), "NaN hypervolume reference point");
+        HWPR_CHECK(std::isfinite(v),
+                   "non-finite hypervolume reference point");
     for (const auto &p : points)
         HWPR_CHECK(p.size() == m, "point/reference dim mismatch");
-    // Points carrying NaN objectives contribute nothing: every sweep
-    // keeps only points with p[d] <= ref[d] in all dimensions, a
-    // comparison NaN always fails. (A NaN that slipped past that
-    // filter would silently corrupt the sweep accumulations, so the
-    // clipping is the single NaN gate for all three algorithms.)
+    // Points carrying NaN or infinite objectives contribute nothing:
+    // all three algorithms clip through contributes(), the single
+    // non-finite gate. (A -inf objective that slipped through would
+    // yield an infinite sweep volume — or NaN via inf*0 against a
+    // zero-width box in the WFG recursion.)
     if (m == 2)
         return hypervolume2D(points, ref);
     if (m == 3)

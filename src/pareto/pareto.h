@@ -57,9 +57,11 @@ std::vector<double> crowdingDistance(const std::vector<Point> &front);
 
 /**
  * Exact hypervolume dominated by @p points with respect to reference
- * point @p ref (minimization: a point contributes iff it is <= ref in
- * every objective — which also excludes NaN-carrying points, whose
- * comparisons all fail). A NaN reference point fails loudly.
+ * point @p ref (minimization: a point contributes iff every objective
+ * is finite and <= ref). Points with NaN or infinite objectives are
+ * surrogate failures and contribute nothing — a -inf objective would
+ * otherwise claim infinite volume (or NaN against a zero-width box in
+ * the WFG recursion). A non-finite reference point fails loudly.
  * Dedicated sweep algorithms for 2 and 3 objectives; the recursive
  * WFG algorithm for higher dimensions.
  */

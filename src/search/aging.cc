@@ -46,13 +46,27 @@ AgingEvolution::run(const SearchDomain &domain, Evaluator &evaluator,
         result.stats.simulatedSeconds +=
             evaluator.simulatedCostSeconds(batch);
     };
-    auto budget_left = [&]() {
-        return cfg_.simulatedBudgetSeconds <= 0.0 ||
-               result.stats.simulatedSeconds <
+    // Budget gate, checked BEFORE every charge so the accounted cost
+    // never exceeds the budget (same semantics as RandomSearch and
+    // Moea: stoppedByBudget means "the budget could not fund the next
+    // evaluation", and simulatedSeconds <= budget always holds for
+    // cost models that are pure in the batch size).
+    auto would_exceed = [&](std::size_t batch) {
+        return cfg_.simulatedBudgetSeconds > 0.0 &&
+               result.stats.simulatedSeconds +
+                       evaluator.simulatedCostSeconds(batch) >
                    cfg_.simulatedBudgetSeconds;
     };
 
-    // Seed population.
+    // Seed population. A budget below the seed cost returns an empty
+    // budget-stopped result instead of silently overshooting: sweep
+    // drivers iterate budget grids and must be able to skip the
+    // degenerate points.
+    if (would_exceed(cfg_.populationSize)) {
+        result.stats.stoppedByBudget = true;
+        result.stats.wallSeconds = nowSeconds() - t0;
+        return result;
+    }
     std::vector<nasbench::Architecture> init;
     for (std::size_t i = 0; i < cfg_.populationSize; ++i)
         init.push_back(domain.sample(rng));
@@ -77,7 +91,11 @@ AgingEvolution::run(const SearchDomain &domain, Evaluator &evaluator,
         return rng.bernoulli(0.5);
     };
 
-    while (history.size() < cfg_.totalEvaluations && budget_left()) {
+    while (history.size() < cfg_.totalEvaluations) {
+        if (would_exceed(1)) {
+            result.stats.stoppedByBudget = true;
+            break;
+        }
         // Tournament over a random sample of the living population.
         std::size_t best = alive[rng.index(alive.size())];
         for (std::size_t s = 1; s < cfg_.sampleSize; ++s) {
@@ -95,7 +113,6 @@ AgingEvolution::run(const SearchDomain &domain, Evaluator &evaluator,
         alive.pop_front(); // the oldest member dies
         ++result.stats.generations;
     }
-    result.stats.stoppedByBudget = !budget_left();
 
     // Final selection over the whole history.
     const std::size_t keep =

@@ -123,6 +123,17 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator, Rng &rng,
               {{"population", double(n)},
                {"max_generations", double(cfg_.maxGenerations)}});
 
+    // Budget gate, checked BEFORE every charge so the accounted cost
+    // never exceeds the budget (shared semantics with RandomSearch
+    // and AgingEvolution; holds exactly for cost models that are pure
+    // in the batch size).
+    auto wouldExceed = [&](std::size_t batch) {
+        return cfg_.simulatedBudgetSeconds > 0.0 &&
+               result.stats.simulatedSeconds +
+                       evaluator.simulatedCostSeconds(batch) >
+                   cfg_.simulatedBudgetSeconds;
+    };
+
     std::vector<nasbench::Architecture> pop;
     std::vector<pareto::Point> fit;
     if (ckpt.resume) {
@@ -141,6 +152,16 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator, Rng &rng,
         result.stats = ckpt.resume->stats;
         result.stats.stoppedByBudget = false;
     } else {
+        // A budget below the initial-population cost returns an empty
+        // budget-stopped result instead of overshooting (no
+        // checkpoint is written — an empty population would not
+        // satisfy the resume size check).
+        if (wouldExceed(n)) {
+            result.stats.stoppedByBudget = true;
+            result.stats.wallSeconds = nowSeconds() - t0;
+            lastStats_ = result.stats;
+            return result;
+        }
         // Initial population P_0, evaluated with the plugged
         // evaluator. Populations are always handed to evaluate()
         // whole so batched surrogates (core::SurrogateEvaluator)
@@ -192,9 +213,9 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator, Rng &rng,
 
     for (std::size_t gen = result.stats.generations;
          gen < cfg_.maxGenerations; ++gen) {
-        if (cfg_.simulatedBudgetSeconds > 0.0 &&
-            result.stats.simulatedSeconds >=
-                cfg_.simulatedBudgetSeconds) {
+        // Stop before a generation whose offspring batch the budget
+        // cannot fund; the charged total never passes the budget.
+        if (wouldExceed(n)) {
             result.stats.stoppedByBudget = true;
             break;
         }

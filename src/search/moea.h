@@ -35,8 +35,15 @@ struct SearchStats
     std::size_t evaluations = 0;
     /** Generations completed. */
     std::size_t generations = 0;
-    /** True when the time budget (not the generation cap) stopped
-     *  the search. */
+    /**
+     * True when the simulated budget — not the evaluation/generation
+     * cap — stopped the search. Shared semantics across RandomSearch,
+     * Moea and AgingEvolution: every driver checks the budget before
+     * charging, so a budget-stopped run never accounts more simulated
+     * cost than the budget (a budget below even the first charge
+     * yields an empty, budget-stopped result), and the flag is false
+     * when the run completed its cap within budget.
+     */
     bool stoppedByBudget = false;
 };
 

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Domain-specific generators for the property/differential test suite
+ * (tests/prop/): architectures from the real search spaces and small
+ * helpers shared by the oracle files. The generic harness
+ * (generators, shrinking, forAll) lives in src/common/prop.h.
+ */
+
+#ifndef HWPR_TESTS_PROP_PROP_GENS_H
+#define HWPR_TESTS_PROP_PROP_GENS_H
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/prop.h"
+#include "nasbench/space.h"
+
+namespace hwpr::proptest
+{
+
+/**
+ * Architecture from either benchmark space. Shrinking zeroes genes
+ * one at a time (genome length is fixed per space, so structural
+ * shrinking is value simplification only).
+ */
+inline prop::Gen<nasbench::Architecture>
+archGen()
+{
+    prop::Gen<nasbench::Architecture> g;
+    g.sample = [](Rng &rng) {
+        const auto &space = rng.bernoulli(0.5) ? nasbench::nasBench201()
+                                               : nasbench::fbnet();
+        return space.sample(rng);
+    };
+    g.shrink = [](const nasbench::Architecture &a) {
+        std::vector<nasbench::Architecture> out;
+        for (std::size_t i = 0; i < a.genome.size(); ++i) {
+            if (a.genome[i] == 0)
+                continue;
+            nasbench::Architecture cand = a;
+            cand.genome[i] = 0;
+            out.push_back(std::move(cand));
+        }
+        return out;
+    };
+    return g;
+}
+
+inline std::string
+showArch(const nasbench::Architecture &a)
+{
+    std::ostringstream out;
+    out << (a.space == nasbench::SpaceId::NasBench201 ? "nb201"
+                                                      : "fbnet")
+        << ":";
+    for (std::size_t i = 0; i < a.genome.size(); ++i)
+        out << (i ? "," : "") << a.genome[i];
+    return out.str();
+}
+
+/** Render a point set for counterexample output. */
+inline std::string
+showPoints(const std::vector<std::vector<double>> &pts)
+{
+    std::ostringstream out;
+    out << pts.size() << " points: ";
+    out << prop::show(pts);
+    return out.str();
+}
+
+} // namespace hwpr::proptest
+
+#endif // HWPR_TESTS_PROP_PROP_GENS_H

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the property-testing harness itself (src/common/prop.h):
+ * per-case seeding is deterministic, failures shrink toward minimal
+ * counterexamples, and environment overrides are honored. The harness
+ * guards every differential suite in this directory, so it gets its
+ * own regression coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/prop.h"
+
+using namespace hwpr;
+
+TEST(PropHarness, PassingPropertyReportsOk)
+{
+    prop::Config cfg;
+    cfg.cases = 200;
+    const auto r = prop::forAll<double>(
+        cfg, prop::doubleIn(-10.0, 10.0),
+        [](const double &v) -> std::optional<std::string> {
+            if (v >= -10.0 && v < 10.0)
+                return std::nullopt;
+            return "out of range";
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+    EXPECT_TRUE(r.message.empty());
+}
+
+TEST(PropHarness, SameSeedSameFailureMessage)
+{
+    prop::Config cfg;
+    cfg.seed = 0xDEADBEEF;
+    cfg.cases = 500;
+    const auto property =
+        [](const std::vector<double> &v) -> std::optional<std::string> {
+        for (double x : v)
+            if (x >= 3.0)
+                return "contains an element >= 3";
+        return std::nullopt;
+    };
+    const auto gen = prop::vectorOf(prop::gridDouble(0, 5), 0, 20);
+    const auto r1 = prop::forAll<std::vector<double>>(cfg, gen, property);
+    const auto r2 = prop::forAll<std::vector<double>>(cfg, gen, property);
+    ASSERT_FALSE(r1.ok);
+    EXPECT_EQ(r1.message, r2.message);
+    // The message carries everything needed to reproduce by hand.
+    EXPECT_NE(r1.message.find("seed=0xdeadbeef"), std::string::npos)
+        << r1.message;
+    EXPECT_NE(r1.message.find("HWPR_PROP_SEED"), std::string::npos);
+}
+
+TEST(PropHarness, ShrinksToMinimalCounterexample)
+{
+    prop::Config cfg;
+    cfg.seed = 42;
+    cfg.cases = 500;
+    // Track the final (shrunken) failing value via capture: the last
+    // value the property rejects is the one reported.
+    std::vector<double> last_failing;
+    const auto r = prop::forAll<std::vector<double>>(
+        cfg, prop::vectorOf(prop::gridDouble(0, 5), 0, 24),
+        [&last_failing](
+            const std::vector<double> &v) -> std::optional<std::string> {
+            for (double x : v)
+                if (x >= 3.0) {
+                    last_failing = v;
+                    return "contains an element >= 3";
+                }
+            return std::nullopt;
+        });
+    ASSERT_FALSE(r.ok);
+    // Greedy shrinking over (drop halves, drop one, zero elements)
+    // reaches the canonical minimum: a single offending element.
+    ASSERT_EQ(last_failing.size(), 1u) << r.message;
+    EXPECT_GE(last_failing[0], 3.0);
+}
+
+TEST(PropHarness, ShrinkRespectsStepBudget)
+{
+    prop::Config cfg;
+    cfg.seed = 7;
+    cfg.cases = 50;
+    cfg.maxShrinkSteps = 3; // Nearly no shrinking allowed.
+    std::size_t evaluations = 0;
+    const auto r = prop::forAll<std::vector<double>>(
+        cfg, prop::vectorOf(prop::gridDouble(0, 5), 8, 24),
+        [&evaluations](
+            const std::vector<double> &) -> std::optional<std::string> {
+            ++evaluations;
+            return "always fails";
+        });
+    ASSERT_FALSE(r.ok);
+    // One original evaluation plus at most maxShrinkSteps + 1 retries
+    // (the loop checks the cap after incrementing).
+    EXPECT_LE(evaluations, 1 + cfg.maxShrinkSteps + 1);
+}
+
+TEST(PropHarness, MixSeedDecorrelatesCases)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(prop::mixSeed(123, i));
+    EXPECT_EQ(seen.size(), 10000u);
+    // Different master seeds diverge immediately.
+    EXPECT_NE(prop::mixSeed(1, 0), prop::mixSeed(2, 0));
+}
+
+TEST(PropHarness, FromEnvOverridesSeedAndCases)
+{
+    ASSERT_EQ(setenv("HWPR_PROP_SEED", "0x1234", 1), 0);
+    ASSERT_EQ(setenv("HWPR_PROP_CASES", "77", 1), 0);
+    const auto cfg = prop::Config::fromEnv(999, 1000);
+    unsetenv("HWPR_PROP_SEED");
+    unsetenv("HWPR_PROP_CASES");
+    EXPECT_EQ(cfg.seed, 0x1234ull);
+    EXPECT_EQ(cfg.cases, 77u);
+
+    const auto plain = prop::Config::fromEnv(999, 1000);
+    EXPECT_EQ(plain.seed, 999ull);
+    EXPECT_EQ(plain.cases, 1000u);
+}
+
+TEST(PropHarness, VectorGenRespectsLengthBounds)
+{
+    prop::Config cfg;
+    cfg.cases = 1000;
+    const auto r = prop::forAll<std::vector<double>>(
+        cfg, prop::vectorOf(prop::doubleIn(0, 1), 3, 9),
+        [](const std::vector<double> &v) -> std::optional<std::string> {
+            if (v.size() >= 3 && v.size() <= 9)
+                return std::nullopt;
+            return "length out of bounds";
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropHarness, PointSetFixesDimensionPerCase)
+{
+    prop::Config cfg;
+    cfg.cases = 1000;
+    prop::PointSetSpec spec;
+    spec.minDims = 2;
+    spec.maxDims = 4;
+    const auto r = prop::forAll<std::vector<std::vector<double>>>(
+        cfg, prop::pointSet(spec),
+        [](const std::vector<std::vector<double>> &pts)
+            -> std::optional<std::string> {
+            for (const auto &p : pts) {
+                if (p.size() != pts.front().size())
+                    return "mixed dimensionalities in one case";
+                if (p.size() < 2 || p.size() > 4)
+                    return "dimensionality out of bounds";
+            }
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Differential property tests for the GEMM stack: the cache-tiled,
+ * register-blocked kernels (matmul / transposedMatmul /
+ * matmulTransposed and their *Into / accumulate variants) vs a plain
+ * triple-loop oracle written here from the documented contract — one
+ * ascending-k accumulation chain per output element, seeded with the
+ * existing output value when accumulating.
+ *
+ * Two comparison strengths, deliberately distinct:
+ *  - Exact (==) where the contract promises bit-identity: tiled vs
+ *    the shipped naive kernels (same translation unit, same FP
+ *    contraction), Into vs the allocating entry points, and
+ *    accumulate-onto-zero vs the plain product.
+ *  - Within-epsilon against the oracle in this file: the compiler may
+ *    contract a*b+c into fma differently across translation units, so
+ *    an independent reimplementation can legitimately differ in the
+ *    last ulp while still catching real indexing/tiling bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/prop.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+enum class Op
+{
+    AB,  // a(m x k) * b(k x n)
+    AtB, // a(k x m)^T * b(k x n)
+    ABt, // a(m x k) * b(n x k)^T
+};
+
+struct GemmCase
+{
+    Op op = Op::AB;
+    bool into = false;       // use the *Into entry point
+    bool accumulate = false; // seed the chain from existing output
+    Matrix a, b, out;        // out pre-filled for the accumulate case
+};
+
+/**
+ * Independent reference: the documented accumulation order, nothing
+ * else. Each output element is one scalar chain over ascending k,
+ * starting from the existing output value when accumulating.
+ */
+Matrix
+gemmOracle(const GemmCase &c)
+{
+    std::size_t m = 0, n = 0, kk = 0;
+    switch (c.op) {
+    case Op::AB:
+        m = c.a.rows();
+        kk = c.a.cols();
+        n = c.b.cols();
+        break;
+    case Op::AtB:
+        m = c.a.cols();
+        kk = c.a.rows();
+        n = c.b.cols();
+        break;
+    case Op::ABt:
+        m = c.a.rows();
+        kk = c.a.cols();
+        n = c.b.rows();
+        break;
+    }
+    Matrix out(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc =
+                c.into && c.accumulate ? c.out(i, j) : 0.0;
+            for (std::size_t t = 0; t < kk; ++t) {
+                double lhs = 0.0, rhs = 0.0;
+                switch (c.op) {
+                case Op::AB:
+                    lhs = c.a(i, t);
+                    rhs = c.b(t, j);
+                    break;
+                case Op::AtB:
+                    lhs = c.a(t, i);
+                    rhs = c.b(t, j);
+                    break;
+                case Op::ABt:
+                    lhs = c.a(i, t);
+                    rhs = c.b(j, t);
+                    break;
+                }
+                acc += lhs * rhs;
+            }
+            out(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+runTiled(const GemmCase &c)
+{
+    if (!c.into) {
+        switch (c.op) {
+        case Op::AB:
+            return c.a.matmul(c.b);
+        case Op::AtB:
+            return c.a.transposedMatmul(c.b);
+        case Op::ABt:
+            return c.a.matmulTransposed(c.b);
+        }
+    }
+    Matrix out = c.out;
+    switch (c.op) {
+    case Op::AB:
+        c.a.matmulInto(c.b, out, c.accumulate);
+        break;
+    case Op::AtB:
+        c.a.transposedMatmulInto(c.b, out, c.accumulate);
+        break;
+    case Op::ABt:
+        c.a.matmulTransposedInto(c.b, out, c.accumulate);
+        break;
+    }
+    return out;
+}
+
+Matrix
+runNaive(const GemmCase &c)
+{
+    switch (c.op) {
+    case Op::AB:
+        return c.a.matmulNaive(c.b);
+    case Op::AtB:
+        return c.a.transposedMatmulNaive(c.b);
+    case Op::ABt:
+        return c.a.matmulTransposedNaive(c.b);
+    }
+    return {};
+}
+
+prop::Gen<GemmCase>
+gemmGen()
+{
+    prop::Gen<GemmCase> g;
+    g.sample = [](Rng &rng) {
+        GemmCase c;
+        c.op = Op(rng.intIn(0, 2));
+        c.into = rng.bernoulli(0.5);
+        c.accumulate = c.into && rng.bernoulli(0.5);
+        const std::size_t m = std::size_t(rng.intIn(1, 20));
+        const std::size_t kk = std::size_t(rng.intIn(1, 20));
+        const std::size_t n = std::size_t(rng.intIn(1, 20));
+        // Mix exactly-representable grid values with full-precision
+        // draws: the former make mismatches obvious, the latter catch
+        // any reassociation of the accumulation chain.
+        auto draw = [&rng]() {
+            return rng.bernoulli(0.5) ? double(rng.intIn(-3, 3))
+                                      : rng.normal();
+        };
+        switch (c.op) {
+        case Op::AB:
+            c.a = Matrix(m, kk);
+            c.b = Matrix(kk, n);
+            break;
+        case Op::AtB:
+            c.a = Matrix(kk, m);
+            c.b = Matrix(kk, n);
+            break;
+        case Op::ABt:
+            c.a = Matrix(m, kk);
+            c.b = Matrix(n, kk);
+            break;
+        }
+        c.out = Matrix(m, n);
+        for (Matrix *mat : {&c.a, &c.b, &c.out})
+            for (double &v : mat->raw())
+                v = draw();
+        return c;
+    };
+    g.shrink = [](const GemmCase &c) {
+        std::vector<GemmCase> out;
+        // Zero one operand at a time: isolates which input drives the
+        // mismatch while keeping the (shape, op, flags) fixed.
+        for (Matrix GemmCase::*field :
+             {&GemmCase::a, &GemmCase::b, &GemmCase::out}) {
+            bool already_zero = true;
+            for (double v : (c.*field).raw())
+                already_zero = already_zero && v == 0.0;
+            if (!already_zero) {
+                GemmCase cand = c;
+                (cand.*field).fill(0.0);
+                out.push_back(std::move(cand));
+            }
+        }
+        return out;
+    };
+    return g;
+}
+
+std::string
+showGemm(const GemmCase &c)
+{
+    std::ostringstream msg;
+    msg << "op=" << int(c.op) << " into=" << c.into
+        << " accumulate=" << c.accumulate << " a(" << c.a.rows() << "x"
+        << c.a.cols() << ")=" << prop::show(c.a.raw()) << " b("
+        << c.b.rows() << "x" << c.b.cols() << ")="
+        << prop::show(c.b.raw());
+    if (c.into && c.accumulate)
+        msg << " out0=" << prop::show(c.out.raw());
+    return msg.str();
+}
+
+std::optional<std::string>
+compareMats(const Matrix &got, const Matrix &want,
+            const std::string &label, double tol)
+{
+    if (got.rows() != want.rows() || got.cols() != want.cols())
+        return label + ": shape mismatch";
+    for (std::size_t i = 0; i < got.raw().size(); ++i) {
+        const double g = got.raw()[i], w = want.raw()[i];
+        const double bound = tol * std::max(1.0, std::fabs(w));
+        if (!(std::fabs(g - w) <= bound)) {
+            std::ostringstream msg;
+            msg << label << ": element " << i << " differs: got "
+                << prop::show(g) << ", oracle " << prop::show(w);
+            return msg.str();
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+bitIdentical(const Matrix &got, const Matrix &want,
+             const std::string &label)
+{
+    return compareMats(got, want, label, 0.0);
+}
+
+} // namespace
+
+TEST(PropMatrix, TiledGemmMatchesIndependentOracle)
+{
+    // Cross-TU differential check: catches indexing, tiling and
+    // transpose bugs. Tolerance absorbs per-term fma contraction
+    // differences only (the accumulation order itself must match, or
+    // errors grow far past 1e-10 on adversarial magnitudes).
+    const auto r = prop::forAll<GemmCase>(
+        prop::Config::fromEnv(0x6E4D4D01, 1200), gemmGen(), showGemm,
+        [](const GemmCase &c) -> std::optional<std::string> {
+            return compareMats(runTiled(c), gemmOracle(c), "tiled",
+                               1e-10);
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropMatrix, TiledGemmBitIdenticalToShippedNaiveKernels)
+{
+    // The documented contract: tiling and threading never change the
+    // per-element accumulation chain, so tiled == naive exactly.
+    // Additionally the Into entry points (with and without a zero
+    // accumulate seed) must be bit-identical to the allocating ones.
+    const auto r = prop::forAll<GemmCase>(
+        prop::Config::fromEnv(0x6E4D4D02, 1200), gemmGen(), showGemm,
+        [](const GemmCase &c) -> std::optional<std::string> {
+            GemmCase plain = c;
+            plain.into = false;
+            plain.accumulate = false;
+            const Matrix reference = runTiled(plain);
+            if (auto f = bitIdentical(reference, runNaive(plain),
+                                      "tiled vs naive"))
+                return f;
+
+            GemmCase into = c;
+            into.into = true;
+            into.accumulate = false;
+            if (auto f = bitIdentical(runTiled(into), reference,
+                                      "Into vs allocating"))
+                return f;
+
+            // accumulate=true onto a zero output runs the exact same
+            // chain seeded with 0.0 — bit-identical to the product.
+            GemmCase acc = c;
+            acc.into = true;
+            acc.accumulate = true;
+            acc.out.fill(0.0);
+            if (auto f = bitIdentical(runTiled(acc), reference,
+                                      "accumulate onto zero"))
+                return f;
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropMatrix, AccumulateSeedsChainFromExistingOutput)
+{
+    // With accumulate, the chain starts from the existing output
+    // value; the oracle reproduces that semantic independently.
+    const auto r = prop::forAll<GemmCase>(
+        prop::Config::fromEnv(0x6E4D4D03, 1000), gemmGen(), showGemm,
+        [](const GemmCase &c) -> std::optional<std::string> {
+            GemmCase acc = c;
+            acc.into = true;
+            acc.accumulate = true;
+            return compareMats(runTiled(acc), gemmOracle(acc),
+                               "accumulate", 1e-10);
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Differential property tests for non-dominated sorting: Deb's fast
+ * sort in src/pareto vs an independent brute-force "peel the
+ * non-dominated set" oracle, on thousands of tie-heavy generated point
+ * sets, including NaN-poisoned ones (a misbehaving surrogate's
+ * output). Also checks the structural invariants tying paretoRanks,
+ * paretoFronts and nonDominatedIndices together.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/prop.h"
+#include "pareto/pareto.h"
+#include "prop_gens.h"
+
+using namespace hwpr;
+using proptest::showPoints;
+
+namespace
+{
+
+/** Independent dominance check (minimization), by the definition. */
+bool
+bruteDominates(const pareto::Point &a, const pareto::Point &b)
+{
+    bool strictly = false;
+    for (std::size_t d = 0; d < a.size(); ++d) {
+        if (a[d] > b[d])
+            return false;
+        if (a[d] < b[d])
+            strictly = true;
+    }
+    return strictly;
+}
+
+bool
+hasNan(const pareto::Point &p)
+{
+    for (double v : p)
+        if (std::isnan(v))
+            return true;
+    return false;
+}
+
+/**
+ * Oracle ranks by repeated peeling: rank 1 is the set of valid points
+ * dominated by no other remaining valid point; remove it and repeat.
+ * NaN-carrying points are excluded and share the rank right after the
+ * last finite front (rank 1 when no point is finite), mirroring the
+ * documented contract of paretoRanks().
+ */
+std::vector<int>
+bruteRanks(const std::vector<pareto::Point> &points)
+{
+    const std::size_t n = points.size();
+    std::vector<int> ranks(n, 0);
+    std::vector<bool> assigned(n, false);
+    std::size_t num_valid = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (hasNan(points[i]))
+            assigned[i] = true; // excluded from peeling
+        else
+            ++num_valid;
+    }
+
+    int rank = 0;
+    std::size_t remaining = num_valid;
+    while (remaining > 0) {
+        ++rank;
+        std::vector<std::size_t> front;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (assigned[i])
+                continue;
+            bool dominated = false;
+            for (std::size_t j = 0; j < n && !dominated; ++j)
+                if (j != i && !assigned[j] &&
+                    bruteDominates(points[j], points[i]))
+                    dominated = true;
+            if (!dominated)
+                front.push_back(i);
+        }
+        for (std::size_t i : front) {
+            ranks[i] = rank;
+            assigned[i] = true;
+        }
+        remaining -= front.size();
+    }
+
+    if (num_valid < n) {
+        const int worst = num_valid == 0 ? 1 : rank + 1;
+        for (std::size_t i = 0; i < n; ++i)
+            if (hasNan(points[i]))
+                ranks[i] = worst;
+    }
+    return ranks;
+}
+
+std::optional<std::string>
+checkAgainstOracle(const std::vector<pareto::Point> &pts)
+{
+    const std::vector<int> fast = pareto::paretoRanks(pts);
+    const std::vector<int> slow = bruteRanks(pts);
+    if (fast != slow) {
+        std::ostringstream msg;
+        msg << "fast ranks " << prop::show(fast) << " != oracle "
+            << prop::show(slow);
+        return msg.str();
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+TEST(PropPareto, RanksMatchBruteForcePeel)
+{
+    // Tie-heavy finite grids: duplicated coordinates (and whole
+    // duplicated points) are the hard cases for dominance code.
+    prop::PointSetSpec spec;
+    spec.maxPoints = 24;
+    spec.value = prop::gridDouble(0, 5);
+    const auto r = prop::forAll<std::vector<std::vector<double>>>(
+        prop::Config::fromEnv(0x9A7E70, 1200), prop::pointSet(spec),
+        showPoints, checkAgainstOracle);
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropPareto, RanksMatchBruteForceWithSpecials)
+{
+    // Same oracle with NaN / +-Inf injected: NaN points must share
+    // the worst rank, infinities order normally.
+    prop::PointSetSpec spec;
+    spec.maxPoints = 16;
+    spec.value = prop::anyDouble(0.15);
+    const auto r = prop::forAll<std::vector<std::vector<double>>>(
+        prop::Config::fromEnv(0x9A7E71, 1200), prop::pointSet(spec),
+        showPoints, checkAgainstOracle);
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropPareto, FrontsPartitionAndAgreeWithRanks)
+{
+    prop::PointSetSpec spec;
+    spec.maxPoints = 20;
+    spec.value = prop::gridDouble(0, 4);
+    const auto r = prop::forAll<std::vector<std::vector<double>>>(
+        prop::Config::fromEnv(0x9A7E72, 1000), prop::pointSet(spec),
+        showPoints,
+        [](const std::vector<pareto::Point> &pts)
+            -> std::optional<std::string> {
+            const auto ranks = pareto::paretoRanks(pts);
+            const auto fronts = pareto::paretoFronts(pts);
+            std::vector<bool> seen(pts.size(), false);
+            for (std::size_t f = 0; f < fronts.size(); ++f) {
+                for (std::size_t i : fronts[f]) {
+                    if (i >= pts.size())
+                        return "front index out of range";
+                    if (seen[i])
+                        return "point assigned to two fronts";
+                    seen[i] = true;
+                    if (ranks[i] != int(f) + 1)
+                        return "front membership disagrees with rank";
+                }
+            }
+            for (std::size_t i = 0; i < pts.size(); ++i)
+                if (!seen[i])
+                    return "point missing from every front";
+
+            const auto nd = pareto::nonDominatedIndices(pts);
+            std::size_t rank1 = 0;
+            for (int rk : ranks)
+                if (rk == 1)
+                    ++rank1;
+            if (nd.size() != rank1)
+                return "nonDominatedIndices size != rank-1 count";
+            for (std::size_t i : nd)
+                if (ranks[i] != 1)
+                    return "nonDominatedIndices returned a rank>1 point";
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropPareto, Rank1IsExactlyTheNonDominatedSet)
+{
+    prop::PointSetSpec spec;
+    spec.minPoints = 1;
+    spec.maxPoints = 20;
+    spec.value = prop::gridDouble(0, 5);
+    const auto r = prop::forAll<std::vector<std::vector<double>>>(
+        prop::Config::fromEnv(0x9A7E73, 1000), prop::pointSet(spec),
+        showPoints,
+        [](const std::vector<pareto::Point> &pts)
+            -> std::optional<std::string> {
+            const auto ranks = pareto::paretoRanks(pts);
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+                bool dominated = false;
+                for (std::size_t j = 0; j < pts.size() && !dominated;
+                     ++j)
+                    if (j != i && bruteDominates(pts[j], pts[i]))
+                        dominated = true;
+                if ((ranks[i] == 1) == dominated)
+                    return "rank-1 membership disagrees with "
+                           "dominance definition";
+            }
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}

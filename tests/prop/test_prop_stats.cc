@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Differential property tests for the rank-correlation stack: the
+ * O(n log n) Kendall tau-b vs a textbook O(n^2) pair-counting oracle,
+ * Spearman vs an independent rank-then-Pearson formula, plus the
+ * degenerate-input contract (n < 2, constant vectors, NaN inputs) and
+ * algebraic invariants (symmetry, self-correlation, range).
+ *
+ * The NaN cases are regression tests: NaN breaks the strict weak
+ * ordering of the internal sorts (undefined behaviour), and before the
+ * fix kendallTau/spearman returned silently wrong finite correlations
+ * on NaN-poisoned inputs instead of propagating NaN.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/prop.h"
+#include "common/stats.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+/** Paired samples; generated and shrunk pairwise. */
+struct XY
+{
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/**
+ * Pairs of tie-heavy vectors. Shrinking drops pairs (halves, then
+ * single pairs) and zeroes individual values, keeping x and y aligned.
+ */
+prop::Gen<XY>
+pairedGen(std::size_t max_len, int lo, int hi)
+{
+    prop::Gen<XY> g;
+    g.sample = [max_len, lo, hi](Rng &rng) {
+        const std::size_t n = rng.index(max_len + 1);
+        XY v;
+        v.x.resize(n);
+        v.y.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            v.x[i] = double(rng.intIn(lo, hi));
+            v.y[i] = double(rng.intIn(lo, hi));
+        }
+        return v;
+    };
+    g.shrink = [](const XY &v) {
+        std::vector<XY> out;
+        const std::size_t n = v.x.size();
+        if (n > 0) {
+            const std::size_t half = n / 2;
+            out.push_back({{v.x.begin(), v.x.begin() + half},
+                           {v.y.begin(), v.y.begin() + half}});
+            for (std::size_t i = 0; i < n; ++i) {
+                XY cand;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (j == i)
+                        continue;
+                    cand.x.push_back(v.x[j]);
+                    cand.y.push_back(v.y[j]);
+                }
+                out.push_back(std::move(cand));
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (v.x[i] != 0.0) {
+                XY cand = v;
+                cand.x[i] = 0.0;
+                out.push_back(std::move(cand));
+            }
+            if (v.y[i] != 0.0) {
+                XY cand = v;
+                cand.y[i] = 0.0;
+                out.push_back(std::move(cand));
+            }
+        }
+        return out;
+    };
+    return g;
+}
+
+std::string
+showXY(const XY &v)
+{
+    return "x=" + prop::show(v.x) + " y=" + prop::show(v.y);
+}
+
+/** Textbook O(n^2) Kendall tau-b with explicit tie counting. */
+double
+kendallOracle(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+    long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double dx = x[i] - x[j];
+            const double dy = y[i] - y[j];
+            if (dx == 0.0 && dy == 0.0) {
+                ++ties_x;
+                ++ties_y;
+            } else if (dx == 0.0) {
+                ++ties_x;
+            } else if (dy == 0.0) {
+                ++ties_y;
+            } else if (dx * dy > 0.0) {
+                ++concordant;
+            } else {
+                ++discordant;
+            }
+        }
+    }
+    const double total = double(n) * double(n - 1) / 2.0;
+    const double den = std::sqrt(total - double(ties_x)) *
+                       std::sqrt(total - double(ties_y));
+    if (den == 0.0)
+        return 0.0;
+    return double(concordant - discordant) / den;
+}
+
+/** Fractional rank by counting: 1 + #smaller + (#equal - 1) / 2. */
+std::vector<double>
+ranksByCounting(const std::vector<double> &v)
+{
+    std::vector<double> r(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        std::size_t smaller = 0, equal = 0;
+        for (double u : v) {
+            if (u < v[i])
+                ++smaller;
+            else if (u == v[i])
+                ++equal;
+        }
+        r[i] = 1.0 + double(smaller) + (double(equal) - 1.0) / 2.0;
+    }
+    return r;
+}
+
+/** Direct-formula Pearson, independent of stats.cc. */
+double
+pearsonOracle(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= double(n);
+    my /= double(n);
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace
+
+TEST(PropStats, KendallMatchesPairCountingOracle)
+{
+    const auto r = prop::forAll<XY>(
+        prop::Config::fromEnv(0x57A70001, 1200), pairedGen(48, 0, 6),
+        showXY,
+        [](const XY &v) -> std::optional<std::string> {
+            const double fast = kendallTau(v.x, v.y);
+            const double slow = kendallOracle(v.x, v.y);
+            if (std::fabs(fast - slow) > 1e-10) {
+                std::ostringstream msg;
+                msg << "kendallTau " << prop::show(fast)
+                    << " != oracle " << prop::show(slow);
+                return msg.str();
+            }
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropStats, SpearmanMatchesRankThenPearsonOracle)
+{
+    const auto r = prop::forAll<XY>(
+        prop::Config::fromEnv(0x57A70002, 1200), pairedGen(40, 0, 6),
+        showXY,
+        [](const XY &v) -> std::optional<std::string> {
+            const double fast = spearman(v.x, v.y);
+            const double slow = pearsonOracle(ranksByCounting(v.x),
+                                              ranksByCounting(v.y));
+            if (std::fabs(fast - slow) > 1e-10) {
+                std::ostringstream msg;
+                msg << "spearman " << prop::show(fast) << " != oracle "
+                    << prop::show(slow);
+                return msg.str();
+            }
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropStats, AlgebraicInvariants)
+{
+    const auto r = prop::forAll<XY>(
+        prop::Config::fromEnv(0x57A70003, 1000), pairedGen(32, 0, 5),
+        showXY,
+        [](const XY &v) -> std::optional<std::string> {
+            const double eps = 1e-10;
+            for (double t : {kendallTau(v.x, v.y), spearman(v.x, v.y),
+                             pearson(v.x, v.y)})
+                if (!(t >= -1.0 - eps && t <= 1.0 + eps))
+                    return "correlation outside [-1, 1]";
+            if (std::fabs(kendallTau(v.x, v.y) -
+                          kendallTau(v.y, v.x)) > eps)
+                return "kendallTau is not symmetric";
+            if (std::fabs(spearman(v.x, v.y) - spearman(v.y, v.x)) >
+                eps)
+                return "spearman is not symmetric";
+            // Self-correlation is 1 unless the vector is degenerate.
+            bool constant = true;
+            for (double x : v.x)
+                constant = constant && x == v.x[0];
+            if (v.x.size() >= 2 && !constant) {
+                if (std::fabs(kendallTau(v.x, v.x) - 1.0) > eps)
+                    return "kendallTau(x, x) != 1";
+                if (std::fabs(spearman(v.x, v.x) - 1.0) > eps)
+                    return "spearman(x, x) != 1";
+            }
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropStats, DegenerateInputsReturnZero)
+{
+    // The documented contract: n < 2 or a constant vector yields 0.
+    EXPECT_DOUBLE_EQ(kendallTau({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(kendallTau({1.0}, {2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(spearman({}, {}), 0.0);
+    EXPECT_DOUBLE_EQ(spearman({1.0}, {2.0}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({}, {}), 0.0);
+
+    const auto r = prop::forAll<std::vector<double>>(
+        prop::Config::fromEnv(0x57A70004, 400),
+        prop::vectorOf(prop::gridDouble(-3, 3), 2, 24),
+        [](const std::vector<double> &v) -> std::optional<std::string> {
+            const std::vector<double> c(v.size(), 7.0);
+            if (kendallTau(c, v) != 0.0 || kendallTau(v, c) != 0.0)
+                return "kendallTau against a constant vector != 0";
+            if (spearman(c, v) != 0.0 || spearman(v, c) != 0.0)
+                return "spearman against a constant vector != 0";
+            if (pearson(c, v) != 0.0 || pearson(v, c) != 0.0)
+                return "pearson against a constant vector != 0";
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropStats, NanInputsPropagateNan)
+{
+    // Regression: before the fix these returned silently wrong finite
+    // values (NaN corrupts the sort order feeding the rank logic).
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const std::vector<double> x = {1.0, 2.0, nan, 4.0, 5.0};
+    const std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 5.0};
+    EXPECT_TRUE(std::isnan(kendallTau(x, y)));
+    EXPECT_TRUE(std::isnan(kendallTau(y, x)));
+    EXPECT_TRUE(std::isnan(spearman(x, y)));
+    EXPECT_TRUE(std::isnan(spearman(y, x)));
+    EXPECT_TRUE(std::isnan(pearson(x, y)));
+    EXPECT_TRUE(std::isnan(pearson(y, x)));
+
+    const auto r = prop::forAll<std::vector<double>>(
+        prop::Config::fromEnv(0x57A70005, 400),
+        prop::vectorOf(prop::anyDouble(0.3), 2, 20),
+        [](const std::vector<double> &v) -> std::optional<std::string> {
+            bool has_nan = false;
+            for (double x : v)
+                has_nan = has_nan || std::isnan(x);
+            if (!has_nan)
+                return std::nullopt;
+            std::vector<double> idx(v.size());
+            for (std::size_t i = 0; i < v.size(); ++i)
+                idx[i] = double(i);
+            if (!std::isnan(kendallTau(v, idx)))
+                return "kendallTau swallowed a NaN input";
+            if (!std::isnan(spearman(v, idx)))
+                return "spearman swallowed a NaN input";
+            if (!std::isnan(pearson(v, idx)))
+                return "pearson swallowed a NaN input";
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropStats, AverageRanksAreAPermutationAverage)
+{
+    const auto r = prop::forAll<std::vector<double>>(
+        prop::Config::fromEnv(0x57A70006, 1000),
+        prop::vectorOf(prop::gridDouble(0, 6), 0, 40),
+        [](const std::vector<double> &v) -> std::optional<std::string> {
+            const auto ranks = averageRanks(v);
+            const auto oracle = ranksByCounting(v);
+            if (ranks.size() != v.size())
+                return "rank vector size mismatch";
+            double sum = 0.0;
+            for (std::size_t i = 0; i < ranks.size(); ++i) {
+                if (std::fabs(ranks[i] - oracle[i]) > 1e-10)
+                    return "rank disagrees with counting oracle";
+                sum += ranks[i];
+            }
+            const double n = double(v.size());
+            if (std::fabs(sum - n * (n + 1.0) / 2.0) > 1e-9)
+                return "ranks do not sum to n(n+1)/2";
+            return std::nullopt;
+        });
+    EXPECT_TRUE(r.ok) << r.message;
+}

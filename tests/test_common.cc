@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 
 #include "common/csv.h"
 #include "common/matrix.h"
@@ -278,6 +280,30 @@ TEST(Table, ScatterShowsLegend)
     sc.addSeries("s1", {0.0, 1.0}, {0.0, 1.0});
     const std::string s = sc.render();
     EXPECT_NE(s.find("'*' = s1"), std::string::npos);
+}
+
+TEST(Csv, WriteFailureFlipsOkAndDropsRows)
+{
+    // /dev/full opens fine but every flushed write fails with ENOSPC
+    // — exactly the silent-full-disk scenario. Before the fix ok_
+    // only tracked open(), so all rows were dropped with ok() still
+    // true.
+    if (!std::filesystem::exists("/dev/full"))
+        GTEST_SKIP() << "/dev/full not available on this platform";
+    CsvWriter w("/dev/full", {"a", "b"});
+    EXPECT_FALSE(w.ok());
+    w.addRow({"1", "2"}); // must be a safe no-op
+    EXPECT_FALSE(w.ok());
+}
+
+TEST(Csv, OkStaysTrueOnHealthyStream)
+{
+    const std::string path = "/tmp/hwpr_test_ok.csv";
+    CsvWriter w(path, {"a"});
+    for (int i = 0; i < 100; ++i)
+        w.addRow({std::to_string(i)});
+    EXPECT_TRUE(w.ok());
+    std::filesystem::remove(path);
 }
 
 TEST(Csv, WritesQuotedCells)

@@ -321,6 +321,36 @@ TEST(Hypervolume, NanPointsContributeNothing)
     EXPECT_DOUBLE_EQ(pareto::hypervolume({{nan, nan}}, {3, 3}), 0.0);
 }
 
+TEST(Hypervolume, InfinitePointsContributeNothing)
+{
+    // Regression found by the property suite: a -inf objective used
+    // to claim infinite volume in the sweeps, and NaN (inf * 0
+    // against a zero-width box) in the WFG recursion. Non-finite
+    // objectives are surrogate failures and must contribute nothing.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(pareto::hypervolumeWfg({{-inf, 10.0}}, {1, 10}),
+                     0.0);
+    EXPECT_DOUBLE_EQ(pareto::hypervolume({{1, 1}, {-inf, 0}}, {3, 3}),
+                     4.0);
+    EXPECT_DOUBLE_EQ(pareto::hypervolumeWfg({{1, 1}, {-inf, 0}}, {3, 3}),
+                     4.0);
+    EXPECT_DOUBLE_EQ(
+        pareto::hypervolume({{1, 1, 1}, {-inf, 0, 0}}, {2, 2, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        pareto::hypervolume({{1, 1, 1, 1}, {0, -inf, 0, 0}},
+                            {2, 2, 2, 2}),
+        1.0);
+    // +inf objectives simply fail the <= ref clip.
+    EXPECT_DOUBLE_EQ(pareto::hypervolume({{inf, 0}}, {3, 3}), 0.0);
+}
+
+TEST(Hypervolume, NonFiniteReferenceIsRejected)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DEATH(pareto::hypervolume({{1.0, 1.0}}, {inf, 3.0}),
+                 "non-finite hypervolume reference");
+}
+
 TEST(HypervolumeWfg, FourObjectivesInclusionExclusion)
 {
     // Two boxes overlapping in 4-D, checked by hand:

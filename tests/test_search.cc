@@ -203,12 +203,34 @@ TEST(Moea, SimulatedBudgetStopsSearch)
     MoeaConfig mc;
     mc.populationSize = 10;
     mc.maxGenerations = 100;
-    mc.simulatedBudgetSeconds = 2500.0; // enough for ~2 generations
+    mc.simulatedBudgetSeconds = 2500.0; // init + 1 generation fit
     Rng rng(9);
     const auto result = Moea(mc).run(domain, toy, rng);
     EXPECT_TRUE(result.stats.stoppedByBudget);
     EXPECT_LT(result.stats.generations, 100u);
-    EXPECT_GE(result.stats.simulatedSeconds, 2500.0);
+    // Budget is checked before each generation's charge: the search
+    // never accounts past it (init 1000s + one 1000s generation fit;
+    // a second generation would have overshot).
+    EXPECT_LE(result.stats.simulatedSeconds, 2500.0);
+    EXPECT_DOUBLE_EQ(result.stats.simulatedSeconds, 2000.0);
+    EXPECT_EQ(result.stats.generations, 1u);
+}
+
+TEST(Moea, BudgetBelowInitialPopulationReturnsEmpty)
+{
+    const auto domain = SearchDomain::single(nasbench::nasBench201());
+    ToyEvaluator toy;
+    toy.costPerEval = 100.0;
+    MoeaConfig mc;
+    mc.populationSize = 10;
+    mc.maxGenerations = 100;
+    mc.simulatedBudgetSeconds = 500.0; // init alone would cost 1000
+    Rng rng(9);
+    const auto result = Moea(mc).run(domain, toy, rng);
+    EXPECT_TRUE(result.stats.stoppedByBudget);
+    EXPECT_TRUE(result.population.empty());
+    EXPECT_EQ(result.stats.evaluations, 0u);
+    EXPECT_DOUBLE_EQ(result.stats.simulatedSeconds, 0.0);
 }
 
 TEST(RandomSearchTest, BudgetRespected)
@@ -349,6 +371,99 @@ TEST(AgingEvolutionTest, BudgetStops)
     const auto result = AgingEvolution(ac).run(domain, toy, rng);
     EXPECT_TRUE(result.stats.stoppedByBudget);
     EXPECT_LT(result.stats.evaluations, 10000u);
+    // Seed (500s) + exactly 10 affordable children; the 11th charge
+    // would overshoot and must not be made.
+    EXPECT_EQ(result.stats.evaluations, 20u);
+    EXPECT_DOUBLE_EQ(result.stats.simulatedSeconds, 1000.0);
+}
+
+TEST(AgingEvolutionTest, BudgetExhaustedAtSeedReturnsEmpty)
+{
+    const auto domain = SearchDomain::single(nasbench::nasBench201());
+    ToyEvaluator toy;
+    toy.costPerEval = 100.0;
+    AgingConfig ac;
+    ac.populationSize = 10;
+    ac.totalEvaluations = 100;
+    ac.simulatedBudgetSeconds = 500.0; // seed alone would cost 1000
+    Rng rng(24);
+    const auto result = AgingEvolution(ac).run(domain, toy, rng);
+    // The seed population is not evaluated (and not charged) when the
+    // budget cannot fund it: same early-empty semantics as
+    // RandomSearch and Moea.
+    EXPECT_TRUE(result.stats.stoppedByBudget);
+    EXPECT_TRUE(result.population.empty());
+    EXPECT_EQ(result.stats.evaluations, 0u);
+    EXPECT_DOUBLE_EQ(result.stats.simulatedSeconds, 0.0);
+}
+
+TEST(AgingEvolutionTest, BudgetExhaustedMidLoopNeverOvershoots)
+{
+    const auto domain = SearchDomain::single(nasbench::nasBench201());
+    ToyEvaluator toy;
+    toy.costPerEval = 30.0;
+    AgingConfig ac;
+    ac.populationSize = 4;
+    ac.totalEvaluations = 1000;
+    ac.simulatedBudgetSeconds = 400.0; // seed 120 + 9 children = 390
+    Rng rng(25);
+    const auto result = AgingEvolution(ac).run(domain, toy, rng);
+    EXPECT_TRUE(result.stats.stoppedByBudget);
+    EXPECT_LE(result.stats.simulatedSeconds,
+              ac.simulatedBudgetSeconds);
+    EXPECT_EQ(result.stats.evaluations, 13u); // 4 seed + 9 children
+    EXPECT_DOUBLE_EQ(result.stats.simulatedSeconds, 390.0);
+}
+
+TEST(AgingEvolutionTest, KeepZeroKeepsWholeHistory)
+{
+    const auto domain = SearchDomain::single(nasbench::nasBench201());
+    ToyEvaluator toy;
+    AgingConfig ac;
+    ac.populationSize = 8;
+    ac.totalEvaluations = 40;
+    ac.keep = 0; // documented: whole history
+    Rng rng(26);
+    const auto result = AgingEvolution(ac).run(domain, toy, rng);
+    EXPECT_EQ(result.population.size(), 40u);
+    EXPECT_EQ(result.fitness.size(), 40u);
+}
+
+TEST(AgingEvolutionTest, KeepSmallerThanFrontTruncatesFront)
+{
+    const auto domain = SearchDomain::single(nasbench::nasBench201());
+    ToyEvaluator toy;
+    AgingConfig ac;
+    ac.populationSize = 16;
+    ac.totalEvaluations = 120;
+    ac.keep = 3; // well below the toy problem's first front
+    Rng rng(27);
+    const auto result = AgingEvolution(ac).run(domain, toy, rng);
+    ASSERT_EQ(result.population.size(), 3u);
+    // Every kept member comes from the history's first front, so the
+    // kept set must be mutually non-dominated.
+    for (const auto &a : result.fitness)
+        for (const auto &b : result.fitness)
+            if (&a != &b)
+                EXPECT_FALSE(pareto::dominates(a, b));
+}
+
+TEST(AgingEvolutionTest, SameSeedDeterministic)
+{
+    const auto domain = SearchDomain::unionBenchmarks();
+    ToyEvaluator toy1, toy2;
+    AgingConfig ac;
+    ac.populationSize = 12;
+    ac.totalEvaluations = 80;
+    ac.keep = 20;
+    Rng rng1(28), rng2(28);
+    const auto r1 = AgingEvolution(ac).run(domain, toy1, rng1);
+    const auto r2 = AgingEvolution(ac).run(domain, toy2, rng2);
+    ASSERT_EQ(r1.population.size(), r2.population.size());
+    for (std::size_t i = 0; i < r1.population.size(); ++i)
+        EXPECT_EQ(r1.population[i], r2.population[i]);
+    EXPECT_EQ(r1.stats.evaluations, r2.stats.evaluations);
+    EXPECT_EQ(r1.stats.generations, r2.stats.generations);
 }
 
 TEST(MemoizingEvaluatorTest, CachesRepeatEvaluations)

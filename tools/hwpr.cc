@@ -21,6 +21,7 @@
 #include "argparse.h"
 
 #include "baselines/registry.h"
+#include "common/csv.h"
 #include "common/obs.h"
 #include "common/table.h"
 #include "common/threadpool.h"
@@ -56,6 +57,9 @@ subcommands:
            --lr X --seed S --out FILE
   search   run the MOEA with a trained surrogate checkpoint
            --model FILE --pop N --gens G --seed S
+           --csv FILE             also write the measured front as
+                                  CSV; exits non-zero if the write
+                                  fails (full disk, bad path)
            --checkpoint-dir DIR   write a crash-safe search
                                   checkpoint (DIR/moea.ckpt) after
                                   every generation
@@ -330,6 +334,24 @@ cmdSearch(const Args &args)
     std::cout << "true Pareto front of the final population ("
               << front.front.size() << " architectures):\n"
               << table.render();
+
+    const std::string csv_path = args.get("csv", "");
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path, {"space", "genotype", "accuracy_pct",
+                                 "latency_ms"});
+        for (std::size_t i = 0; i < front.front.size(); ++i) {
+            const auto &arch = front.frontArchs[i];
+            csv.addRow({
+                nasbench::spaceFor(arch.space).name(),
+                nasbench::spaceFor(arch.space).toString(arch),
+                AsciiTable::num(100.0 - front.front[i][0], 4),
+                AsciiTable::num(front.front[i][1], 4),
+            });
+        }
+        HWPR_CHECK(csv.ok(), "could not write Pareto front CSV '",
+                   csv_path, "' (open or write failure)");
+        std::cout << "front written to " << csv_path << std::endl;
+    }
     return 0;
 }
 
