@@ -6,26 +6,38 @@
  * encoders, the listwise loss, and the batched inference paths.
  *
  * Besides the google-benchmark suite, `--batch-json[=FILE]` runs a
- * fixed grid of batched-forward and parallel-GEMM measurements (batch
- * 1/32/256/1024 x threads 1/2/N) and writes them as JSON (default
- * BENCH_batch.json) so the batching/threading speedup is tracked
- * across PRs.
+ * fixed grid of batched-forward, fused-surrogate and parallel-GEMM
+ * measurements (batch 1/32/256/1024 x threads 1/2/4/N, all five
+ * surrogate families through their plan-backed predictBatch) and
+ * writes them as JSON (default BENCH_batch.json) so the
+ * batching/threading speedup is tracked across PRs. `--quick` shrinks
+ * the grid (mlp + gemm only, batch 1/1024, 0.05 s budget) for CI
+ * smoke jobs.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "baselines/brpnas.h"
+#include "baselines/gates.h"
+#include "baselines/lut.h"
 #include "common/obs.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
+#include "core/batch_plan.h"
 #include "core/encoding.h"
+#include "core/hwprnas.h"
+#include "core/scalable.h"
 #include "nasbench/dataset.h"
 #include "nn/layers.h"
 #include "nn/loss.h"
+#include "nn/scratch.h"
 #include "pareto/pareto.h"
 
 using namespace hwpr;
@@ -244,10 +256,10 @@ wallSeconds()
         .count();
 }
 
-/** Seconds per call of @p fn, repeated until ~0.2 s have elapsed. */
+/** Seconds per call of @p fn, repeated until @p budget s elapsed. */
 template <class Fn>
 double
-secondsPerCall(const Fn &fn)
+secondsPerCall(const Fn &fn, double budget = 0.2)
 {
     fn(); // warm-up
     std::size_t reps = 1;
@@ -256,24 +268,110 @@ secondsPerCall(const Fn &fn)
         for (std::size_t i = 0; i < reps; ++i)
             fn();
         const double dt = wallSeconds() - t0;
-        if (dt >= 0.2)
+        if (dt >= budget)
             return dt / double(reps);
         reps = dt <= 1e-4 ? reps * 16 : reps * 2;
     }
 }
 
+/** One fitted surrogate family measured through predictBatch. */
+struct FamilyCase
+{
+    std::string kernel;
+    std::unique_ptr<core::Surrogate> model;
+    core::BatchPlan plan;
+};
+
+/**
+ * Fit all five surrogate families on a small sampled dataset (the
+ * test-suite "tiny" protocol: 300 archs from both spaces, fast
+ * encoder dims, a few epochs). Training quality is irrelevant here —
+ * the measured inference path is identical to a fully trained model's.
+ */
+std::vector<FamilyCase>
+fitFamilies(const nasbench::SampledDataset &data)
+{
+    core::EncoderConfig enc;
+    enc.gcnHidden = 16;
+    enc.lstmHidden = 16;
+    enc.embedDim = 8;
+
+    core::TrainConfig quick;
+    quick.epochs = 6;
+    quick.combinerEpochs = 2;
+    quick.learningRate = 2e-3;
+
+    core::SurrogateDataset sd;
+    sd.train = data.select(data.trainIdx);
+    sd.val = data.select(data.valIdx);
+    sd.platform = hw::PlatformId::EdgeGpu;
+    ExecContext ctx = ExecContext::global().withSeed(14);
+
+    std::vector<FamilyCase> families;
+    auto add = [&](const char *kernel,
+                   std::unique_ptr<core::Surrogate> model) {
+        std::cout << "fitting " << kernel << "...\n";
+        model->fit(sd, ctx);
+        families.push_back({kernel, std::move(model), {}});
+    };
+
+    core::HwPrNasConfig mc;
+    mc.encoder = enc;
+    auto hwpr = std::make_unique<core::HwPrNas>(
+        mc, nasbench::DatasetId::Cifar10, 1);
+    hwpr->setFitConfig(quick);
+    add("hwprnas_predict_batch", std::move(hwpr));
+
+    core::ScalableConfig sc;
+    sc.encoder = enc;
+    auto scalable = std::make_unique<core::ScalableHwPrNas>(
+        sc, nasbench::DatasetId::Cifar10, 2);
+    scalable->setFitConfig(quick);
+    add("scalable_predict_batch", std::move(scalable));
+
+    add("brpnas_predict_batch",
+        std::make_unique<baselines::BrpNas>(
+            enc, nasbench::DatasetId::Cifar10, 3));
+    add("gates_predict_batch",
+        std::make_unique<baselines::Gates>(
+            enc, nasbench::DatasetId::Cifar10, 4));
+    add("lut_predict_batch",
+        std::make_unique<baselines::LatencyLut>(
+            nasbench::DatasetId::Cifar10, hw::PlatformId::EdgeGpu));
+    return families;
+}
+
 int
-emitBatchJson(const std::string &path)
+emitBatchJson(const std::string &path, bool quick)
 {
     // Snapshot the kernel-level registry activity (GEMM variants,
-    // thread-pool chunking) alongside the throughput numbers.
+    // thread-pool chunking, per-family ops/s gauges) alongside the
+    // throughput numbers.
     obs::setMetricsEnabled(true);
     const std::size_t hw = ExecContext::global().threads();
-    std::vector<std::size_t> thread_counts = {1, 2};
-    if (hw > 2)
+    std::vector<std::size_t> thread_counts = {1, 2, 4};
+    if (hw > 4)
         thread_counts.push_back(hw);
-    const std::vector<std::size_t> batches = {1, 32, 256, 1024};
+    const std::vector<std::size_t> batches =
+        quick ? std::vector<std::size_t>{1, 1024}
+              : std::vector<std::size_t>{1, 32, 256, 1024};
+    const double budget = quick ? 0.05 : 0.2;
     const std::size_t before = hw;
+
+    // The surrogate-family sweep needs fitted models and a pool of
+    // architectures to rank; both come from the tiny sampled dataset.
+    std::vector<FamilyCase> families;
+    std::vector<nasbench::Architecture> pool;
+    if (!quick) {
+        static nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+        Rng data_rng(88);
+        const auto data = nasbench::SampledDataset::sample(
+            {&nasbench::nasBench201(), &nasbench::fbnet()}, oracle,
+            300, 200, 50, data_rng);
+        families = fitFamilies(data);
+        for (const auto *rec : data.select(data.testIdx))
+            pool.push_back(rec->arch);
+    }
 
     std::ofstream out(path);
     if (!out) {
@@ -298,18 +396,61 @@ emitBatchJson(const std::string &path)
     };
 
     Rng rng(13);
+    // The MLP forward reuses one plan across the whole grid, exactly
+    // like a search driver reuses its plan across generations.
+    core::BatchPlan mlp_plan;
+    const nn::Mlp &mlp = benchMlp();
+    const std::size_t in_dim = mlp.config().inDim;
     for (std::size_t threads : thread_counts) {
         ExecContext::setGlobalThreads(threads);
-        // Batched MLP forward: ops/sec = architectures (rows) per
-        // second through the surrogate head.
+        // Fused batched MLP forward: ops/sec = architectures (rows)
+        // per second through the surrogate head. Zero allocation per
+        // call once the plan is warm.
         for (std::size_t batch : batches) {
-            const Matrix x =
-                randomMatrix(batch, benchMlp().config().inDim, rng);
+            const Matrix x = randomMatrix(batch, in_dim, rng);
             const double spc = secondsPerCall(
-                [&] { benchmark::DoNotOptimize(
-                          benchMlp().predictBatch(x)); });
+                [&] {
+                    Matrix &o = mlp_plan.prepare(batch, 1);
+                    mlp_plan.forEachChunk(
+                        "mlp",
+                        [&](nn::PredictScratch &scratch,
+                            std::size_t i0, std::size_t i1) {
+                            const std::size_t len = i1 - i0;
+                            Matrix &in = scratch.acquire(len, in_dim);
+                            std::copy(
+                                x.raw().begin() +
+                                    std::ptrdiff_t(i0 * in_dim),
+                                x.raw().begin() +
+                                    std::ptrdiff_t(i1 * in_dim),
+                                in.raw().begin());
+                            Matrix &y = scratch.acquire(len, 1);
+                            mlp.predictBatchInto(in, scratch, y);
+                            for (std::size_t r = 0; r < len; ++r)
+                                o(i0 + r, 0) = y(r, 0);
+                        });
+                    benchmark::DoNotOptimize(o.data());
+                },
+                budget);
             emit("mlp_predict_batch", batch, threads,
                  double(batch) / spc);
+        }
+        // Full fused pipelines: encode + predict per family through
+        // the plan-backed predictBatch.
+        for (auto &fam : families) {
+            for (std::size_t batch : batches) {
+                std::vector<nasbench::Architecture> archs;
+                archs.reserve(batch);
+                for (std::size_t i = 0; i < batch; ++i)
+                    archs.push_back(pool[i % pool.size()]);
+                const double spc = secondsPerCall(
+                    [&] {
+                        benchmark::DoNotOptimize(
+                            fam.model->predictBatch(archs, fam.plan)
+                                .data());
+                    },
+                    budget);
+                emit(fam.kernel, batch, threads, double(batch) / spc);
+            }
         }
         // Parallel GEMM: ops/sec = multiply-accumulate ops per second
         // of one n^3 product per "batch" row count.
@@ -317,7 +458,7 @@ emitBatchJson(const std::string &path)
         const Matrix a = randomMatrix(n, n, rng);
         const Matrix b = randomMatrix(n, n, rng);
         const double spc = secondsPerCall(
-            [&] { benchmark::DoNotOptimize(a.matmul(b)); });
+            [&] { benchmark::DoNotOptimize(a.matmul(b)); }, budget);
         emit("gemm_256", n, threads, double(n) * n * n / spc);
     }
     ExecContext::setGlobalThreads(before);
@@ -336,12 +477,15 @@ main(int argc, char **argv)
     // Consume observability flags before google-benchmark sees the
     // argument list (it rejects unknown flags).
     int kept = 1;
+    bool quick = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--trace=", 0) == 0) {
             obs::enableTracing(arg.substr(arg.find('=') + 1));
         } else if (arg.rfind("--metrics=", 0) == 0) {
             obs::enableMetrics(arg.substr(arg.find('=') + 1));
+        } else if (arg == "--quick") {
+            quick = true;
         } else {
             argv[kept++] = argv[i];
         }
@@ -353,7 +497,8 @@ main(int argc, char **argv)
             const auto eq = arg.find('=');
             return emitBatchJson(eq == std::string::npos
                                      ? "BENCH_batch.json"
-                                     : arg.substr(eq + 1));
+                                     : arg.substr(eq + 1),
+                                 quick);
         }
     }
     benchmark::Initialize(&argc, argv);

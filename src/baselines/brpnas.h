@@ -44,6 +44,16 @@ class BrpNas : public core::Surrogate
     Matrix objectivesBatch(
         std::span<const nasbench::Architecture> archs) const override;
 
+    /**
+     * Fused pass: both predictors run per chunk against the plan's
+     * recycled scratch, so each chunk is encoded and scored for
+     * accuracy and latency before moving on. Bit-identical to
+     * objectivesBatch(), which routes through a per-call plan.
+     */
+    const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 core::BatchPlan &plan) const override;
+
     // ---------------------------------------------------------------
 
     /**

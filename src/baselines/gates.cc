@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/serialize.h"
 #include "nasbench/dataset_id.h"
 
@@ -72,13 +73,53 @@ Matrix
 Gates::objectivesBatch(
     std::span<const nasbench::Architecture> archs) const
 {
-    const std::vector<double> acc = accuracyScores(archs);
-    const std::vector<double> lat = latencyScores(archs);
-    Matrix out(archs.size(), 2);
-    for (std::size_t i = 0; i < archs.size(); ++i) {
-        out(i, 0) = -acc[i]; // maximize accuracy score
-        out(i, 1) = lat[i];
+    core::BatchPlan plan;
+    return predictBatch(archs, plan);
+}
+
+const Matrix &
+Gates::predictBatch(std::span<const nasbench::Architecture> archs,
+                    core::BatchPlan &plan) const
+{
+    HWPR_CHECK(accuracy_ && latency_, "predictBatch() before train()");
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
     }
+
+    Matrix &out = plan.prepare(archs.size(), 2);
+    if (accuracy_->regressor() != core::RegressorKind::Mlp ||
+        latency_->regressor() != core::RegressorKind::Mlp) {
+        const std::vector<double> acc = accuracyScores(archs);
+        const std::vector<double> lat = latencyScores(archs);
+        for (std::size_t i = 0; i < archs.size(); ++i) {
+            out(i, 0) = -acc[i]; // maximize accuracy score
+            out(i, 1) = lat[i];
+        }
+        return out;
+    }
+
+    plan.forEachChunk(
+        "gates",
+        [&](nn::PredictScratch &scratch, std::size_t i0,
+            std::size_t i1) {
+            const std::size_t len = i1 - i0;
+            const auto sub = archs.subspan(i0, len);
+            Matrix &acc = scratch.acquire(len, 1);
+            accuracy_->predictChunk(sub, scratch, acc.data());
+            Matrix &lat = scratch.acquire(len, 1);
+            latency_->predictChunk(sub, scratch, lat.data());
+            for (std::size_t r = 0; r < len; ++r) {
+                out(i0 + r, 0) = -acc(r, 0); // maximize accuracy score
+                out(i0 + r, 1) = lat(r, 0);
+            }
+        });
     return out;
 }
 

@@ -43,6 +43,15 @@ class Gates : public core::Surrogate
     Matrix objectivesBatch(
         std::span<const nasbench::Architecture> archs) const override;
 
+    /**
+     * Fused pass: both ranking predictors run per chunk against the
+     * plan's recycled scratch. Bit-identical to objectivesBatch(),
+     * which routes through a per-call plan.
+     */
+    const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 core::BatchPlan &plan) const override;
+
     // ---------------------------------------------------------------
 
     /** Train the accuracy and latency ranking predictors. */

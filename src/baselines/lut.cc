@@ -115,6 +115,36 @@ LatencyLut::objectivesBatch(
     return out;
 }
 
+const Matrix &
+LatencyLut::predictBatch(std::span<const nasbench::Architecture> archs,
+                         core::BatchPlan &plan) const
+{
+    HWPR_SPAN("surrogate.predict_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &batch_hist = obs::Registry::global()
+        .histogram("surrogate.predict_batch.us");
+    obs::ScopedTimer batch_timer(batch_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.predict_batch.rows");
+        rows.add(archs.size());
+    }
+    // Serial fill: opLatencySec memoizes into the shared table, so
+    // the rows never fan out over the pool.
+    Matrix &out = plan.prepare(archs.size(), 1);
+    const double t0 = obs::metricsEnabled() ? obs::nowMicros() : 0.0;
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out(i, 0) = estimateMs(archs[i]);
+    if (obs::metricsEnabled() && !archs.empty()) {
+        const double us = obs::nowMicros() - t0;
+        if (us > 0.0)
+            obs::Registry::global()
+                .gauge("predict.ops_per_s.lut")
+                .set(double(archs.size()) * 1e6 / us);
+    }
+    return out;
+}
+
 bool
 LatencyLut::save(const std::string &path) const
 {

@@ -56,6 +56,14 @@ class LatencyLut : public core::Surrogate
     Matrix objectivesBatch(
         std::span<const nasbench::Architecture> archs) const override;
 
+    /**
+     * Plan-backed variant filling the plan's (n x 1) output. Serial
+     * like objectivesBatch(): the memoized table is not thread-safe.
+     */
+    const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 core::BatchPlan &plan) const override;
+
     // ---------------------------------------------------------------
 
     /**

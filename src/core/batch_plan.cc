@@ -1,0 +1,56 @@
+#include "core/batch_plan.h"
+
+#include <string>
+
+#include "common/obs.h"
+#include "common/threadpool.h"
+
+namespace hwpr::core
+{
+
+std::size_t
+BatchPlan::chunkGrain(std::size_t n)
+{
+    // ceil(n / kMaxChunks), floored at 16 rows: pure function of n.
+    const std::size_t per_chunk = (n + kMaxChunks - 1) / kMaxChunks;
+    return per_chunk < 16 ? 16 : per_chunk;
+}
+
+Matrix &
+BatchPlan::prepare(std::size_t n, std::size_t out_cols)
+{
+    HWPR_SPAN("predict.plan_build", {{"rows", double(n)}});
+    n_ = n;
+    grain_ = chunkGrain(n);
+    const std::size_t chunks = n == 0 ? 0 : (n + grain_ - 1) / grain_;
+    if (scratch_.size() < chunks)
+        scratch_.resize(chunks);
+    if (out_.rows() != n || out_.cols() != out_cols)
+        out_ = Matrix(n, out_cols);
+    return out_;
+}
+
+void
+BatchPlan::forEachChunk(
+    const char *family,
+    const std::function<void(nn::PredictScratch &, std::size_t,
+                             std::size_t)> &fn)
+{
+    HWPR_SPAN("predict.fused_pass", {{"rows", double(n_)}});
+    const double t0 = obs::metricsEnabled() ? obs::nowMicros() : 0.0;
+    ExecContext::global().pool->parallelFor(
+        0, n_, grain_, [&](std::size_t i0, std::size_t i1) {
+            nn::PredictScratch &scratch = scratch_[i0 / grain_];
+            scratch.reset();
+            fn(scratch, i0, i1);
+        });
+    if (obs::metricsEnabled() && n_ > 0) {
+        const double us = obs::nowMicros() - t0;
+        if (us > 0.0)
+            obs::Registry::global()
+                .gauge(std::string("predict.ops_per_s.") + family)
+                .set(double(n_) * 1e6 / us);
+    }
+}
+
+} // namespace hwpr::core

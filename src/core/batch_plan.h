@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Arena-backed batched inference plan (see DESIGN.md "Inference hot
+ * path").
+ *
+ * A BatchPlan is the per-caller state of the fused encode+predict
+ * pass: the pre-sized output matrix plus one nn::PredictScratch per
+ * parallel chunk slot. Callers that predict repeatedly — the search
+ * loop evaluates populations every generation, a serving daemon
+ * answers request after request — build one plan and reuse it, so
+ * after the first pass the whole pipeline runs without allocating.
+ *
+ * Determinism contract: the chunk layout (grain, boundaries, slot
+ * numbering) is a pure function of the batch size, never of the
+ * thread count, and every chunk writes disjoint output rows against
+ * its own scratch partition. Combined with the kernel guarantees
+ * (canonical GEMM accumulation order, row-aligned activation sweeps)
+ * this keeps batched predictions bit-identical to scalar ones and
+ * invariant to HWPR_THREADS; tests/prop/test_prop_predict.cc enforces
+ * both per surrogate family.
+ */
+
+#ifndef HWPR_CORE_BATCH_PLAN_H
+#define HWPR_CORE_BATCH_PLAN_H
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "nn/scratch.h"
+
+namespace hwpr::core
+{
+
+/** Reusable fused-pass state: output matrix + per-chunk scratch. */
+class BatchPlan
+{
+  public:
+    /**
+     * Size the plan for a batch of @p n rows and @p out_cols output
+     * columns and return the output matrix. The matrix is recycled
+     * across calls — reallocated only when the shape actually
+     * changes, so constant-size generations reuse one buffer.
+     * Contents are stale until a pass overwrites them.
+     */
+    Matrix &prepare(std::size_t n, std::size_t out_cols);
+
+    /** Output of the most recent pass (n x out_cols). */
+    Matrix &output() { return out_; }
+    const Matrix &output() const { return out_; }
+
+    /** Rows of the prepared batch. */
+    std::size_t size() const { return n_; }
+
+    /**
+     * Chunk grain for a batch of @p n rows: pure function of n, at
+     * most kMaxChunks chunks. Small batches stay in one chunk (fan-out
+     * overhead dominates below ~16 rows); large batches split into
+     * contiguous row blocks, one scratch slot each.
+     */
+    static std::size_t chunkGrain(std::size_t n);
+
+    /** Upper bound on chunks (and scratch partitions) per pass. */
+    static constexpr std::size_t kMaxChunks = 16;
+
+    /**
+     * Fan fn(scratch, row_begin, row_end) over the prepared batch on
+     * the global ExecContext pool. Each chunk receives the scratch
+     * partition owned by its slot (already reset), so chunks never
+     * contend and buffer reuse is deterministic. Emits the
+     * predict.fused_pass span and, when metrics are enabled, updates
+     * the per-family ops/s gauge "predict.ops_per_s.<family>".
+     */
+    void forEachChunk(
+        const char *family,
+        const std::function<void(nn::PredictScratch &, std::size_t,
+                                 std::size_t)> &fn);
+
+  private:
+    std::size_t n_ = 0;
+    std::size_t grain_ = 1;
+    Matrix out_;
+    /** One scratch partition per chunk slot, indexed i0 / grain. */
+    std::vector<nn::PredictScratch> scratch_;
+};
+
+} // namespace hwpr::core
+
+#endif // HWPR_CORE_BATCH_PLAN_H

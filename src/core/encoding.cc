@@ -275,6 +275,61 @@ ArchEncoder::encodeBatch(
     return out;
 }
 
+const Matrix &
+ArchEncoder::encodeBatchInto(
+    std::span<const nasbench::Architecture> archs,
+    nn::PredictScratch &scratch) const
+{
+    HWPR_CHECK(!archs.empty(), "empty encoding batch");
+    HWPR_SPAN("surrogate.encode_batch",
+              {{"rows", double(archs.size())}});
+    static obs::Histogram &enc_hist = obs::Registry::global()
+        .histogram("surrogate.encode_batch.us");
+    obs::ScopedTimer enc_timer(enc_hist);
+    if (obs::metricsEnabled()) {
+        static obs::Counter &rows = obs::Registry::global().counter(
+            "surrogate.encode_batch.rows");
+        rows.add(archs.size());
+    }
+    const std::size_t n = archs.size();
+    Matrix &out = scratch.acquire(n, dim_);
+    std::size_t col = 0;
+
+    if (usesAf()) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto scaled = scaler_.apply(
+                nasbench::archFeatures(archs[i], dataset_));
+            for (std::size_t j = 0; j < scaled.size(); ++j)
+                out(i, col + j) = scaled[j];
+        }
+        col += nasbench::kNumArchFeatures;
+    }
+    if (usesLstm()) {
+        std::vector<std::vector<std::size_t>> seqs;
+        seqs.reserve(n);
+        for (const auto &a : archs)
+            seqs.push_back(nasbench::spaceFor(a.space).tokenize(a));
+        const Matrix &enc = lstm_->encodeBatchInto(seqs, scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < enc.cols(); ++j)
+                out(i, col + j) = enc(i, j);
+        col += lstm_->config().hidden;
+    }
+    if (usesGcn()) {
+        std::vector<nn::GraphInput> graphs;
+        graphs.reserve(n);
+        for (const auto &a : archs)
+            graphs.push_back(graphInput(a));
+        const Matrix &enc = gcn_->encodeBatchInto(graphs, scratch);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < enc.cols(); ++j)
+                out(i, col + j) = enc(i, j);
+        col += gcn_->config().hidden;
+    }
+    HWPR_ASSERT(col == dim_, "encoding arena column mismatch");
+    return out;
+}
+
 std::vector<nn::Tensor>
 ArchEncoder::params() const
 {

@@ -27,6 +27,7 @@
 #include "nasbench/features.h"
 #include "nn/gcn.h"
 #include "nn/lstm.h"
+#include "nn/scratch.h"
 
 namespace hwpr::core
 {
@@ -120,6 +121,17 @@ class ArchEncoder : public nn::Module
      * recorded; matches encode() bit-for-bit.
      */
     Matrix encodeBatch(std::span<const nasbench::Architecture> archs) const;
+
+    /**
+     * Fused-plan encoding: the (n x dim) output and every LSTM/GCN
+     * intermediate come from @p scratch, so a plan-driven pass reuses
+     * the same buffers call after call. The returned reference points
+     * at scratch memory valid until the next scratch reset.
+     * Bit-identical to encodeBatch().
+     */
+    const Matrix &
+    encodeBatchInto(std::span<const nasbench::Architecture> archs,
+                    nn::PredictScratch &scratch) const;
 
     /** Output dimensionality. */
     std::size_t dim() const { return dim_; }

@@ -587,11 +587,11 @@ HwPrNas::trainMultiPlatform(
     trained_ = true;
 }
 
-HwPrNas::RawForward
-HwPrNas::rawForward(std::span<const nasbench::Architecture> archs,
-                    std::size_t head) const
+void
+HwPrNas::fusedForward(std::span<const nasbench::Architecture> archs,
+                      std::size_t head, BatchPlan &plan,
+                      RawForward *aux) const
 {
-    RawForward out;
     HWPR_SPAN("surrogate.predict_batch",
               {{"rows", double(archs.size())}});
     static obs::Histogram &batch_hist = obs::Registry::global()
@@ -602,30 +602,63 @@ HwPrNas::rawForward(std::span<const nasbench::Architecture> archs,
             "surrogate.predict_batch.rows");
         rows.add(archs.size());
     }
-    out.score.resize(archs.size());
-    out.accNorm.resize(archs.size());
-    out.latNorm.resize(archs.size());
-    // Chunk size balances pool fan-out against per-chunk encode
-    // overhead; the layout is fixed, so results are identical at any
-    // thread count.
-    constexpr std::size_t kChunk = 16;
-    ExecContext::global().pool->parallelFor(
-        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
+    Matrix &out = plan.prepare(archs.size(), 1);
+    if (aux) {
+        aux->score.resize(archs.size());
+        aux->accNorm.resize(archs.size());
+        aux->latNorm.resize(archs.size());
+    }
+    plan.forEachChunk(
+        "hwprnas",
+        [&](nn::PredictScratch &s, std::size_t i0, std::size_t i1) {
             const std::span<const nasbench::Architecture> sub =
                 archs.subspan(i0, i1 - i0);
-            const Matrix acc =
-                accHead_->predictBatch(accEncoder_->encodeBatch(sub));
-            const Matrix lat = latHeads_[head]->predictBatch(
-                latEncoder_->encodeBatch(sub));
-            const Matrix score =
-                combiner_->predictBatch(Matrix::hconcat(acc, lat));
+            const std::size_t len = sub.size();
+            const Matrix &acc_enc =
+                accEncoder_->encodeBatchInto(sub, s);
+            Matrix &acc = s.acquire(len, 1);
+            accHead_->predictBatchInto(acc_enc, s, acc);
+            const Matrix &lat_enc =
+                latEncoder_->encodeBatchInto(sub, s);
+            Matrix &lat = s.acquire(len, 1);
+            latHeads_[head]->predictBatchInto(lat_enc, s, lat);
+            // The combiner input is the same values hconcat(acc, lat)
+            // copies, just gathered into recycled scratch.
+            Matrix &comb = s.acquire(len, 2);
+            for (std::size_t r = 0; r < len; ++r) {
+                comb(r, 0) = acc(r, 0);
+                comb(r, 1) = lat(r, 0);
+            }
+            Matrix &score = s.acquire(len, 1);
+            combiner_->predictBatchInto(comb, s, score);
             for (std::size_t i = i0; i < i1; ++i) {
-                out.accNorm[i] = acc(i - i0, 0);
-                out.latNorm[i] = lat(i - i0, 0);
-                out.score[i] = score(i - i0, 0);
+                out(i, 0) = score(i - i0, 0);
+                if (aux) {
+                    aux->score[i] = score(i - i0, 0);
+                    aux->accNorm[i] = acc(i - i0, 0);
+                    aux->latNorm[i] = lat(i - i0, 0);
+                }
             }
         });
+}
+
+HwPrNas::RawForward
+HwPrNas::rawForward(std::span<const nasbench::Architecture> archs,
+                    std::size_t head) const
+{
+    RawForward out;
+    BatchPlan plan;
+    fusedForward(archs, head, plan, &out);
     return out;
+}
+
+const Matrix &
+HwPrNas::predictBatch(std::span<const nasbench::Architecture> archs,
+                      BatchPlan &plan) const
+{
+    HWPR_CHECK(trained_, "predictBatch() before train()");
+    fusedForward(archs, headIndex(platform_), plan, nullptr);
+    return plan.output();
 }
 
 void

@@ -107,6 +107,15 @@ class HwPrNas : public Surrogate
     Matrix objectivesBatch(
         std::span<const nasbench::Architecture> archs) const override;
 
+    /**
+     * Fused encode+heads+combiner pass against the plan's recycled
+     * scratch; returns the (n x 1) score column for the active
+     * platform. Bit-identical to scoreBatch().
+     */
+    const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 BatchPlan &plan) const override;
+
     /** Training hyperparameters used by fit(). */
     void setFitConfig(const TrainConfig &cfg) { fitConfig_ = cfg; }
     const TrainConfig &fitConfig() const { return fitConfig_; }
@@ -236,10 +245,19 @@ class HwPrNas : public Surrogate
     };
 
     /**
-     * Batched inference on raw matrices: encode + heads + combiner
-     * per chunk, chunks fanned out over the ExecContext pool into
-     * disjoint output slots (bit-identical at any thread count).
+     * Fused batched inference: encode + heads + combiner per chunk
+     * against the plan's scratch, chunks fanned out over the
+     * ExecContext pool into disjoint output rows (bit-identical at
+     * any thread count). Scores land in the plan's output column;
+     * the normalized branch outputs additionally land in @p aux when
+     * it is non-null (the objective/accuracy/latency entry points
+     * need them).
      */
+    void fusedForward(std::span<const nasbench::Architecture> archs,
+                      std::size_t head, BatchPlan &plan,
+                      RawForward *aux) const;
+
+    /** fusedForward through a per-call plan (legacy entry points). */
     RawForward rawForward(std::span<const nasbench::Architecture> archs,
                           std::size_t head) const;
 

@@ -282,18 +282,50 @@ MetricPredictor::predict(
             out[i] = targetScaler_.denorm(p(i, 0));
         return out;
     }
-    // Raw chunked forward: encode + head per chunk, chunks fanned out
-    // over the ExecContext pool into disjoint output slots.
+    // Fused chunked forward through a per-call plan: encode + head
+    // per chunk against recycled scratch, chunks fanned out over the
+    // ExecContext pool into disjoint output slots.
+    BatchPlan plan;
+    const Matrix &pred = predict(archs, plan);
     std::vector<double> out(archs.size());
-    constexpr std::size_t kChunk = 16;
-    ExecContext::global().pool->parallelFor(
-        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
-            const Matrix pred = head_->predictBatch(
-                encoder_->encodeBatch(archs.subspan(i0, i1 - i0)));
-            for (std::size_t i = i0; i < i1; ++i)
-                out[i] = targetScaler_.denorm(pred(i - i0, 0));
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = pred(i, 0);
+    return out;
+}
+
+const Matrix &
+MetricPredictor::predict(std::span<const nasbench::Architecture> archs,
+                         BatchPlan &plan) const
+{
+    HWPR_CHECK(trained_, "predict() before train()");
+    Matrix &out = plan.prepare(archs.size(), 1);
+    if (regressor_ != RegressorKind::Mlp) {
+        const Matrix p = trees_->predictBatch(gbdtFeatures(archs));
+        for (std::size_t i = 0; i < archs.size(); ++i)
+            out(i, 0) = targetScaler_.denorm(p(i, 0));
+        return out;
+    }
+    plan.forEachChunk(
+        "predictor",
+        [&](nn::PredictScratch &s, std::size_t i0, std::size_t i1) {
+            predictChunk(archs.subspan(i0, i1 - i0), s,
+                         &out.raw()[i0]);
         });
     return out;
+}
+
+void
+MetricPredictor::predictChunk(
+    std::span<const nasbench::Architecture> archs,
+    nn::PredictScratch &scratch, double *out) const
+{
+    HWPR_ASSERT(regressor_ == RegressorKind::Mlp,
+                "predictChunk is NN-only");
+    const Matrix &enc = encoder_->encodeBatchInto(archs, scratch);
+    Matrix &pred = scratch.acquire(archs.size(), 1);
+    head_->predictBatchInto(enc, scratch, pred);
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = targetScaler_.denorm(pred(i, 0));
 }
 
 namespace

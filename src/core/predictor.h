@@ -20,6 +20,7 @@
 #include <span>
 
 #include "common/serialize.h"
+#include "core/batch_plan.h"
 #include "core/encoding.h"
 #include "core/train_util.h"
 #include "gbdt/gbdt.h"
@@ -94,6 +95,26 @@ class MetricPredictor
      */
     std::vector<double>
     predict(std::span<const nasbench::Architecture> archs) const;
+
+    /**
+     * Fused prediction against a caller-held plan (NN path: one
+     * encode+head pass per chunk over recycled scratch; GBDT path
+     * unchanged). The plan's (n x 1) output holds the denormalized
+     * metric. Bit-identical to predict().
+     */
+    const Matrix &
+    predict(std::span<const nasbench::Architecture> archs,
+            BatchPlan &plan) const;
+
+    /**
+     * Per-chunk fused kernel: predict @p archs against @p scratch,
+     * writing one denormalized value per architecture into @p out.
+     * Composite surrogates (BRP-NAS, GATES) call this from their own
+     * fused passes so both predictors share one plan's scratch. NN
+     * regressors only — callers must branch on regressor() first.
+     */
+    void predictChunk(std::span<const nasbench::Architecture> archs,
+                      nn::PredictScratch &scratch, double *out) const;
 
     /**
      * Serialize the trained predictor (configuration, scalers and

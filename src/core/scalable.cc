@@ -342,11 +342,12 @@ ScalableHwPrNas::fit(const SurrogateDataset &data, ExecContext &ctx)
     train(data.train, data.val, data.platform, fitConfig_);
 }
 
-std::vector<double>
-ScalableHwPrNas::scoreBatch(
-    std::span<const nasbench::Architecture> archs) const
+const Matrix &
+ScalableHwPrNas::predictBatch(
+    std::span<const nasbench::Architecture> archs,
+    BatchPlan &plan) const
 {
-    HWPR_CHECK(trained_, "scoreBatch() before train()");
+    HWPR_CHECK(trained_, "predictBatch() before train()");
     HWPR_SPAN("surrogate.predict_batch",
               {{"rows", double(archs.size())}});
     static obs::Histogram &batch_hist = obs::Registry::global()
@@ -357,15 +358,31 @@ ScalableHwPrNas::scoreBatch(
             "surrogate.predict_batch.rows");
         rows.add(archs.size());
     }
-    std::vector<double> out(archs.size());
-    constexpr std::size_t kChunk = 16;
-    ExecContext::global().pool->parallelFor(
-        0, archs.size(), kChunk, [&](std::size_t i0, std::size_t i1) {
-            const Matrix s = mlp_->predictBatch(
-                encoder_->encodeBatch(archs.subspan(i0, i1 - i0)));
+    Matrix &out = plan.prepare(archs.size(), 1);
+    plan.forEachChunk(
+        "scalable",
+        [&](nn::PredictScratch &s, std::size_t i0, std::size_t i1) {
+            const std::span<const nasbench::Architecture> sub =
+                archs.subspan(i0, i1 - i0);
+            const Matrix &enc = encoder_->encodeBatchInto(sub, s);
+            Matrix &score = s.acquire(sub.size(), 1);
+            mlp_->predictBatchInto(enc, s, score);
             for (std::size_t i = i0; i < i1; ++i)
-                out[i] = s(i - i0, 0);
+                out(i, 0) = score(i - i0, 0);
         });
+    return out;
+}
+
+std::vector<double>
+ScalableHwPrNas::scoreBatch(
+    std::span<const nasbench::Architecture> archs) const
+{
+    HWPR_CHECK(trained_, "scoreBatch() before train()");
+    BatchPlan plan;
+    const Matrix &s = predictBatch(archs, plan);
+    std::vector<double> out(archs.size());
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        out[i] = s(i, 0);
     return out;
 }
 

@@ -65,6 +65,15 @@ class ScalableHwPrNas : public Surrogate
     std::vector<double> scoreBatch(
         std::span<const nasbench::Architecture> archs) const override;
 
+    /**
+     * Fused encode+MLP pass against the plan's recycled scratch;
+     * returns the (n x 1) score column. Bit-identical to
+     * scoreBatch(), which routes through a per-call plan.
+     */
+    const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 BatchPlan &plan) const override;
+
     /** Training hyperparameters used by fit(). */
     void setFitConfig(const TrainConfig &cfg) { fitConfig_ = cfg; }
     const TrainConfig &fitConfig() const { return fitConfig_; }

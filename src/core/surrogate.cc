@@ -39,23 +39,38 @@ Surrogate::objectivesBatch(
     return out;
 }
 
+const Matrix &
+Surrogate::predictBatch(std::span<const nasbench::Architecture> archs,
+                        BatchPlan &plan) const
+{
+    // Adapter for implementations without a fused pass: run the
+    // legacy batch entry points and copy into the plan's output.
+    if (evalKind() == search::EvalKind::ParetoScore) {
+        Matrix &out = plan.prepare(archs.size(), 1);
+        const std::vector<double> s = scoreBatch(archs);
+        for (std::size_t i = 0; i < s.size(); ++i)
+            out(i, 0) = s[i];
+        return out;
+    }
+    // Sized off the emitted matrix, not numObjectives(): ad-hoc
+    // implementations may emit fewer columns than they rank over.
+    const Matrix obj = objectivesBatch(archs);
+    Matrix &out = plan.prepare(archs.size(), obj.cols());
+    out.raw() = obj.raw();
+    return out;
+}
+
 std::vector<pareto::Point>
 SurrogateEvaluator::evaluate(
     const std::vector<nasbench::Architecture> &archs)
 {
     std::vector<pareto::Point> out;
     out.reserve(archs.size());
-    if (kind() == search::EvalKind::ParetoScore) {
-        const std::vector<double> s = model_.scoreBatch(archs);
-        for (double v : s)
-            out.push_back({v});
-        return out;
-    }
-    const Matrix obj = model_.objectivesBatch(archs);
-    for (std::size_t i = 0; i < obj.rows(); ++i) {
-        pareto::Point p(obj.cols(), 0.0);
-        for (std::size_t j = 0; j < obj.cols(); ++j)
-            p[j] = obj(i, j);
+    const Matrix &pred = model_.predictBatch(archs, plan_);
+    for (std::size_t i = 0; i < pred.rows(); ++i) {
+        pareto::Point p(pred.cols(), 0.0);
+        for (std::size_t j = 0; j < pred.cols(); ++j)
+            p[j] = pred(i, j);
         out.push_back(std::move(p));
     }
     return out;

@@ -29,6 +29,7 @@
 
 #include "common/matrix.h"
 #include "common/threadpool.h"
+#include "core/batch_plan.h"
 #include "hw/platform.h"
 #include "nasbench/dataset.h"
 #include "search/evaluator.h"
@@ -84,6 +85,21 @@ class Surrogate
     objectivesBatch(std::span<const nasbench::Architecture> archs) const;
 
     /**
+     * Fused batched prediction against a caller-held BatchPlan: one
+     * encode+predict pass over recycled scratch, zero allocation once
+     * the plan is warm. Returns the plan's output matrix — one score
+     * column for ParetoScore surrogates, numObjectives() minimization
+     * columns for ObjectiveVector surrogates. Values are bit-identical
+     * to scoreBatch() / objectivesBatch() (all five families override
+     * this with the fused pass and express the legacy entry points
+     * through it). The default adapts any other implementation by
+     * copying the legacy batch results into the plan.
+     */
+    virtual const Matrix &
+    predictBatch(std::span<const nasbench::Architecture> archs,
+                 BatchPlan &plan) const;
+
+    /**
      * Serialize to a binary checkpoint. Default: unsupported
      * (returns false without touching the filesystem).
      */
@@ -127,6 +143,12 @@ class SurrogateEvaluator : public search::Evaluator
 
   private:
     const Surrogate &model_;
+    /**
+     * One plan per search, reused across generations: population
+     * sizes are constant, so every generation's pass runs on the
+     * buffers the first generation allocated.
+     */
+    BatchPlan plan_;
     double simSecondsPerEval_;
 };
 

@@ -168,6 +168,90 @@ GcnEncoder::encodeBatch(const std::vector<GraphInput> &graphs) const
     return pool.matmul(h);
 }
 
+const Matrix &
+GcnEncoder::encodeBatchInto(const std::vector<GraphInput> &graphs,
+                            PredictScratch &scratch) const
+{
+    HWPR_CHECK(!graphs.empty(), "empty GCN batch");
+
+    // Batched sparse gather: flatten the block-diagonal adjacency
+    // into one edge list, built once and replayed by every layer in
+    // the same (graph, dst, src) ascending order encodeBatch's
+    // per-graph triple loop accumulates in.
+    std::vector<PredictScratch::Edge> &edges = scratch.edges();
+    edges.clear();
+    std::vector<std::size_t> offsets, global_rows;
+    std::size_t total = 0;
+    for (const auto &g : graphs) {
+        HWPR_ASSERT(g.features.cols() == cfg_.featDim,
+                    "feature dim mismatch");
+        HWPR_ASSERT(g.adjacency.rows() == g.features.rows(),
+                    "adjacency/features node count mismatch");
+        offsets.push_back(total);
+        global_rows.push_back(g.globalNode);
+        const std::size_t v = g.adjacency.rows();
+        for (std::size_t i = 0; i < v; ++i)
+            for (std::size_t k = 0; k < v; ++k) {
+                const double w = g.adjacency(i, k);
+                if (w == 0.0)
+                    continue;
+                edges.push_back({std::uint32_t(total + i),
+                                 std::uint32_t(total + k), w});
+            }
+        total += v;
+    }
+
+    const Matrix *cur = nullptr;
+    {
+        Matrix &h0 = scratch.acquire(total, cfg_.featDim);
+        for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+            const Matrix &f = graphs[gi].features;
+            for (std::size_t i = 0; i < f.rows(); ++i)
+                for (std::size_t j = 0; j < f.cols(); ++j)
+                    h0(offsets[gi] + i, j) = f(i, j);
+        }
+        cur = &h0;
+    }
+
+    for (const auto &layer : layers_) {
+        Matrix &lin = scratch.acquire(total, cfg_.hidden);
+        layer.predictBatchInto(*cur, lin);
+        Matrix &out = scratch.acquire(total, cfg_.hidden, true);
+        const std::size_t f = lin.cols();
+        for (const auto &e : edges) {
+            const double *src = &lin.data()[e.src * f];
+            double *dst = &out.data()[e.dst * f];
+            for (std::size_t j = 0; j < f; ++j)
+                dst[j] += e.w * src[j];
+        }
+        applyActivationInPlace(out, Activation::ReLU);
+        cur = &out;
+    }
+
+    if (cfg_.useGlobalNode) {
+        Matrix &out = scratch.acquire(graphs.size(), cur->cols());
+        for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+            const std::size_t row = offsets[gi] + global_rows[gi];
+            HWPR_ASSERT(row < cur->rows(), "block row OOB");
+            for (std::size_t j = 0; j < cur->cols(); ++j)
+                out(gi, j) = (*cur)(row, j);
+        }
+        return out;
+    }
+
+    // Mean-pool readout via the same pooling-matrix product as the
+    // tensor path so the floating-point result is identical.
+    Matrix &pool = scratch.acquire(graphs.size(), total, true);
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+        const std::size_t v = graphs[gi].adjacency.rows();
+        for (std::size_t i = 0; i < v; ++i)
+            pool(gi, offsets[gi] + i) = 1.0 / double(v);
+    }
+    Matrix &out = scratch.acquire(graphs.size(), cur->cols());
+    pool.matmulInto(*cur, out);
+    return out;
+}
+
 std::vector<Tensor>
 GcnEncoder::params() const
 {

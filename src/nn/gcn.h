@@ -73,6 +73,18 @@ class GcnEncoder : public Module
      */
     Matrix encodeBatch(const std::vector<GraphInput> &graphs) const;
 
+    /**
+     * Fused-plan encoding: all intermediates come from @p scratch and
+     * message passing runs over a flat edge list built once per call
+     * — the batch's block-diagonal adjacency is scanned a single time
+     * instead of once per layer, and the (graph, dst, src) edge order
+     * preserves encodeBatch()'s accumulation order exactly. The
+     * returned reference points at scratch memory valid until the
+     * next scratch reset. Bit-identical to encodeBatch().
+     */
+    const Matrix &encodeBatchInto(const std::vector<GraphInput> &graphs,
+                                  PredictScratch &scratch) const;
+
     std::vector<Tensor> params() const override;
 
     const GcnConfig &config() const { return cfg_; }

@@ -61,6 +61,23 @@ Linear::predictBatch(const Matrix &x) const
     return x.matmul(w_.value()).addRowBroadcast(b_.value());
 }
 
+void
+Linear::predictBatchInto(const Matrix &x, Matrix &out) const
+{
+    HWPR_ASSERT(out.rows() == x.rows() && out.cols() == outDim(),
+                "predictBatchInto output shape mismatch");
+    x.matmulInto(w_.value(), out);
+    // In-place row broadcast: per-element a + b rounds identically
+    // wherever the sum is stored, so this matches addRowBroadcast.
+    const double *b = b_.value().data();
+    const std::size_t cols = out.cols();
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+        double *dst = &out.raw()[i * cols];
+        for (std::size_t j = 0; j < cols; ++j)
+            dst[j] += b[j];
+    }
+}
+
 Mlp::Mlp(const MlpConfig &cfg, Rng &rng, const std::string &name)
     : cfg_(cfg)
 {
@@ -104,6 +121,20 @@ Mlp::predictBatch(const Matrix &x) const
         h = layers_[i].predictBatch(h);
     }
     return h;
+}
+
+void
+Mlp::predictBatchInto(const Matrix &x, PredictScratch &scratch,
+                      Matrix &out) const
+{
+    const Matrix *cur = &x;
+    for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+        Matrix &h = scratch.acquire(x.rows(), layers_[i].outDim());
+        layers_[i].predictBatchInto(*cur, h);
+        applyActivationInPlace(h, cfg_.activation);
+        cur = &h;
+    }
+    layers_.back().predictBatchInto(*cur, out);
 }
 
 std::vector<Tensor>

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/scratch.h"
 #include "nn/tensor.h"
 
 namespace hwpr::nn
@@ -79,6 +80,15 @@ class Linear : public Module
      */
     Matrix predictBatch(const Matrix &x) const;
 
+    /**
+     * Same, into a caller-provided (x.rows x outDim) buffer: the
+     * fused-plan path, zero allocation. Bit-identical to
+     * predictBatch() — the GEMM lands in @p out via matmulInto and
+     * the bias row is added in place, which rounds exactly like the
+     * copy-then-add of addRowBroadcast.
+     */
+    void predictBatchInto(const Matrix &x, Matrix &out) const;
+
     std::vector<Tensor> params() const override { return {w_, b_}; }
 
     std::size_t inDim() const { return w_.rows(); }
@@ -125,6 +135,15 @@ class Mlp : public Module
      * tensor forward (training=false) bit-for-bit.
      */
     Matrix predictBatch(const Matrix &x) const;
+
+    /**
+     * Fused-plan inference: hidden activations live in @p scratch and
+     * the final layer writes the caller-provided (x.rows x outDim)
+     * buffer, so a plan-driven pass allocates nothing after warm-up.
+     * Bit-identical to predictBatch().
+     */
+    void predictBatchInto(const Matrix &x, PredictScratch &scratch,
+                          Matrix &out) const;
 
     std::vector<Tensor> params() const override;
 

@@ -159,6 +159,95 @@ LstmEncoder::encodeBatch(
     return inputs[steps - 1];
 }
 
+const Matrix &
+LstmEncoder::encodeBatchInto(
+    const std::vector<std::vector<std::size_t>> &sequences,
+    PredictScratch &scratch) const
+{
+    HWPR_CHECK(!sequences.empty(), "empty LSTM batch");
+    const std::size_t batch = sequences.size();
+    const std::size_t steps = sequences[0].size();
+    for (const auto &s : sequences)
+        HWPR_CHECK(s.size() == steps,
+                   "LSTM batch requires equal-length sequences");
+    const std::size_t h = cfg_.hidden;
+    const Matrix &embed = embedding_.value();
+
+    // Embedded inputs per step plus one hidden-state snapshot per
+    // step: layer l reads snapshot t before overwriting it with its
+    // own h_t, so all layers share the same `steps` buffers (same
+    // copy the tensor path's `inputs[t] = h_t` performs).
+    std::vector<Matrix *> inputs(steps), snap(steps);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix &x = scratch.acquire(batch, cfg_.embedDim);
+        for (std::size_t b = 0; b < batch; ++b) {
+            HWPR_ASSERT(sequences[b][t] < cfg_.vocab, "token OOB");
+            const std::size_t id = sequences[b][t];
+            for (std::size_t j = 0; j < cfg_.embedDim; ++j)
+                x(b, j) = embed(id, j);
+        }
+        inputs[t] = &x;
+        snap[t] = &scratch.acquire(batch, h);
+    }
+
+    Matrix &z = scratch.acquire(batch, 4 * h);
+    Matrix &zh = scratch.acquire(batch, 4 * h);
+    Matrix &h_t = scratch.acquire(batch, h);
+    Matrix &c_t = scratch.acquire(batch, h);
+    Matrix &i_g = scratch.acquire(batch, h);
+    Matrix &f_g = scratch.acquire(batch, h);
+    Matrix &g_g = scratch.acquire(batch, h);
+    Matrix &o_g = scratch.acquire(batch, h);
+    Matrix &tc = scratch.acquire(batch, h);
+
+    for (std::size_t l = 0; l < layerParams_.size(); ++l) {
+        const LayerParams &lp = layerParams_[l];
+        h_t.fill(0.0);
+        c_t.fill(0.0);
+        for (std::size_t t = 0; t < steps; ++t) {
+            const Matrix &in = l == 0 ? *inputs[t] : *snap[t];
+            // z = x*wx + h*wh + b, as two separately rounded products
+            // plus elementwise adds — the same order the tensor path's
+            // add(matmul, matmul) rounds in. matmulInto(accumulate)
+            // would fuse the sums into one chain and break
+            // bit-identity, so keep the two-step form.
+            in.matmulInto(lp.wx.value(), z);
+            h_t.matmulInto(lp.wh.value(), zh);
+            z += zh;
+            const double *bias = lp.b.value().data();
+            for (std::size_t b = 0; b < batch; ++b) {
+                double *zr = &z.raw()[b * 4 * h];
+                for (std::size_t j = 0; j < 4 * h; ++j)
+                    zr[j] += bias[j];
+            }
+            // Gate order [i, f, g, o]: contiguous per-gate panels fed
+            // to the shared activation sweeps (see encodeBatch).
+            for (std::size_t b = 0; b < batch; ++b) {
+                const double *zr = &z.raw()[b * 4 * h];
+                for (std::size_t j = 0; j < h; ++j) {
+                    i_g.raw()[b * h + j] = zr[j];
+                    f_g.raw()[b * h + j] = zr[h + j];
+                    g_g.raw()[b * h + j] = zr[2 * h + j];
+                    o_g.raw()[b * h + j] = zr[3 * h + j];
+                }
+            }
+            nn::detail::sigmoidMap(i_g, i_g);
+            nn::detail::sigmoidMap(f_g, f_g);
+            nn::detail::tanhMap(g_g, g_g);
+            nn::detail::sigmoidMap(o_g, o_g);
+            for (std::size_t j = 0; j < batch * h; ++j)
+                c_t.raw()[j] = f_g.raw()[j] * c_t.raw()[j] +
+                               i_g.raw()[j] * g_g.raw()[j];
+            nn::detail::tanhMap(c_t, tc);
+            for (std::size_t j = 0; j < batch * h; ++j)
+                h_t.raw()[j] = o_g.raw()[j] * tc.raw()[j];
+            // Snapshot this layer's hidden state for the next layer.
+            snap[t]->raw() = h_t.raw();
+        }
+    }
+    return *snap[steps - 1];
+}
+
 std::vector<Tensor>
 LstmEncoder::params() const
 {

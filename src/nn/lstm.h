@@ -66,6 +66,17 @@ class LstmEncoder : public Module
     Matrix encodeBatch(
         const std::vector<std::vector<std::size_t>> &sequences) const;
 
+    /**
+     * Fused-plan encoding: every intermediate (embedded steps, gate
+     * panels, hidden/cell state) comes from @p scratch, so repeated
+     * passes allocate nothing. The returned reference points at
+     * scratch memory valid until the next scratch reset.
+     * Bit-identical to encodeBatch().
+     */
+    const Matrix &encodeBatchInto(
+        const std::vector<std::vector<std::size_t>> &sequences,
+        PredictScratch &scratch) const;
+
     std::vector<Tensor> params() const override;
 
     const LstmConfig &config() const { return cfg_; }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Recycled matrix scratch for the fused inference path.
+ *
+ * PredictScratch is the inference-side analogue of GraphArena: a
+ * shape-keyed pool of Matrix buffers that the batched encode+predict
+ * kernels acquire instead of allocating per call. A reset() marks
+ * every buffer free without releasing its memory, so a pass that
+ * repeats the same shape sequence — every chunk of every generation
+ * of a search does — allocates exactly once and then recycles.
+ *
+ * Unlike GraphArena it is not thread-local: the caller owns one
+ * PredictScratch per parallel chunk slot (see core::BatchPlan), so
+ * concurrent chunks never contend and the buffer a given chunk sees
+ * depends only on the chunk layout, never on which worker ran it.
+ */
+
+#ifndef HWPR_NN_SCRATCH_H
+#define HWPR_NN_SCRATCH_H
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace hwpr::nn
+{
+
+/** Shape-keyed pool of reusable inference scratch matrices. */
+class PredictScratch
+{
+  public:
+    /**
+     * Check out a (rows x cols) buffer until the next reset(). With
+     * @p zero the contents are zero-filled; otherwise they are
+     * whatever the previous user left (callers must overwrite fully).
+     * References stay valid until the PredictScratch is destroyed —
+     * slots are never deallocated, only recycled.
+     */
+    Matrix &
+    acquire(std::size_t rows, std::size_t cols, bool zero = false)
+    {
+        for (auto &slot : slots_) {
+            if (slot.busy || slot.m.rows() != rows ||
+                slot.m.cols() != cols)
+                continue;
+            slot.busy = true;
+            if (zero)
+                slot.m.fill(0.0);
+            return slot.m;
+        }
+        slots_.push_back({Matrix(rows, cols), true});
+        return slots_.back().m;
+    }
+
+    /** Mark every buffer free; memory is kept for reuse. */
+    void
+    reset()
+    {
+        for (auto &slot : slots_)
+            slot.busy = false;
+    }
+
+    /** One weighted edge of the flattened GCN message-passing graph. */
+    struct Edge
+    {
+        std::uint32_t dst; ///< destination row in the stacked batch
+        std::uint32_t src; ///< source row in the stacked batch
+        double w;          ///< normalized adjacency weight
+    };
+
+    /**
+     * Reusable edge-list buffer for the batched sparse gather
+     * (GcnEncoder::encodeBatchInto). Contents are call-scoped; the
+     * capacity persists across reset().
+     */
+    std::vector<Edge> &edges() { return edges_; }
+
+    /** Buffers currently pooled (diagnostics). */
+    std::size_t numBuffers() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        Matrix m;
+        bool busy = false;
+    };
+
+    /**
+     * Linear scan: passes hold a handful of shapes, never hundreds.
+     * Deque, not vector — acquire() hands out references that must
+     * survive later growth.
+     */
+    std::deque<Slot> slots_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace hwpr::nn
+
+#endif // HWPR_NN_SCRATCH_H
