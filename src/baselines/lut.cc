@@ -1,6 +1,8 @@
 #include "baselines/lut.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
 #include "common/logging.h"
@@ -43,13 +45,40 @@ double
 LatencyLut::opLatencySec(const hw::OpWorkload &op) const
 {
     const std::uint64_t k = key(op);
-    auto it = table_.find(k);
-    if (it != table_.end())
-        return it->second;
-    // "Measure" the operator in isolation on the device.
+    {
+        std::shared_lock lock(tableMu_);
+        auto it = table_.find(k);
+        if (it != table_.end())
+            return it->second;
+    }
+    // "Measure" the operator in isolation on the device. Profiled
+    // outside the lock: opCost is a pure function of the signature,
+    // so a racing thread derives the identical value and whichever
+    // emplace lands first wins harmlessly.
     const double lat = model_.opCost(op).latencySec;
+    std::unique_lock lock(tableMu_);
     table_.emplace(k, lat);
     return lat;
+}
+
+double
+LatencyLut::archLatencyMs(const nasbench::Architecture &arch) const
+{
+    const std::uint64_t k = arch.hash(0x1a7ec4c4e11ull);
+    {
+        std::shared_lock lock(archMu_);
+        auto it = archMemo_.find(k);
+        if (it != archMemo_.end())
+            return it->second;
+    }
+    const double ms = estimateMs(arch);
+    // Bounded like core::EncodingCache: past the cap the memo stops
+    // growing and misses just recompute (still correct, just slower).
+    constexpr std::size_t kMaxMemo = std::size_t(1) << 20;
+    std::unique_lock lock(archMu_);
+    if (archMemo_.size() < kMaxMemo)
+        archMemo_.emplace(k, ms);
+    return ms;
 }
 
 void
@@ -129,19 +158,27 @@ LatencyLut::predictBatch(std::span<const nasbench::Architecture> archs,
             "surrogate.predict_batch.rows");
         rows.add(archs.size());
     }
-    // Serial fill: opLatencySec memoizes into the shared table, so
-    // the rows never fan out over the pool.
     Matrix &out = plan.prepare(archs.size(), 1);
-    const double t0 = obs::metricsEnabled() ? obs::nowMicros() : 0.0;
-    for (std::size_t i = 0; i < archs.size(); ++i)
-        out(i, 0) = estimateMs(archs[i]);
-    if (obs::metricsEnabled() && !archs.empty()) {
-        const double us = obs::nowMicros() - t0;
-        if (us > 0.0)
-            obs::Registry::global()
-                .gauge("predict.ops_per_s.lut")
-                .set(double(archs.size()) * 1e6 / us);
-    }
+    plan.forEachChunk(
+        "lut",
+        [&](nn::PredictScratch &, std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                out(i, 0) = estimateMs(archs[i]);
+        });
+    return out;
+}
+
+const Matrix &
+LatencyLut::rankBatch(std::span<const nasbench::Architecture> archs,
+                      core::BatchPlan &plan) const
+{
+    Matrix &out = plan.prepare(archs.size(), 1);
+    plan.forEachChunk(
+        "lut_rank",
+        [&](nn::PredictScratch &, std::size_t i0, std::size_t i1) {
+            for (std::size_t i = i0; i < i1; ++i)
+                out(i, 0) = archLatencyMs(archs[i]);
+        });
     return out;
 }
 
@@ -155,6 +192,7 @@ LatencyLut::save(const std::string &path) const
 
         // Sorted by key: the hash map's iteration order is not
         // deterministic, the file should be.
+        std::shared_lock lock(tableMu_);
         std::vector<std::pair<std::uint64_t, double>> entries(
             table_.begin(), table_.end());
         std::sort(entries.begin(), entries.end());

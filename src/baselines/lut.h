@@ -17,6 +17,7 @@
 #ifndef HWPR_BASELINES_LUT_H
 #define HWPR_BASELINES_LUT_H
 
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 
@@ -57,12 +58,28 @@ class LatencyLut : public core::Surrogate
         std::span<const nasbench::Architecture> archs) const override;
 
     /**
-     * Plan-backed variant filling the plan's (n x 1) output. Serial
-     * like objectivesBatch(): the memoized table is not thread-safe.
+     * Plan-backed variant filling the plan's (n x 1) output. Chunks
+     * fan out over the pool like every other family; the memoized
+     * op table is guarded by a shared mutex, and because each entry
+     * is a pure function of the op signature the result is invariant
+     * to which thread profiles an op first.
      */
     const Matrix &
     predictBatch(std::span<const nasbench::Architecture> archs,
                  core::BatchPlan &plan) const override;
+
+    /**
+     * Rank-only fast path: memoizes the whole-architecture estimate
+     * keyed by the architecture hash, so repeat scoring of a stable
+     * population skips the per-op lowering and summation entirely.
+     * Values are bitwise-identical to predictBatch() (same sum, just
+     * cached), so ranking semantics are exact, not approximate.
+     */
+    const Matrix &
+    rankBatch(std::span<const nasbench::Architecture> archs,
+              core::BatchPlan &plan) const override;
+
+    std::string familyLabel() const override { return "lut"; }
 
     // ---------------------------------------------------------------
 
@@ -84,7 +101,11 @@ class LatencyLut : public core::Surrogate
     estimate(std::span<const nasbench::Architecture> archs) const;
 
     /** Number of distinct operator signatures profiled so far. */
-    std::size_t numEntries() const { return table_.size(); }
+    std::size_t numEntries() const
+    {
+        std::shared_lock lock(tableMu_);
+        return table_.size();
+    }
 
     hw::PlatformId platform() const { return platform_; }
 
@@ -108,10 +129,22 @@ class LatencyLut : public core::Surrogate
     /** Isolated latency of one operator (memoized). */
     double opLatencySec(const hw::OpWorkload &op) const;
 
+    /** Memoized estimateMs() for one architecture (rank fast path). */
+    double archLatencyMs(const nasbench::Architecture &arch) const;
+
     nasbench::DatasetId dataset_;
     hw::PlatformId platform_;
     hw::CostModel model_;
+    /**
+     * Both memo tables are guarded for concurrent chunk access. Every
+     * entry is a pure function of its key, so a lost insertion race
+     * re-computes the identical value — results never depend on which
+     * thread populated the cache.
+     */
+    mutable std::shared_mutex tableMu_;
     mutable std::unordered_map<std::uint64_t, double> table_;
+    mutable std::shared_mutex archMu_;
+    mutable std::unordered_map<std::uint64_t, double> archMemo_;
 };
 
 } // namespace hwpr::baselines

@@ -11,9 +11,13 @@ namespace hwpr::core
 std::size_t
 BatchPlan::chunkGrain(std::size_t n)
 {
-    // ceil(n / kMaxChunks), floored at 16 rows: pure function of n.
-    const std::size_t per_chunk = (n + kMaxChunks - 1) / kMaxChunks;
-    return per_chunk < 16 ? 16 : per_chunk;
+    // ceil(n / kTargetChunks), floored at 16 rows and capped at
+    // kMaxChunkRows: pure function of n.
+    const std::size_t per_chunk =
+        (n + kTargetChunks - 1) / kTargetChunks;
+    if (per_chunk < 16)
+        return 16;
+    return per_chunk > kMaxChunkRows ? kMaxChunkRows : per_chunk;
 }
 
 Matrix &

@@ -54,15 +54,32 @@ class BatchPlan
     std::size_t size() const { return n_; }
 
     /**
-     * Chunk grain for a batch of @p n rows: pure function of n, at
-     * most kMaxChunks chunks. Small batches stay in one chunk (fan-out
-     * overhead dominates below ~16 rows); large batches split into
-     * contiguous row blocks, one scratch slot each.
+     * Chunk grain for a batch of @p n rows: pure function of n.
+     * Small batches stay in one chunk (fan-out overhead dominates
+     * below ~16 rows); large batches split into contiguous row
+     * blocks, one scratch slot each, targeting kTargetChunks chunks
+     * but never more than kMaxChunkRows rows per chunk — an uncapped
+     * grain grows the per-slot scratch matrices past L2 at large n,
+     * which is exactly the batch=1024 throughput droop BENCH_batch
+     * used to show. Beyond kTargetChunks * kMaxChunkRows rows the
+     * chunk *count* grows instead (prepare() sizes one scratch slot
+     * per chunk, however many there are).
      */
     static std::size_t chunkGrain(std::size_t n);
 
-    /** Upper bound on chunks (and scratch partitions) per pass. */
-    static constexpr std::size_t kMaxChunks = 16;
+    /** Preferred number of chunks (scratch partitions) per pass. */
+    static constexpr std::size_t kTargetChunks = 16;
+
+    /**
+     * Cap on rows per chunk: keeps every per-slot activation /
+     * encoding buffer L2-resident whatever the batch size. Swept
+     * empirically over {32, 64, 128} on the family predict paths at
+     * batch 1024: 64 maximizes the GCN-encoder families (scalable
+     * drops ~10% at 32 and ~35% at 128, where the droop this cap
+     * exists to fix reappears); the MLP-only families are flat
+     * across the range.
+     */
+    static constexpr std::size_t kMaxChunkRows = 64;
 
     /**
      * Fan fn(scratch, row_begin, row_end) over the prepared batch on

@@ -1,0 +1,69 @@
+#include "core/rank_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace hwpr::core
+{
+
+bool
+EncodingCache::lookup(const nasbench::Architecture &arch,
+                      double *dst) const
+{
+    const std::uint64_t k = keyOf(arch);
+    std::shared_lock lock(mu_);
+    const auto it = rows_.find(k);
+    if (it == rows_.end())
+        return false;
+    std::memcpy(dst, it->second.data(), width_ * sizeof(double));
+    return true;
+}
+
+void
+EncodingCache::insert(const nasbench::Architecture &arch,
+                      const double *row)
+{
+    const std::uint64_t k = keyOf(arch);
+    std::unique_lock lock(mu_);
+    if (rows_.size() >= kMaxEntries)
+        return;
+    rows_.try_emplace(k, row, row + width_);
+}
+
+void
+gatherEncodings(const ArchEncoder &enc,
+                std::span<const nasbench::Architecture> archs,
+                EncodingCache &cache, nn::PredictScratch &scratch,
+                Matrix &dst)
+{
+    const std::size_t width = cache.width();
+    HWPR_ASSERT(dst.rows() == archs.size() && dst.cols() == width,
+                "gatherEncodings destination shape mismatch");
+
+    // Hit pass: copy cached rows, collect misses in order.
+    std::vector<std::size_t> miss_rows;
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        if (!cache.lookup(archs[i], &dst.raw()[i * width]))
+            miss_rows.push_back(i);
+    if (miss_rows.empty())
+        return;
+
+    // Miss pass: one batched encode for all misses of the chunk. The
+    // encoded rows are bit-identical to any other batch composition
+    // containing the same arch, so cache state never changes results.
+    std::vector<nasbench::Architecture> miss;
+    miss.reserve(miss_rows.size());
+    for (const std::size_t i : miss_rows)
+        miss.push_back(archs[i]);
+    const Matrix &fresh = enc.encodeBatchInto(miss, scratch);
+    for (std::size_t m = 0; m < miss_rows.size(); ++m) {
+        const double *src = &fresh.raw()[m * width];
+        std::memcpy(&dst.raw()[miss_rows[m] * width], src,
+                    width * sizeof(double));
+        cache.insert(miss[m], src);
+    }
+}
+
+} // namespace hwpr::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Frozen-encoder memoization for the rank-only fast path.
+ *
+ * After a surrogate is fitted its encoder weights never change, so an
+ * architecture's encoding is a pure function of the architecture. The
+ * rank path exploits that: EncodingCache memoizes encoding rows by
+ * architecture hash, and gatherEncodings() fills a chunk's encoding
+ * matrix from the cache, batch-encoding only the misses. In the
+ * steady state of a search — populations overlap heavily from
+ * generation to generation, and selection re-scores survivors every
+ * round — almost every row is a hit, which is what lets the int8 head
+ * path clear 2x over fp64 end to end (the encoder dominates a cold
+ * fp64 pass; see DESIGN.md "Quantized rank path").
+ *
+ * Determinism: cached rows are bitwise identical to freshly encoded
+ * ones (encodeBatchInto is bit-identical across batch compositions —
+ * the batched-vs-scalar property), so results never depend on cache
+ * state, insertion order, or which thread warmed an entry. The table
+ * is guarded by a shared_mutex: chunk workers take shared locks on
+ * lookup and an exclusive lock only to publish a miss.
+ */
+
+#ifndef HWPR_CORE_RANK_CACHE_H
+#define HWPR_CORE_RANK_CACHE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/matrix.h"
+#include "core/encoding.h"
+#include "nasbench/arch.h"
+#include "nn/scratch.h"
+
+namespace hwpr::core
+{
+
+/** Thread-safe arch-hash -> encoding-row memo table. */
+class EncodingCache
+{
+  public:
+    /** Set the encoding width; clears any cached rows. */
+    void
+    init(std::size_t width)
+    {
+        std::unique_lock lock(mu_);
+        width_ = width;
+        rows_.clear();
+    }
+
+    std::size_t width() const { return width_; }
+
+    /**
+     * Copy the cached encoding of @p arch into @p dst (width()
+     * doubles). Returns false on a miss.
+     */
+    bool lookup(const nasbench::Architecture &arch, double *dst) const;
+
+    /** Publish an encoding row (no-op once the capacity cap hits). */
+    void insert(const nasbench::Architecture &arch, const double *row);
+
+    /** Cached rows (diagnostics). */
+    std::size_t
+    size() const
+    {
+        std::shared_lock lock(mu_);
+        return rows_.size();
+    }
+
+    /**
+     * Capacity cap: a million encodings is far past any search
+     * footprint; beyond it new rows are simply recomputed each call.
+     */
+    static constexpr std::size_t kMaxEntries = 1u << 20;
+
+  private:
+    static std::uint64_t
+    keyOf(const nasbench::Architecture &arch)
+    {
+        // Fixed salt decorrelates from other hash users of arch.
+        return arch.hash(0x9a7e5c0de5a17ull);
+    }
+
+    mutable std::shared_mutex mu_;
+    std::unordered_map<std::uint64_t, std::vector<double>> rows_;
+    std::size_t width_ = 0;
+};
+
+/**
+ * Fill @p dst (archs.size() x cache.width()) with the encodings of
+ * @p archs: cache hits are copied, misses are batch-encoded through
+ * @p enc into @p scratch, written back to @p dst and published to the
+ * cache. @p dst must be acquired from @p scratch (or otherwise owned
+ * by the caller) before the call.
+ */
+void gatherEncodings(const ArchEncoder &enc,
+                     std::span<const nasbench::Architecture> archs,
+                     EncodingCache &cache, nn::PredictScratch &scratch,
+                     Matrix &dst);
+
+} // namespace hwpr::core
+
+#endif // HWPR_CORE_RANK_CACHE_H

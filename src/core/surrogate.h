@@ -100,6 +100,33 @@ class Surrogate
                  BatchPlan &plan) const;
 
     /**
+     * Rank-only batched prediction: same output shape and the same
+     * *ordering* semantics as predictBatch, but values may be
+     * computed on a cheaper, lower-precision path (int8 heads, frozen
+     * encoder memoization, flattened GBDT descent). Callers that only
+     * compare rows — environmental selection, tournament picks — can
+     * use this; anything that reports absolute numbers must use
+     * predictBatch (or re-score, see DESIGN.md "Quantized rank
+     * path"). The default is simply predictBatch; families override
+     * it where a cheaper route exists. Rank agreement is gated at
+     * Kendall tau >= 0.98 vs fp64 in CI.
+     */
+    virtual const Matrix &
+    rankBatch(std::span<const nasbench::Architecture> archs,
+              BatchPlan &plan) const
+    {
+        return predictBatch(archs, plan);
+    }
+
+    /**
+     * Short stable identifier used in metrics keys, e.g.
+     * "predict.tau_int8.<familyLabel>". Matches the forEachChunk
+     * family strings ("hwprnas", "scalable", "brpnas", "gates",
+     * "lut").
+     */
+    virtual std::string familyLabel() const { return "surrogate"; }
+
+    /**
      * Serialize to a binary checkpoint. Default: unsupported
      * (returns false without touching the filesystem).
      */
@@ -118,10 +145,13 @@ class Surrogate
 class SurrogateEvaluator : public search::Evaluator
 {
   public:
+    /**
+     * Rank-only mode starts from the HWPR_RANK_ONLY environment
+     * variable (any value but "" / "0" enables it); setRankOnly()
+     * overrides either way.
+     */
     explicit SurrogateEvaluator(const Surrogate &model,
-                                double sim_seconds_per_eval = 0.0)
-        : model_(model), simSecondsPerEval_(sim_seconds_per_eval)
-    {}
+                                double sim_seconds_per_eval = 0.0);
 
     search::EvalKind kind() const override { return model_.evalKind(); }
     std::string name() const override { return model_.name(); }
@@ -141,7 +171,21 @@ class SurrogateEvaluator : public search::Evaluator
         return simSecondsPerEval_ * double(batch);
     }
 
+    /**
+     * Route evaluations through Surrogate::rankBatch (the quantized
+     * rank-only fast path) instead of predictBatch. Selection then
+     * runs on approximate scores; any *reported* front must be
+     * re-scored in fp64 (search::rescoreFitness does this, and
+     * `hwpr search` applies it automatically).
+     */
+    void setRankOnly(bool on) { rankOnly_ = on; }
+    bool rankOnly() const { return rankOnly_; }
+
   private:
+    /** rankBatch + rank_only counter + one-shot tau self-check. */
+    const Matrix &
+    rankPredict(const std::vector<nasbench::Architecture> &archs);
+
     const Surrogate &model_;
     /**
      * One plan per search, reused across generations: population
@@ -150,6 +194,9 @@ class SurrogateEvaluator : public search::Evaluator
      */
     BatchPlan plan_;
     double simSecondsPerEval_;
+    bool rankOnly_ = false;
+    /** First rank-only batch also runs fp64 and gauges the tau. */
+    bool tauSelfChecked_ = false;
 };
 
 /**

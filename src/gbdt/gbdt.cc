@@ -51,6 +51,7 @@ Gbdt::fit(const Matrix &x, const std::vector<double> &y, Rng &rng,
     HWPR_CHECK(x.rows() == y.size(), "row/label count mismatch");
     HWPR_CHECK(!y.empty(), "cannot fit on an empty dataset");
     trees_.clear();
+    invalidateFlat();
 
     base_ = mean(y);
     std::vector<double> pred(y.size(), base_);
@@ -119,14 +120,58 @@ Gbdt::predict(const Matrix &x) const
 Matrix
 Gbdt::predictBatch(const Matrix &x) const
 {
+    ensureFlat();
     Matrix out(x.rows(), 1);
     ExecContext::global().pool->parallelFor(
         0, x.rows(), kPredictGrain,
         [&](std::size_t i0, std::size_t i1) {
             for (std::size_t i = i0; i < i1; ++i)
-                out(i, 0) = predictRow(x, i);
+                out(i, 0) = predictRowFlat(x, i);
         });
     return out;
+}
+
+void
+Gbdt::ensureFlat() const
+{
+    if (flatBuilt_.load(std::memory_order_acquire))
+        return;
+    std::lock_guard<std::mutex> lock(flatMu_);
+    if (flatBuilt_.load(std::memory_order_relaxed))
+        return;
+    flat_ = FlatForest{};
+    std::size_t total = 0;
+    for (const auto &tree : trees_) {
+        flat_.roots.push_back(std::int32_t(flat_.feature.size()));
+        flat_.depth.push_back(std::uint32_t(tree.flattenInto(
+            flat_.feature, flat_.threshold, flat_.left, flat_.right,
+            flat_.weight)));
+        total = flat_.feature.size();
+    }
+    HWPR_CHECK(total < (std::size_t(1) << 31),
+               "flat forest exceeds int32 indexing");
+    flatBuilt_.store(true, std::memory_order_release);
+}
+
+double
+Gbdt::predictRowFlat(const Matrix &x, std::size_t row) const
+{
+    const FlatForest &f = flat_;
+    double acc = base_;
+    for (std::size_t t = 0; t < f.roots.size(); ++t) {
+        std::int32_t idx = f.roots[t];
+        // Branch-free descent: fixed per-tree trip count, self-loop
+        // leaves absorb the surplus steps. Same comparisons and the
+        // same per-tree accumulation as predictRow().
+        const std::uint32_t depth = f.depth[std::size_t(t)];
+        for (std::uint32_t d = 0; d < depth; ++d) {
+            const std::size_t i = std::size_t(idx);
+            idx = x(row, f.feature[i]) <= f.threshold[i] ? f.left[i]
+                                                         : f.right[i];
+        }
+        acc += cfg_.learningRate * f.weight[std::size_t(idx)];
+    }
+    return acc;
 }
 
 double
@@ -152,6 +197,7 @@ bool
 Gbdt::loadFrom(BinaryReader &r, std::size_t num_features)
 {
     trees_.clear();
+    invalidateFlat();
     cfg_.learningRate = r.readDouble();
     base_ = r.readDouble();
     const std::uint64_t count = r.readU64();

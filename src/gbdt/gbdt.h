@@ -10,7 +10,10 @@
 #ifndef HWPR_GBDT_GBDT_H
 #define HWPR_GBDT_GBDT_H
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/matrix.h"
@@ -62,10 +65,20 @@ class Gbdt
      * Predict all rows of @p x as an (n x 1) matrix, fanning the tree
      * traversals out over the global ExecContext pool. Rows are
      * independent, so results are identical at every thread count.
+     *
+     * Runs on the flattened SoA node arrays (built lazily after
+     * fit/load): contiguous feature/threshold/child blocks with a
+     * branch-free fixed-depth descent per tree. The comparisons and
+     * the accumulation order match predictRow() exactly, so the two
+     * paths are bit-identical — predictRow() is the kept oracle
+     * (tests/prop/test_prop_quant.cc checks them against each other).
      */
     Matrix predictBatch(const Matrix &x) const;
 
-    /** Predict a single row. */
+    /**
+     * Predict a single row by walking the node structs (the oracle
+     * path; also what fit-time boosting uses via the trees directly).
+     */
     double predictRow(const Matrix &x, std::size_t row) const;
 
     /**
@@ -85,9 +98,37 @@ class Gbdt
     const GbdtConfig &config() const { return cfg_; }
 
   private:
+    /**
+     * Flattened SoA view of the whole ensemble: one contiguous block
+     * per field, absolute child indices, self-loop leaves (see
+     * RegressionTree::flattenInto). depth[t] bounds tree t's descent
+     * so the inner loop has a data-independent trip count.
+     */
+    struct FlatForest
+    {
+        std::vector<std::uint32_t> feature;
+        std::vector<double> threshold;
+        std::vector<std::int32_t> left;
+        std::vector<std::int32_t> right;
+        std::vector<double> weight;
+        std::vector<std::int32_t> roots;
+        std::vector<std::uint32_t> depth;
+    };
+
+    /** Build flat_ if stale (double-checked; safe under concurrent
+     *  const predict calls, which tests exercise under TSan). */
+    void ensureFlat() const;
+    /** Invalidate the flat view after fit()/loadFrom(). */
+    void invalidateFlat() { flatBuilt_.store(false); }
+    /** predictRow() on the flat arrays; bit-identical to it. */
+    double predictRowFlat(const Matrix &x, std::size_t row) const;
+
     GbdtConfig cfg_;
     double base_ = 0.0;
     std::vector<RegressionTree> trees_;
+    mutable FlatForest flat_;
+    mutable std::mutex flatMu_;
+    mutable std::atomic<bool> flatBuilt_{false};
 };
 
 } // namespace hwpr::gbdt

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <queue>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -247,6 +249,48 @@ RegressionTree::predictRow(const Matrix &x, std::size_t row) const
                   : nodes_[idx].right;
     }
     return nodes_[idx].weight;
+}
+
+std::size_t
+RegressionTree::flattenInto(std::vector<std::uint32_t> &feature,
+                            std::vector<double> &threshold,
+                            std::vector<std::int32_t> &left,
+                            std::vector<std::int32_t> &right,
+                            std::vector<double> &weight) const
+{
+    HWPR_ASSERT(fitted(), "flatten of an unfitted tree");
+    const std::size_t base = feature.size();
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        // Leaf self-loop: x(row, 0) <= +inf always descends "left"
+        // back to the leaf itself (and a NaN feature goes "right",
+        // also to the leaf), so extra descent steps are no-ops.
+        feature.push_back(n.leaf ? 0u : std::uint32_t(n.feature));
+        threshold.push_back(
+            n.leaf ? std::numeric_limits<double>::infinity()
+                   : n.threshold);
+        left.push_back(std::int32_t(
+            base + (n.leaf ? i : std::size_t(n.left))));
+        right.push_back(std::int32_t(
+            base + (n.leaf ? i : std::size_t(n.right))));
+        weight.push_back(n.weight);
+    }
+
+    // Depth = max interior hops from root to any leaf.
+    std::size_t maxd = 0;
+    std::vector<std::pair<int, std::size_t>> stack;
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+        const auto [idx, d] = stack.back();
+        stack.pop_back();
+        if (nodes_[std::size_t(idx)].leaf) {
+            maxd = std::max(maxd, d);
+            continue;
+        }
+        stack.push_back({nodes_[std::size_t(idx)].left, d + 1});
+        stack.push_back({nodes_[std::size_t(idx)].right, d + 1});
+    }
+    return maxd;
 }
 
 std::size_t

@@ -16,6 +16,7 @@
 #define HWPR_GBDT_TREE_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/matrix.h"
@@ -68,6 +69,19 @@ class RegressionTree
 
     /** Predict the leaf weight for one feature row. */
     double predictRow(const Matrix &x, std::size_t row) const;
+
+    /**
+     * Append this tree's nodes to SoA arrays for the branch-free flat
+     * descent (Gbdt's fast path). Child indices are absolute into the
+     * shared arrays; leaves become self-loops (left = right = self,
+     * threshold = +inf) so a descent loop of fixed trip count parks on
+     * the leaf. Returns the tree's depth (max root-to-leaf hops).
+     */
+    std::size_t flattenInto(std::vector<std::uint32_t> &feature,
+                            std::vector<double> &threshold,
+                            std::vector<std::int32_t> &left,
+                            std::vector<std::int32_t> &right,
+                            std::vector<double> &weight) const;
 
     /** Number of leaves in the fitted tree. */
     std::size_t numLeaves() const;

@@ -78,6 +78,40 @@ Linear::predictBatchInto(const Matrix &x, Matrix &out) const
     }
 }
 
+void
+Linear::predictBatchFusedInto(const Matrix &x, Matrix &out,
+                              Activation act) const
+{
+    HWPR_ASSERT(out.rows() == x.rows() && out.cols() == outDim(),
+                "predictBatchFusedInto output shape mismatch");
+    x.matmulInto(w_.value(), out);
+    const double *b = b_.value().data();
+    const std::size_t cols = out.cols();
+    if (act == Activation::None || act == Activation::ReLU) {
+        // Fused epilogue: bias + (optional) ReLU in one sweep. Both
+        // ops are exact per element, so fusing cannot change bits —
+        // each element sees the same add and the same max as the
+        // separate sweeps, just without the intermediate store pass.
+        const bool relu = act == Activation::ReLU;
+        for (std::size_t i = 0; i < out.rows(); ++i) {
+            double *dst = &out.raw()[i * cols];
+            for (std::size_t j = 0; j < cols; ++j) {
+                const double v = dst[j] + b[j];
+                dst[j] = relu && !(v > 0.0) ? 0.0 : v;
+            }
+        }
+        return;
+    }
+    // Tanh / Sigmoid: keep the separate libmvec sweep so the 4-lane
+    // phase matches every other caller of the detail:: maps.
+    for (std::size_t i = 0; i < out.rows(); ++i) {
+        double *dst = &out.raw()[i * cols];
+        for (std::size_t j = 0; j < cols; ++j)
+            dst[j] += b[j];
+    }
+    applyActivationInPlace(out, act);
+}
+
 Mlp::Mlp(const MlpConfig &cfg, Rng &rng, const std::string &name)
     : cfg_(cfg)
 {
@@ -130,8 +164,7 @@ Mlp::predictBatchInto(const Matrix &x, PredictScratch &scratch,
     const Matrix *cur = &x;
     for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
         Matrix &h = scratch.acquire(x.rows(), layers_[i].outDim());
-        layers_[i].predictBatchInto(*cur, h);
-        applyActivationInPlace(h, cfg_.activation);
+        layers_[i].predictBatchFusedInto(*cur, h, cfg_.activation);
         cur = &h;
     }
     layers_.back().predictBatchInto(*cur, out);

@@ -89,10 +89,27 @@ class Linear : public Module
      */
     void predictBatchInto(const Matrix &x, Matrix &out) const;
 
+    /**
+     * predictBatchInto with the bias add and the activation fused into
+     * one epilogue sweep over @p out. Only ReLU and None actually
+     * fuse — both are exact elementwise ops, so the result is
+     * bit-identical to the separate bias + activation sweeps. Tanh and
+     * Sigmoid fall back to the separate detail:: maps because those
+     * run 4-lane libmvec kernels whose lane phase must match every
+     * other caller (see nn/tensor.h).
+     */
+    void predictBatchFusedInto(const Matrix &x, Matrix &out,
+                               Activation act) const;
+
     std::vector<Tensor> params() const override { return {w_, b_}; }
 
     std::size_t inDim() const { return w_.rows(); }
     std::size_t outDim() const { return w_.cols(); }
+
+    /** Trained weight matrix (in x out), read-only. */
+    const Matrix &weight() const { return w_.value(); }
+    /** Trained bias row (1 x out), read-only. */
+    const Matrix &bias() const { return b_.value(); }
 
   private:
     Tensor w_, b_;
@@ -148,6 +165,9 @@ class Mlp : public Module
     std::vector<Tensor> params() const override;
 
     const MlpConfig &config() const { return cfg_; }
+
+    /** The affine layers, hidden-first (for quantize-at-freeze). */
+    const std::vector<Linear> &layers() const { return layers_; }
 
   private:
     MlpConfig cfg_;

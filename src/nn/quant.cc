@@ -1,0 +1,153 @@
+#include "nn/quant.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hwpr::nn
+{
+
+namespace
+{
+
+/**
+ * Sanity cap on layer width, far beyond any encoder in this codebase.
+ * The int64 accumulator itself tolerates 127 * 32767 * 2^41 — the
+ * cap exists to catch corrupted shapes, not overflow.
+ */
+constexpr std::size_t kMaxQuantInDim = std::size_t(1) << 16;
+
+} // namespace
+
+void
+QuantizedLinear::quantizeRow(const double *x, std::size_t n,
+                             std::int8_t *q, double &scale)
+{
+    double amax = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double a = std::fabs(x[k]);
+        if (a > amax)
+            amax = a;
+    }
+    scale = amax > 0.0 ? amax / 127.0 : 1.0;
+    const double inv = 1.0 / scale;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Half away from zero, clamped: deterministic on every libm.
+        long v = std::lround(x[k] * inv);
+        if (v > 127)
+            v = 127;
+        else if (v < -127)
+            v = -127;
+        q[k] = static_cast<std::int8_t>(v);
+    }
+}
+
+void
+QuantizedLinear::quantizeActRow(const double *x, std::size_t n,
+                                std::int16_t *q, double &scale)
+{
+    double amax = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        const double a = std::fabs(x[k]);
+        if (a > amax)
+            amax = a;
+    }
+    scale = amax > 0.0 ? amax / 32767.0 : 1.0;
+    const double inv = 1.0 / scale;
+    for (std::size_t k = 0; k < n; ++k) {
+        long v = std::lround(x[k] * inv);
+        if (v > 32767)
+            v = 32767;
+        else if (v < -32767)
+            v = -32767;
+        q[k] = static_cast<std::int16_t>(v);
+    }
+}
+
+QuantizedLinear::QuantizedLinear(const Linear &lin)
+    : in_(lin.inDim()), out_(lin.outDim())
+{
+    HWPR_CHECK(in_ > 0 && in_ <= kMaxQuantInDim,
+               "QuantizedLinear input dim out of sane range");
+    const Matrix &w = lin.weight(); // in x out, row-major
+    const Matrix &b = lin.bias();   // 1 x out
+
+    wq_.resize(in_ * out_);
+    wscale_.resize(out_);
+    bias_.resize(out_);
+
+    // Per-output-channel symmetric quantization of W's column j,
+    // packed contiguously (channel-major) for the int8 dot kernel.
+    std::vector<double> col(in_);
+    for (std::size_t j = 0; j < out_; ++j) {
+        for (std::size_t k = 0; k < in_; ++k)
+            col[k] = w(k, j);
+        double scale = 1.0;
+        quantizeRow(col.data(), in_, &wq_[j * in_], scale);
+        wscale_[j] = static_cast<float>(scale);
+        bias_[j] = b(0, j);
+    }
+}
+
+void
+QuantizedLinear::forwardQuantized(const std::int16_t *xq,
+                                  const double *xs, std::size_t n,
+                                  Matrix &out) const
+{
+    HWPR_ASSERT(out.rows() == n && out.cols() == out_,
+                "forwardQuantized output shape mismatch");
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::int16_t *xr = xq + r * in_;
+        const double sx = xs[r];
+        double *dst = &out.raw()[r * out_];
+        for (std::size_t j = 0; j < out_; ++j) {
+            const std::int8_t *wr = &wq_[j * in_];
+            std::int64_t acc = 0;
+            for (std::size_t k = 0; k < in_; ++k)
+                acc += std::int64_t(xr[k]) * std::int64_t(wr[k]);
+            dst[j] =
+                double(acc) * sx * double(wscale_[j]) + bias_[j];
+        }
+    }
+}
+
+QuantizedMlp::QuantizedMlp(const Mlp &mlp)
+    : act_(mlp.config().activation)
+{
+    layers_.reserve(mlp.layers().size());
+    for (const auto &layer : mlp.layers())
+        layers_.emplace_back(layer);
+}
+
+void
+QuantizedMlp::predictBatchInto(const Matrix &x,
+                               PredictScratch &scratch,
+                               Matrix &out) const
+{
+    HWPR_CHECK(frozen(), "QuantizedMlp used before freeze");
+    const std::size_t n = x.rows();
+    const Matrix *cur = &x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const QuantizedLinear &lin = layers_[i];
+        const bool last = i + 1 == layers_.size();
+
+        // Dynamic per-row input quantization into the scratch pools.
+        std::int16_t *xq = scratch.quantRows(n * lin.inDim()).data();
+        double *xs = scratch.quantScales(n).data();
+        for (std::size_t r = 0; r < n; ++r)
+            QuantizedLinear::quantizeActRow(
+                &cur->raw()[r * lin.inDim()], lin.inDim(),
+                xq + r * lin.inDim(), xs[r]);
+
+        Matrix &dst =
+            last ? out : scratch.acquire(n, lin.outDim());
+        lin.forwardQuantized(xq, xs, n, dst);
+        if (!last) {
+            // Activations stay fp64 (exact, cheap vs the GEMM).
+            applyActivationInPlace(dst, act_);
+            cur = &dst;
+        }
+    }
+}
+
+} // namespace hwpr::nn

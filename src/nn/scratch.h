@@ -78,6 +78,29 @@ class PredictScratch
      */
     std::vector<Edge> &edges() { return edges_; }
 
+    /**
+     * Reusable int16 row buffer for the quantized rank path
+     * (QuantizedMlp::predictBatchInto): holds one layer's quantized
+     * activations at a time. Call-scoped like edges(); grown to at
+     * least @p n elements, capacity persists across reset().
+     */
+    std::vector<std::int16_t> &
+    quantRows(std::size_t n)
+    {
+        if (qrows_.size() < n)
+            qrows_.resize(n);
+        return qrows_;
+    }
+
+    /** Per-row input scales of the quantized path (call-scoped). */
+    std::vector<double> &
+    quantScales(std::size_t n)
+    {
+        if (qscales_.size() < n)
+            qscales_.resize(n);
+        return qscales_;
+    }
+
     /** Buffers currently pooled (diagnostics). */
     std::size_t numBuffers() const { return slots_.size(); }
 
@@ -95,6 +118,8 @@ class PredictScratch
      */
     std::deque<Slot> slots_;
     std::vector<Edge> edges_;
+    std::vector<std::int16_t> qrows_;
+    std::vector<double> qscales_;
 };
 
 } // namespace hwpr::nn
