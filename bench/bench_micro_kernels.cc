@@ -387,6 +387,7 @@ emitBatchJson(const std::string &path, bool quick)
         return 1;
     }
     out << "{\n  \"bench\": \"bench_micro_kernels --batch-json\",\n"
+        << "  \"meta\": " << obs::runMetaJson("  ") << ",\n"
         << "  \"hardware_threads\": " << hw << ",\n"
         << "  \"cases\": [";
 
@@ -537,6 +538,7 @@ emitQuantJson(const std::string &path, bool quick)
         return 1;
     }
     out << "{\n  \"bench\": \"bench_micro_kernels --quant-json\",\n"
+        << "  \"meta\": " << obs::runMetaJson("  ") << ",\n"
         << "  \"note\": \"int8 ops/s measured warm: encodings are "
            "memoized after the first rankBatch pass, which is the "
            "steady-state regime of a search loop re-scoring stable "

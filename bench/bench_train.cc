@@ -238,6 +238,7 @@ run(const std::string &json_path, const std::string &baseline_path,
         return 1;
     }
     out << "{\n  \"bench\": \"bench_train\",\n"
+        << "  \"meta\": " << obs::runMetaJson("  ") << ",\n"
         << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
         << "  \"hardware_threads\": " << hw_threads << ",\n"
         << "  \"default_threads\": " << default_threads << ",\n"

@@ -1,0 +1,147 @@
+#include "common/ledger.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/obs.h"
+
+namespace hwpr::ledger
+{
+
+namespace
+{
+
+std::string
+quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+number(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Collapse pretty-printed JSON onto one line so the ledger stays
+ *  one-record-per-line. Only strips newlines and their indentation —
+ *  string values in our writers never contain either. */
+std::string
+oneLine(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size());
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '\n') {
+            while (i + 1 < json.size() &&
+                   (json[i + 1] == ' ' || json[i + 1] == '\t'))
+                ++i;
+            continue;
+        }
+        out += json[i];
+    }
+    return out;
+}
+
+} // namespace
+
+Record::Record(const std::string &command) : command_(command) {}
+
+Record &
+Record::add(const std::string &key, double value)
+{
+    fields_.emplace_back(key, number(value));
+    return *this;
+}
+
+Record &
+Record::add(const std::string &key, const std::string &value)
+{
+    fields_.emplace_back(key, quote(value));
+    return *this;
+}
+
+Record &
+Record::addRaw(const std::string &key, const std::string &json)
+{
+    fields_.emplace_back(key, oneLine(json));
+    return *this;
+}
+
+std::string
+Record::toJsonLine() const
+{
+    const obs::ResourceUsage u = obs::resourceUsage();
+    std::ostringstream out;
+    out << "{\"command\": " << quote(command_)
+        << ", \"git_sha\": " << quote(obs::gitSha());
+    for (const auto &[k, v] : fields_)
+        out << ", " << quote(k) << ": " << v;
+    out << ", \"peak_rss_kb\": " << number(u.peakRssKb)
+        << ", \"user_sec\": " << number(u.userSec)
+        << ", \"sys_sec\": " << number(u.sysSec) << "}";
+    return out.str();
+}
+
+std::string
+ledgerPath()
+{
+    if (const char *env = std::getenv("HWPR_LEDGER"))
+        return env; // "" disables explicitly
+    struct stat st;
+    if (::stat("bench/out", &st) == 0 && S_ISDIR(st.st_mode))
+        return "bench/out/ledger.jsonl";
+    return "";
+}
+
+bool
+append(const Record &rec)
+{
+    const std::string path = ledgerPath();
+    if (path.empty())
+        return false;
+    return appendTo(path, rec);
+}
+
+bool
+appendTo(const std::string &path, const Record &rec)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        return false;
+    out << rec.toJsonLine() << "\n";
+    return bool(out);
+}
+
+} // namespace hwpr::ledger

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Run ledger: an append-only JSONL record of every fit/search run
+ * (see DESIGN.md "Performance observatory").
+ *
+ * Each `hwpr train` / `hwpr search` invocation appends one line —
+ * git sha, command, config, seed, wall-clock, peak RSS, headline
+ * quality numbers, and the full metrics snapshot — so regressions
+ * can be traced across weeks of runs with `hwpr-obs ledger` instead
+ * of hand-kept BENCH files.
+ *
+ * Destination: the HWPR_LEDGER env var when set; otherwise
+ * bench/out/ledger.jsonl *if that directory already exists* (so runs
+ * from scratch build trees do not scatter ledger files); otherwise
+ * recording is silently skipped. Appends are a single write per
+ * line, so concurrent runs interleave whole records.
+ */
+
+#ifndef HWPR_COMMON_LEDGER_H
+#define HWPR_COMMON_LEDGER_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hwpr::ledger
+{
+
+/** One run record; append fields in the order they should serialize. */
+class Record
+{
+  public:
+    /** @p command names the run kind, e.g. "train" or "search". */
+    explicit Record(const std::string &command);
+
+    Record &add(const std::string &key, double value);
+    Record &add(const std::string &key, const std::string &value);
+    /** Embed @p json verbatim (must already be valid JSON). */
+    Record &addRaw(const std::string &key, const std::string &json);
+
+    /**
+     * One-line JSON for this record. Always carries the implicit
+     * fields: "command", "git_sha", and the getrusage vitals
+     * (peak_rss_kb, user_sec, sys_sec) captured at call time.
+     */
+    std::string toJsonLine() const;
+
+  private:
+    std::string command_;
+    /** (key, already-serialized JSON value), insertion-ordered. */
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/**
+ * Resolve the ledger destination: HWPR_LEDGER if set and non-empty,
+ * else "bench/out/ledger.jsonl" when bench/out exists relative to
+ * the working directory, else "" (recording disabled).
+ */
+std::string ledgerPath();
+
+/**
+ * Append @p rec to the resolved ledger path. Returns false (without
+ * throwing) when recording is disabled or the file cannot be opened
+ * — a missing ledger must never fail a run.
+ */
+bool append(const Record &rec);
+
+/** Append to an explicit path (testing / tooling). */
+bool appendTo(const std::string &path, const Record &rec);
+
+} // namespace hwpr::ledger
+
+#endif // HWPR_COMMON_LEDGER_H

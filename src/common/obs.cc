@@ -1,16 +1,27 @@
 #include "common/obs.h"
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <thread>
+
+#ifndef HWPR_GIT_SHA
+#define HWPR_GIT_SHA "unknown"
+#endif
+#ifndef HWPR_BUILD_FLAGS
+#define HWPR_BUILD_FLAGS "unknown"
+#endif
 
 namespace hwpr::obs
 {
@@ -20,8 +31,29 @@ namespace detail
 
 std::atomic<bool> g_tracing{false};
 std::atomic<bool> g_metrics{false};
+std::atomic<bool> g_profiling{false};
+std::atomic<bool> g_span_armed{false};
 
 } // namespace detail
+
+namespace
+{
+
+/** Keep the one-load span guard equal to tracing || profiling. */
+void
+recomputeSpanArmed()
+{
+    detail::g_span_armed.store(
+        detail::g_tracing.load(std::memory_order_relaxed) ||
+            detail::g_profiling.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+}
+
+/** True once the profiler has ever been armed this process (the
+ *  snapshot then always carries a "profile" key). */
+bool profileEverArmed();
+
+} // namespace
 
 double
 nowMicros()
@@ -126,6 +158,37 @@ std::uint64_t
 Histogram::bucketCount(std::size_t i) const
 {
     return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Target observation index (1-based); walk cumulative counts.
+    const double target = q * double(n);
+    double cum = 0.0;
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        const double bn = double(bucketCount(i));
+        if (bn == 0.0)
+            continue;
+        if (cum + bn >= target || i == bounds_.size()) {
+            if (i == bounds_.size())
+                // Overflow bucket has no finite upper edge: clamp to
+                // the last bound (documented under-estimate).
+                return bounds_.empty() ? 0.0 : bounds_.back();
+            const double hi = bounds_[i];
+            const double lo =
+                i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+            const double frac =
+                std::min(1.0, std::max(0.0, (target - cum) / bn));
+            return lo + frac * (hi - lo);
+        }
+        cum += bn;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void
@@ -266,6 +329,9 @@ Registry::snapshotJson(const std::string &indent) const
             << in2 << "\"" << name << "\": {\"count\": " << h->count()
             << ", \"sum\": " << jsonNumber(h->sum())
             << ", \"mean\": " << jsonNumber(h->mean())
+            << ", \"p50\": " << jsonNumber(h->percentile(0.50))
+            << ", \"p90\": " << jsonNumber(h->percentile(0.90))
+            << ", \"p99\": " << jsonNumber(h->percentile(0.99))
             << ", \"buckets\": [";
         // Only non-empty buckets: [upper_bound_or_inf, count].
         bool bfirst = true;
@@ -284,7 +350,10 @@ Registry::snapshotJson(const std::string &indent) const
         out << "]}";
         first = false;
     }
-    out << (first ? "" : "\n" + in1) << "}\n" << indent << "}";
+    out << (first ? "" : "\n" + in1) << "}";
+    if (profileEverArmed())
+        out << ",\n" << in1 << "\"profile\": " << profileJson(in1);
+    out << "\n" << indent << "}";
     return out.str();
 }
 
@@ -331,6 +400,14 @@ struct TraceEvent
  * Per-thread event buffer. Owned by the global TraceState (not the
  * thread), so events survive thread exit; only the owning thread
  * appends, so recording needs no lock.
+ *
+ * The profiler's shadow stack lives here too: the owning thread
+ * pushes/pops span-name literals (relaxed stores) and publishes the
+ * depth with a release store; the sampler thread reads the depth with
+ * an acquire load and then the frames below it. A sample racing a
+ * push/pop can at worst see the neighbouring stack state — both are
+ * valid attributions for that instant, and every frame it can read is
+ * a string literal, so the read is always safe.
  */
 struct ThreadBuffer
 {
@@ -338,6 +415,27 @@ struct ThreadBuffer
     std::string threadName;
     std::vector<TraceEvent> events;
     std::uint64_t dropped = 0;
+
+    static constexpr std::size_t kMaxProfileDepth = 64;
+    std::atomic<const char *> frames[kMaxProfileDepth] = {};
+    std::atomic<std::uint32_t> depth{0};
+
+    void
+    pushFrame(const char *name)
+    {
+        const std::uint32_t d =
+            depth.load(std::memory_order_relaxed);
+        if (d < kMaxProfileDepth)
+            frames[d].store(name, std::memory_order_relaxed);
+        depth.store(d + 1, std::memory_order_release);
+    }
+
+    void
+    popFrame()
+    {
+        depth.store(depth.load(std::memory_order_relaxed) - 1,
+                    std::memory_order_release);
+    }
 };
 
 /** Buffer cap per thread; drops are counted, never silent. */
@@ -373,6 +471,117 @@ threadBuffer()
     return *buf;
 }
 
+// ---------------------------------------------------------------------
+// Profiler state
+// ---------------------------------------------------------------------
+
+/** Flat-profile cell: leaf hits and on-stack hits for one span. */
+struct FlatEntry
+{
+    std::uint64_t self = 0;
+    std::uint64_t total = 0;
+};
+
+struct ProfilerState
+{
+    /** Guards aggregation and sampler thread management. */
+    std::mutex mu;
+    std::thread sampler;
+    std::atomic<bool> running{false};
+    std::uint64_t intervalUs = 1000;
+    bool everArmed = false;
+
+    /** Aggregates (under mu). std::map keeps exports name-sorted. */
+    std::uint64_t samples = 0;
+    std::map<std::string, FlatEntry> flat;
+    std::map<std::string, std::uint64_t> paths;
+};
+
+ProfilerState &
+profilerState()
+{
+    static ProfilerState *g = new ProfilerState; // leaked, see Registry
+    return *g;
+}
+
+/**
+ * One sampler tick: snapshot every thread's shadow stack, then
+ * attribute. Stack copies are taken under the trace registry mutex
+ * (the buffers vector may grow concurrently); aggregation happens
+ * under the profiler mutex.
+ */
+void
+profileSampleOnce(ProfilerState &prof)
+{
+    constexpr std::size_t kMax = ThreadBuffer::kMaxProfileDepth;
+    std::vector<std::array<const char *, kMax>> stacks;
+    std::vector<std::uint32_t> depths;
+    {
+        TraceState &state = traceState();
+        std::lock_guard<std::mutex> lock(state.mu);
+        for (const auto &buf : state.buffers) {
+            const std::uint32_t d = std::min<std::uint32_t>(
+                buf->depth.load(std::memory_order_acquire),
+                std::uint32_t(kMax));
+            if (d == 0)
+                continue;
+            stacks.emplace_back();
+            for (std::uint32_t i = 0; i < d; ++i)
+                stacks.back()[i] =
+                    buf->frames[i].load(std::memory_order_relaxed);
+            depths.push_back(d);
+        }
+    }
+    if (stacks.empty())
+        return;
+    std::lock_guard<std::mutex> lock(prof.mu);
+    std::string path;
+    for (std::size_t s = 0; s < stacks.size(); ++s) {
+        const std::uint32_t d = depths[s];
+        ++prof.samples;
+        path.clear();
+        for (std::uint32_t i = 0; i < d; ++i) {
+            const char *name = stacks[s][i];
+            if (name == nullptr) // racing push; attribute what we have
+                continue;
+            // Total time: once per distinct name per sample.
+            bool seen = false;
+            for (std::uint32_t j = 0; j < i; ++j)
+                seen = seen || stacks[s][j] == name;
+            if (!seen)
+                ++prof.flat[name].total;
+            if (!path.empty())
+                path += ';';
+            path += name;
+        }
+        if (const char *leaf = stacks[s][d - 1])
+            ++prof.flat[leaf].self;
+        if (!path.empty())
+            ++prof.paths[path];
+    }
+}
+
+void
+profileSamplerLoop()
+{
+    ProfilerState &prof = profilerState();
+    while (prof.running.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(prof.intervalUs));
+        if (!prof.running.load(std::memory_order_relaxed))
+            break;
+        profileSampleOnce(prof);
+    }
+}
+
+bool
+profileEverArmed()
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    return prof.everArmed;
+}
+
 std::string g_trace_path;   // set under traceState().mu
 std::string g_metrics_path; // set under traceState().mu
 
@@ -402,7 +611,8 @@ registerFlushAtExit()
     std::call_once(g_atexit_once, [] { std::atexit(flushAtExit); });
 }
 
-/** Arms collection from HWPR_TRACE / HWPR_METRICS before main(). */
+/** Arms collection from HWPR_TRACE / HWPR_METRICS / HWPR_PROFILE
+ *  before main(). */
 const bool g_env_init = [] {
     if (const char *path = std::getenv("HWPR_TRACE"))
         if (*path)
@@ -410,6 +620,17 @@ const bool g_env_init = [] {
     if (const char *path = std::getenv("HWPR_METRICS"))
         if (*path)
             enableMetrics(path);
+    if (const char *val = std::getenv("HWPR_PROFILE")) {
+        // "1" arms at the default interval; any value >= 2 is the
+        // sampling interval in microseconds. "0"/"" leave it off.
+        char *end = nullptr;
+        const unsigned long long n = std::strtoull(val, &end, 10);
+        if (*val && end && *end == '\0' && n > 0) {
+            if (n >= 2)
+                setProfileIntervalUs(n);
+            setProfilingEnabled(true);
+        }
+    }
     return true;
 }();
 
@@ -422,7 +643,13 @@ Span::open(const char *name, const TraceArg *args, std::size_t n)
     nargs_ = std::uint32_t(std::min(n, kMaxArgs));
     for (std::size_t i = 0; i < nargs_; ++i)
         args_[i] = args[i];
-    start_ = nowMicros();
+    if (profilingEnabled()) {
+        threadBuffer().pushFrame(name);
+        profiled_ = true;
+    }
+    traced_ = tracingEnabled();
+    if (traced_)
+        start_ = nowMicros();
 }
 
 void
@@ -430,7 +657,11 @@ Span::close()
 {
     // The end timestamp is taken first so buffer bookkeeping cost is
     // not charged to the span's duration.
-    const double end = nowMicros();
+    const double end = traced_ ? nowMicros() : 0.0;
+    if (profiled_)
+        threadBuffer().popFrame();
+    if (!traced_)
+        return;
     ThreadBuffer &buf = threadBuffer();
     if (buf.events.size() >= kMaxEventsPerThread) {
         ++buf.dropped;
@@ -450,6 +681,7 @@ void
 setTracingEnabled(bool on)
 {
     detail::g_tracing.store(on, std::memory_order_relaxed);
+    recomputeSpanArmed();
 }
 
 void
@@ -562,6 +794,173 @@ clearTrace()
         buf->events.clear();
         buf->dropped = 0;
     }
+}
+
+// ---------------------------------------------------------------------
+// Profiler
+// ---------------------------------------------------------------------
+
+void
+setProfilingEnabled(bool on)
+{
+    ProfilerState &prof = profilerState();
+    if (on) {
+        {
+            std::lock_guard<std::mutex> lock(prof.mu);
+            prof.everArmed = true;
+        }
+        if (prof.running.exchange(true))
+            return; // already sampling
+        detail::g_profiling.store(true, std::memory_order_relaxed);
+        recomputeSpanArmed();
+        prof.sampler = std::thread(profileSamplerLoop);
+        return;
+    }
+    detail::g_profiling.store(false, std::memory_order_relaxed);
+    recomputeSpanArmed();
+    if (!prof.running.exchange(false))
+        return;
+    // Join so aggregates are stable the moment this returns; the
+    // accumulated profile persists until clearProfile().
+    if (prof.sampler.joinable())
+        prof.sampler.join();
+}
+
+void
+setProfileIntervalUs(std::uint64_t us)
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    prof.intervalUs = std::max<std::uint64_t>(1, us);
+}
+
+std::uint64_t
+profileIntervalUs()
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    return prof.intervalUs;
+}
+
+void
+clearProfile()
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    prof.samples = 0;
+    prof.flat.clear();
+    prof.paths.clear();
+}
+
+std::uint64_t
+profileSampleCount()
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    return prof.samples;
+}
+
+std::uint64_t
+profileSelfSamples(const std::string &name)
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    const auto it = prof.flat.find(name);
+    return it == prof.flat.end() ? 0 : it->second.self;
+}
+
+std::string
+profileJson(const std::string &indent)
+{
+    ProfilerState &prof = profilerState();
+    std::lock_guard<std::mutex> lock(prof.mu);
+    const std::string in1 = indent + "  ";
+    const std::string in2 = indent + "    ";
+    std::ostringstream out;
+    out << "{\n"
+        << in1 << "\"armed\": "
+        << (detail::g_profiling.load(std::memory_order_relaxed)
+                ? "true"
+                : "false")
+        << ",\n"
+        << in1 << "\"interval_us\": " << prof.intervalUs << ",\n"
+        << in1 << "\"samples\": " << prof.samples << ",\n"
+        << in1 << "\"flat\": {";
+    bool first = true;
+    for (const auto &[name, e] : prof.flat) {
+        out << (first ? "" : ",") << "\n"
+            << in2 << "\"" << name << "\": {\"self\": " << e.self
+            << ", \"total\": " << e.total << ", \"self_us_est\": "
+            << jsonNumber(double(e.self) * double(prof.intervalUs))
+            << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n" + in1) << "},\n"
+        << in1 << "\"top_down\": {";
+    first = true;
+    for (const auto &[path, n] : prof.paths) {
+        out << (first ? "" : ",") << "\n"
+            << in2 << "\"" << path << "\": " << n;
+        first = false;
+    }
+    out << (first ? "" : "\n" + in1) << "}\n" << indent << "}";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------
+// Run metadata
+// ---------------------------------------------------------------------
+
+ResourceUsage
+resourceUsage()
+{
+    ResourceUsage u;
+    struct rusage ru;
+    std::memset(&ru, 0, sizeof(ru));
+    if (::getrusage(RUSAGE_SELF, &ru) != 0)
+        return u;
+    // Linux reports ru_maxrss in kilobytes.
+    u.peakRssKb = double(ru.ru_maxrss);
+    u.minorFaults = std::uint64_t(ru.ru_minflt);
+    u.majorFaults = std::uint64_t(ru.ru_majflt);
+    u.userSec = double(ru.ru_utime.tv_sec) +
+                double(ru.ru_utime.tv_usec) * 1e-6;
+    u.sysSec = double(ru.ru_stime.tv_sec) +
+               double(ru.ru_stime.tv_usec) * 1e-6;
+    return u;
+}
+
+const char *
+gitSha()
+{
+    return HWPR_GIT_SHA;
+}
+
+const char *
+buildFlags()
+{
+    return HWPR_BUILD_FLAGS;
+}
+
+std::string
+runMetaJson(const std::string &indent)
+{
+    const ResourceUsage u = resourceUsage();
+    const std::string in1 = indent + "  ";
+    std::ostringstream out;
+    out << "{\n"
+        << in1 << "\"build\": \"" << buildFlags() << "\",\n"
+        << in1 << "\"git_sha\": \"" << gitSha() << "\",\n"
+        << in1 << "\"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n"
+        << in1 << "\"page_faults_major\": " << u.majorFaults << ",\n"
+        << in1 << "\"page_faults_minor\": " << u.minorFaults << ",\n"
+        << in1 << "\"peak_rss_kb\": " << jsonNumber(u.peakRssKb)
+        << ",\n"
+        << in1 << "\"sys_sec\": " << jsonNumber(u.sysSec) << ",\n"
+        << in1 << "\"user_sec\": " << jsonNumber(u.userSec) << "\n"
+        << indent << "}";
+    return out.str();
 }
 
 namespace detail

@@ -30,10 +30,23 @@
  * setTracingEnabled()/setMetricsEnabled() and render in-memory with
  * traceJson()/Registry::snapshotJson().
  *
+ * Profiling. `HWPR_PROFILE=1` (or `=<interval_us>`) arms a
+ * self-sampling wall-clock profiler: every armed span additionally
+ * pushes its name onto a per-thread shadow stack, and a background
+ * sampler thread wakes on a fixed interval, reads every thread's
+ * innermost active span stack, and attributes the sample — self time
+ * to the leaf span, total time to every span on the stack, and one
+ * count to the full "a;b;c" path (folded-stack format). The resulting
+ * flat + top-down profile is embedded in the metrics snapshot
+ * ("profile" key) and in the bench JSONs. Cost when disarmed: nothing
+ * beyond the usual one-load span guard; when armed: two relaxed
+ * stores per span plus a 1 kHz reader thread.
+ *
  * Determinism. Recording only reads the steady clock — it never
- * touches an Rng or changes chunk layouts — so every bit-identical
+ * touches an Rng or changes chunk layouts — and the profiler's
+ * sampler only *reads* the shadow stacks, so every bit-identical
  * invariant (same-seed fits, thread-count-invariant searches) holds
- * with observability on and off.
+ * with observability and profiling on and off.
  *
  * Quiescence. Exporting or clearing the trace walks every thread's
  * buffer; call writeTrace()/traceJson()/clearTrace() only while no
@@ -59,6 +72,9 @@ namespace detail
 /** Collection master switches; read on every instrumentation site. */
 extern std::atomic<bool> g_tracing;
 extern std::atomic<bool> g_metrics;
+extern std::atomic<bool> g_profiling;
+/** tracing || profiling — the single load a Span constructor pays. */
+extern std::atomic<bool> g_span_armed;
 
 /**
  * Emit "<prefix><message>\n" to stderr as one write(2) so concurrent
@@ -83,6 +99,13 @@ inline bool
 metricsEnabled()
 {
     return detail::g_metrics.load(std::memory_order_relaxed);
+}
+
+/** True when the sampling profiler is armed (one relaxed load). */
+inline bool
+profilingEnabled()
+{
+    return detail::g_profiling.load(std::memory_order_relaxed);
 }
 
 /** Microseconds since an arbitrary process-stable epoch. */
@@ -147,6 +170,13 @@ class Histogram
     double sum() const;
     /** Mean of recorded values (0 when empty). */
     double mean() const;
+    /**
+     * Estimated @p q-quantile (q in [0, 1]) by linear interpolation
+     * inside the bucket holding the target observation; values in the
+     * overflow bucket clamp to the last finite bound. 0 when empty.
+     * The snapshot embeds p50/p90/p99 computed this way.
+     */
+    double percentile(double q) const;
     /** Observations in bucket @p i (bounds().size() + 1 buckets). */
     std::uint64_t bucketCount(std::size_t i) const;
     const std::vector<double> &bounds() const { return bounds_; }
@@ -261,13 +291,13 @@ class Span
   public:
     explicit Span(const char *name)
     {
-        if (tracingEnabled())
+        if (detail::g_span_armed.load(std::memory_order_relaxed))
             open(name, nullptr, 0);
     }
 
     Span(const char *name, std::initializer_list<TraceArg> args)
     {
-        if (tracingEnabled())
+        if (detail::g_span_armed.load(std::memory_order_relaxed))
             open(name, args.begin(), args.size());
     }
 
@@ -310,6 +340,10 @@ class Span
     const char *name_ = nullptr;
     double start_ = 0.0;
     std::uint32_t nargs_ = 0;
+    /** Tracing was armed at open: record a TraceEvent at close. */
+    bool traced_ = false;
+    /** A profile frame was pushed at open: pop it at close. */
+    bool profiled_ = false;
     TraceArg args_[kMaxArgs];
 };
 
@@ -347,6 +381,76 @@ std::size_t traceEventCount();
 
 /** Drop all recorded spans (tests only; see quiescence note). */
 void clearTrace();
+
+// ---------------------------------------------------------------------
+// Self-sampling wall-clock profiler
+// ---------------------------------------------------------------------
+
+/**
+ * Arm or disarm the sampling profiler (also what HWPR_PROFILE does).
+ * Arming starts the background sampler thread; disarming stops and
+ * joins it, so aggregates are stable once this returns. Aggregates
+ * accumulate across arm/disarm cycles until clearProfile().
+ */
+void setProfilingEnabled(bool on);
+
+/**
+ * Sampling interval in microseconds (default 1000). Takes effect the
+ * next time the profiler is armed; HWPR_PROFILE=<n> for n >= 2 sets
+ * it from the environment.
+ */
+void setProfileIntervalUs(std::uint64_t us);
+std::uint64_t profileIntervalUs();
+
+/** Drop all accumulated profile samples (tests / between runs). */
+void clearProfile();
+
+/**
+ * Samples attributed so far: one per (sampler tick, thread with at
+ * least one active span). Threads with empty span stacks contribute
+ * nothing.
+ */
+std::uint64_t profileSampleCount();
+
+/** Self samples attributed to span @p name (leaf-of-stack hits). */
+std::uint64_t profileSelfSamples(const std::string &name);
+
+/**
+ * The profile as JSON: {"armed", "interval_us", "samples", "flat":
+ * {name: {"self", "total", "self_us_est"}}, "top_down": {"a;b;c":
+ * samples}} with sorted keys. Registry::snapshotJson embeds this as
+ * the "profile" key whenever the profiler has ever been armed.
+ */
+std::string profileJson(const std::string &indent = "");
+
+// ---------------------------------------------------------------------
+// Run metadata (ledger + bench provenance)
+// ---------------------------------------------------------------------
+
+/** Process resource usage via getrusage(RUSAGE_SELF). */
+struct ResourceUsage
+{
+    double peakRssKb = 0.0;        ///< high-water resident set (kB)
+    std::uint64_t minorFaults = 0; ///< page reclaims (no I/O)
+    std::uint64_t majorFaults = 0; ///< page faults requiring I/O
+    double userSec = 0.0;          ///< user CPU time
+    double sysSec = 0.0;           ///< system CPU time
+};
+ResourceUsage resourceUsage();
+
+/** Git revision the binary was configured from ("unknown" outside a
+ *  checkout; injected by CMake as HWPR_GIT_SHA). */
+const char *gitSha();
+
+/** Build type + compiler flags string (injected by CMake). */
+const char *buildFlags();
+
+/**
+ * One JSON object with run provenance and vitals: build flags, git
+ * sha, hardware_threads, peak RSS and page-fault counts. Embedded in
+ * every bench JSON ("meta" key) and every ledger record.
+ */
+std::string runMetaJson(const std::string &indent = "");
 
 } // namespace hwpr::obs
 

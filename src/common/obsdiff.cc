@@ -1,0 +1,357 @@
+#include "common/obsdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hwpr::obsdiff
+{
+
+namespace
+{
+
+bool
+contains(const std::string &key, const char *needle)
+{
+    return key.find(needle) != std::string::npos;
+}
+
+bool
+endsWith(const std::string &key, const char *suffix)
+{
+    const std::size_t n = std::char_traits<char>::length(suffix);
+    return key.size() >= n &&
+           key.compare(key.size() - n, n, suffix) == 0;
+}
+
+/** Built-in ignores: run-to-run scheduling noise, not perf signal. */
+const char *const kDefaultIgnores[] = {
+    "threadpool.worker", // per-lane busy counters shift between runs
+    "threadpool.caller",
+    "profile.samples", // sampler tick counts scale with wall time
+    "dropped",
+    "page_faults", // warm-cache dependent
+    "user_sec",    // getrusage CPU split jitters with scheduling
+    "sys_sec",
+};
+
+/** Identity fields that key bench-case array elements, in priority
+ *  order; "threads"/"batch" are appended as t<n>/b<n> qualifiers. */
+const char *const kIdentityKeys[] = {"model", "kernel", "family",
+                                     "name"};
+
+std::string
+caseIdentity(const json::Value &v)
+{
+    std::string id;
+    for (const char *k : kIdentityKeys) {
+        const json::Value *f = v.find(k);
+        if (f != nullptr && f->isString()) {
+            id = f->asString();
+            break;
+        }
+    }
+    if (id.empty())
+        return id;
+    char buf[32];
+    if (const json::Value *b = v.find("batch");
+        b != nullptr && b->isNumber()) {
+        std::snprintf(buf, sizeof(buf), ".b%.0f", b->asNumber());
+        id += buf;
+    }
+    if (const json::Value *t = v.find("threads");
+        t != nullptr && t->isNumber()) {
+        std::snprintf(buf, sizeof(buf), ".t%.0f", t->asNumber());
+        id += buf;
+    }
+    return id;
+}
+
+} // namespace
+
+KeyClass
+classifyKey(const std::string &key)
+{
+    // Rate-like first: "ops_per_s" would otherwise match nothing
+    // time-like, but "steps_per_sec" must not fall through to the
+    // "sec" check below.
+    if (contains(key, "per_s") || contains(key, "speedup"))
+        return KeyClass::RateLike;
+    if (isMicrosecondKey(key) || contains(key, "seconds") ||
+        endsWith(key, "_sec") || contains(key, "rss") ||
+        contains(key, "wall"))
+        return KeyClass::TimeLike;
+    return KeyClass::CountLike;
+}
+
+bool
+isMicrosecondKey(const std::string &key)
+{
+    return endsWith(key, "_us") || endsWith(key, ".us") ||
+           endsWith(key, ".sum") || endsWith(key, ".mean") ||
+           endsWith(key, ".p50") || endsWith(key, ".p90") ||
+           endsWith(key, ".p99") || endsWith(key, "_us_est");
+}
+
+void
+flatten(const json::Value &v, const std::string &prefix,
+        std::map<std::string, double> &out)
+{
+    switch (v.kind()) {
+    case json::Value::Kind::Number:
+        out[prefix] = v.asNumber();
+        return;
+    case json::Value::Kind::Object:
+        for (const auto &[k, child] : v.asObject()) {
+            if (k == "buckets")
+                continue; // percentiles carry the histogram signal
+            flatten(child, prefix.empty() ? k : prefix + "." + k, out);
+        }
+        return;
+    case json::Value::Kind::Array: {
+        const auto &items = v.asArray();
+        for (std::size_t i = 0; i < items.size(); ++i) {
+            std::string id;
+            if (items[i].isObject())
+                id = caseIdentity(items[i]);
+            if (id.empty())
+                id = std::to_string(i);
+            flatten(items[i], prefix.empty() ? id : prefix + "." + id,
+                    out);
+        }
+        return;
+    }
+    default:
+        return; // strings/bools/nulls carry no perf signal
+    }
+}
+
+DiffResult
+diff(const json::Value &a, const json::Value &b,
+     const DiffOptions &opt)
+{
+    std::map<std::string, double> fa, fb;
+    flatten(a, "", fa);
+    flatten(b, "", fb);
+
+    std::vector<std::string> ignores(opt.ignore);
+    for (const char *ig : kDefaultIgnores)
+        ignores.emplace_back(ig);
+    const auto ignored = [&ignores](const std::string &key) {
+        for (const auto &ig : ignores)
+            if (key.find(ig) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    DiffResult r;
+    for (const auto &[key, va] : fa) {
+        if (ignored(key))
+            continue;
+        const auto it = fb.find(key);
+        if (it == fb.end()) {
+            r.onlyA.push_back(key);
+            continue;
+        }
+        const double vb = it->second;
+        ++r.compared;
+        DiffEntry e;
+        e.key = key;
+        e.a = va;
+        e.b = vb;
+        e.cls = classifyKey(key);
+        e.ratio = va != 0.0 ? vb / va : 0.0;
+        if (e.cls == KeyClass::TimeLike && va > 0.0 && vb > 0.0) {
+            const bool micro = isMicrosecondKey(key);
+            const bool clears =
+                !micro || std::max(va, vb) >= opt.absFloorUs;
+            e.regression = clears && vb > va * opt.tol;
+            e.improvement = clears && va > vb * opt.tol;
+        } else if (e.cls == KeyClass::RateLike && va > 0.0 &&
+                   vb > 0.0) {
+            e.regression = va > vb * opt.tol;
+            e.improvement = vb > va * opt.tol;
+        }
+        r.regressions += e.regression ? 1 : 0;
+        r.improvements += e.improvement ? 1 : 0;
+        r.entries.push_back(e);
+    }
+    for (const auto &[key, vb] : fb) {
+        if (!ignored(key) && fa.find(key) == fa.end())
+            r.onlyB.push_back(key);
+    }
+    return r;
+}
+
+namespace
+{
+
+std::string
+fmtNum(double v)
+{
+    char buf[32];
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+const char *
+className(KeyClass c)
+{
+    switch (c) {
+    case KeyClass::TimeLike:
+        return "time";
+    case KeyClass::RateLike:
+        return "rate";
+    default:
+        return "count";
+    }
+}
+
+} // namespace
+
+std::string
+markdownReport(const DiffResult &r, const std::string &labelA,
+               const std::string &labelB, const DiffOptions &opt)
+{
+    std::ostringstream out;
+    out << "# hwpr-obs diff\n\n"
+        << "Baseline `" << labelA << "` vs candidate `" << labelB
+        << "` — tolerance " << fmtNum(opt.tol) << "x, floor "
+        << fmtNum(opt.absFloorUs) << "us.\n\n"
+        << "**" << r.regressions << " regression(s), "
+        << r.improvements << " improvement(s), " << r.compared
+        << " keys compared.**\n";
+    const auto table = [&out, &labelA,
+                        &labelB](const char *title,
+                                 const std::vector<DiffEntry> &rows) {
+        if (rows.empty())
+            return;
+        out << "\n## " << title << "\n\n| key | class | " << labelA
+            << " | " << labelB << " | ratio |\n"
+            << "|---|---|---|---|---|\n";
+        for (const DiffEntry &e : rows)
+            out << "| `" << e.key << "` | " << className(e.cls)
+                << " | " << fmtNum(e.a) << " | " << fmtNum(e.b)
+                << " | " << fmtNum(e.ratio) << "x |\n";
+    };
+    std::vector<DiffEntry> reg, imp;
+    for (const DiffEntry &e : r.entries) {
+        if (e.regression)
+            reg.push_back(e);
+        else if (e.improvement)
+            imp.push_back(e);
+    }
+    table("Regressions", reg);
+    table("Improvements", imp);
+    const auto keyList = [&out](const char *title,
+                                const std::vector<std::string> &keys) {
+        if (keys.empty())
+            return;
+        out << "\n## " << title << "\n\n";
+        for (const auto &k : keys)
+            out << "- `" << k << "`\n";
+    };
+    keyList("Only in baseline", r.onlyA);
+    keyList("Only in candidate", r.onlyB);
+    if (reg.empty())
+        out << "\nNo regressions above tolerance.\n";
+    return out.str();
+}
+
+std::vector<SpanStat>
+aggregateTrace(const json::Value &trace)
+{
+    struct Ev
+    {
+        const std::string *name;
+        double tid;
+        double ts;
+        double dur;
+        double childUs = 0.0;
+    };
+    std::vector<Ev> evs;
+    const json::Value *events = trace.find("traceEvents");
+    if (events != nullptr && events->isArray()) {
+        for (const json::Value &e : events->asArray()) {
+            if (e.stringOr("ph", "") != "X")
+                continue;
+            const json::Value *name = e.find("name");
+            if (name == nullptr || !name->isString())
+                continue;
+            evs.push_back(Ev{&name->asString(),
+                             e.numberOr("tid", 0.0),
+                             e.numberOr("ts", 0.0),
+                             e.numberOr("dur", 0.0)});
+        }
+    }
+    // Per-lane sweep: sorted by start (longest first on ties, so
+    // parents precede their children), a stack of open spans tells
+    // each event its innermost enclosing parent.
+    std::sort(evs.begin(), evs.end(), [](const Ev &x, const Ev &y) {
+        if (x.tid != y.tid)
+            return x.tid < y.tid;
+        if (x.ts != y.ts)
+            return x.ts < y.ts;
+        return x.dur > y.dur;
+    });
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+        while (!stack.empty()) {
+            const Ev &top = evs[stack.back()];
+            if (top.tid != evs[i].tid ||
+                top.ts + top.dur <= evs[i].ts)
+                stack.pop_back();
+            else
+                break;
+        }
+        if (!stack.empty())
+            evs[stack.back()].childUs += evs[i].dur;
+        stack.push_back(i);
+    }
+    std::map<std::string, SpanStat> byName;
+    for (const Ev &e : evs) {
+        SpanStat &s = byName[*e.name];
+        s.name = *e.name;
+        ++s.count;
+        s.totalUs += e.dur;
+        s.selfUs += std::max(0.0, e.dur - e.childUs);
+    }
+    std::vector<SpanStat> out;
+    out.reserve(byName.size());
+    for (auto &[name, s] : byName)
+        out.push_back(std::move(s));
+    std::sort(out.begin(), out.end(),
+              [](const SpanStat &x, const SpanStat &y) {
+                  if (x.selfUs != y.selfUs)
+                      return x.selfUs > y.selfUs;
+                  return x.name < y.name;
+              });
+    return out;
+}
+
+std::string
+traceTable(const std::vector<SpanStat> &stats, std::size_t limit)
+{
+    std::ostringstream out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-40s %10s %14s %14s\n",
+                  "span", "count", "total_us", "self_us");
+    out << line;
+    const std::size_t n =
+        limit == 0 ? stats.size() : std::min(limit, stats.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const SpanStat &s = stats[i];
+        std::snprintf(line, sizeof(line),
+                      "%-40s %10llu %14.1f %14.1f\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      s.totalUs, s.selfUs);
+        out << line;
+    }
+    return out.str();
+}
+
+} // namespace hwpr::obsdiff

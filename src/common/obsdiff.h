@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Snapshot diffing and trace aggregation for hwpr-obs (see DESIGN.md
+ * "Performance observatory").
+ *
+ * The regression gate works on *flattened* JSON: every numeric leaf
+ * of a metrics snapshot / BENCH_*.json becomes a dotted key
+ * ("histograms.hwprnas.fit.p99", "cases.hwprnas.t4.fit_seconds"),
+ * array elements are keyed by their identity fields (model / kernel /
+ * family, batch, threads) so the same case lines up across runs, and
+ * keys are classified by name into time-like (bigger is worse),
+ * rate-like (bigger is better) and count-like (informational only).
+ * A diff flags a regression when a gated key moves past the ratio
+ * tolerance; microsecond-scale keys additionally need to clear an
+ * absolute floor so scheduler jitter on sub-millisecond spans cannot
+ * fail CI.
+ *
+ * Trace aggregation folds Chrome trace-event JSON (obs::traceJson
+ * output) into per-span count / total / self tables using the
+ * nesting of complete ("X") events within each thread lane.
+ */
+
+#ifndef HWPR_COMMON_OBSDIFF_H
+#define HWPR_COMMON_OBSDIFF_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hwpr::obsdiff
+{
+
+/** How a flattened key is judged in a diff. */
+enum class KeyClass
+{
+    TimeLike,  ///< durations, RSS — bigger is worse
+    RateLike,  ///< throughput, speedups — bigger is better
+    CountLike, ///< everything else — reported, never gated
+};
+
+/** Classify a flattened key by name. */
+KeyClass classifyKey(const std::string &key);
+
+/** True for time-like keys denominated in microseconds (these also
+ *  honour DiffOptions::absFloorUs). */
+bool isMicrosecondKey(const std::string &key);
+
+struct DiffOptions
+{
+    /**
+     * Ratio tolerance for gated keys: a time-like key regresses when
+     * b > a * tol, a rate-like key when a > b * tol. Must stay below
+     * 2 so a genuine 2x slowdown is always flagged.
+     */
+    double tol = 1.6;
+
+    /**
+     * Microsecond-keys only: both sides must reach this magnitude
+     * before the ratio test applies. Sub-millisecond spans jitter by
+     * integer factors run to run; they are noise, not signal.
+     */
+    double absFloorUs = 1000.0;
+
+    /**
+     * Substring ignore list (matched against the flattened key).
+     * Always extended with the built-in scheduling-noise ignores:
+     * per-lane thread-pool busy counters, profiler sample counts,
+     * dropped-event counts.
+     */
+    std::vector<std::string> ignore;
+};
+
+/** One compared key. */
+struct DiffEntry
+{
+    std::string key;
+    double a = 0.0;
+    double b = 0.0;
+    /** b/a for time-like and count-like, a/b would invert meaning for
+     *  rate-like so it is still b/a; 0 when a == 0. */
+    double ratio = 0.0;
+    KeyClass cls = KeyClass::CountLike;
+    bool regression = false;
+    bool improvement = false;
+};
+
+struct DiffResult
+{
+    /** All gated comparisons plus notable count changes, key-sorted. */
+    std::vector<DiffEntry> entries;
+    std::size_t compared = 0;
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+    /** Keys present on one side only (never gated). */
+    std::vector<std::string> onlyA;
+    std::vector<std::string> onlyB;
+};
+
+/**
+ * Flatten every numeric leaf of @p v into @p out under dotted keys.
+ * Strings/bools/nulls are skipped; arrays of identity-bearing objects
+ * (bench "cases") key by identity, other arrays by index; histogram
+ * "buckets" arrays are skipped (percentiles carry the signal).
+ */
+void flatten(const json::Value &v, const std::string &prefix,
+             std::map<std::string, double> &out);
+
+/** Diff two parsed documents (A = baseline, B = candidate). */
+DiffResult diff(const json::Value &a, const json::Value &b,
+                const DiffOptions &opt);
+
+/** Render a DiffResult as a markdown regression report. */
+std::string markdownReport(const DiffResult &r,
+                           const std::string &labelA,
+                           const std::string &labelB,
+                           const DiffOptions &opt);
+
+/** Aggregated stats for one span name across a trace. */
+struct SpanStat
+{
+    std::string name;
+    std::uint64_t count = 0;
+    double totalUs = 0.0;
+    double selfUs = 0.0;
+};
+
+/**
+ * Fold a Chrome trace document (obs::traceJson output) into per-span
+ * stats: total is the summed duration of every complete event with
+ * that name, self is total minus time spent in nested child events.
+ * Sorted by self time, descending.
+ */
+std::vector<SpanStat> aggregateTrace(const json::Value &trace);
+
+/** Render aggregateTrace output as an aligned text table (top
+ *  @p limit rows; 0 = all). */
+std::string traceTable(const std::vector<SpanStat> &stats,
+                       std::size_t limit = 0);
+
+} // namespace hwpr::obsdiff
+
+#endif // HWPR_COMMON_OBSDIFF_H

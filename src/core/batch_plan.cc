@@ -1,5 +1,6 @@
 #include "core/batch_plan.h"
 
+#include <cstdint>
 #include <string>
 
 #include "common/obs.h"
@@ -54,6 +55,29 @@ BatchPlan::forEachChunk(
             obs::Registry::global()
                 .gauge(std::string("predict.ops_per_s.") + family)
                 .set(double(n_) * 1e6 / us);
+        // Plan memory accounting: chunk-slot scratch residency plus
+        // the output matrix. Gauges, not counters — this is the
+        // steady-state footprint of the most recent pass.
+        std::uint64_t scratch_bytes = 0, reused = 0, allocated = 0;
+        for (const nn::PredictScratch &s : scratch_) {
+            scratch_bytes += s.pooledBytes();
+            reused += s.bytesReused();
+            allocated += s.bytesAllocated();
+        }
+        static auto &chunks_g =
+            obs::Registry::global().gauge("predict.plan.chunks");
+        static auto &bytes_g =
+            obs::Registry::global().gauge("predict.plan.scratch_bytes");
+        static auto &alloc_g = obs::Registry::global().gauge(
+            "predict.plan.bytes_allocated");
+        static auto &reuse_g =
+            obs::Registry::global().gauge("predict.plan.bytes_reused");
+        chunks_g.set(double((n_ + grain_ - 1) / grain_));
+        bytes_g.set(double(scratch_bytes +
+                           std::uint64_t(out_.rows()) * out_.cols() *
+                               sizeof(double)));
+        alloc_g.set(double(allocated));
+        reuse_g.set(double(reused));
     }
 }
 

@@ -178,6 +178,20 @@ ArchEncoder::buildCache(
         for (const auto &a : archs)
             cache.graphs.push_back(graphInput(a));
     }
+    if (obs::metricsEnabled()) {
+        static auto &builds = obs::Registry::global().counter(
+            "train.encoder_cache.builds");
+        static auto &bytes_g = obs::Registry::global().gauge(
+            "train.encoder_cache.bytes");
+        builds.add();
+        std::uint64_t bytes = cache.af.size() * sizeof(double);
+        for (const auto &t : cache.tokens)
+            bytes += t.size() * sizeof(std::size_t);
+        for (const auto &g : cache.graphs)
+            bytes += (g.adjacency.size() + g.features.size()) *
+                     sizeof(double);
+        bytes_g.set(double(bytes));
+    }
     return cache;
 }
 
@@ -186,6 +200,11 @@ ArchEncoder::encodeCached(const EncoderCache &cache,
                           const std::vector<std::size_t> &batch) const
 {
     HWPR_CHECK(!batch.empty(), "empty encoding batch");
+    if (obs::metricsEnabled()) {
+        static auto &rows = obs::Registry::global().counter(
+            "train.encoder_cache.rows_served");
+        rows.add(batch.size());
+    }
     nn::Tensor out;
 
     if (usesAf()) {

@@ -4,9 +4,29 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/obs.h"
 
 namespace hwpr::core
 {
+
+namespace
+{
+
+/** Global mirrors: aggregated across cache instances, cheap
+ *  relaxed-atomic adds behind the usual metricsEnabled() guard. */
+void
+recordLookup(bool hit)
+{
+    if (!obs::metricsEnabled())
+        return;
+    static auto &hits =
+        obs::Registry::global().counter("predict.rank_cache.hits");
+    static auto &misses =
+        obs::Registry::global().counter("predict.rank_cache.misses");
+    (hit ? hits : misses).add();
+}
+
+} // namespace
 
 bool
 EncodingCache::lookup(const nasbench::Architecture &arch,
@@ -15,9 +35,14 @@ EncodingCache::lookup(const nasbench::Architecture &arch,
     const std::uint64_t k = keyOf(arch);
     std::shared_lock lock(mu_);
     const auto it = rows_.find(k);
-    if (it == rows_.end())
+    if (it == rows_.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        recordLookup(false);
         return false;
+    }
     std::memcpy(dst, it->second.data(), width_ * sizeof(double));
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    recordLookup(true);
     return true;
 }
 
@@ -27,9 +52,25 @@ EncodingCache::insert(const nasbench::Architecture &arch,
 {
     const std::uint64_t k = keyOf(arch);
     std::unique_lock lock(mu_);
-    if (rows_.size() >= kMaxEntries)
-        return;
+    if (rows_.size() >= capacity_ && rows_.find(k) == rows_.end()) {
+        // Evict an arbitrary resident row. Cached rows are bitwise
+        // equal to fresh encodes, so the choice only shifts the hit
+        // rate; begin() keeps it O(1) without an LRU list on the
+        // shared-lock hot path.
+        rows_.erase(rows_.begin());
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metricsEnabled()) {
+            static auto &ev = obs::Registry::global().counter(
+                "predict.rank_cache.evictions");
+            ev.add();
+        }
+    }
     rows_.try_emplace(k, row, row + width_);
+    if (obs::metricsEnabled()) {
+        static auto &size_g =
+            obs::Registry::global().gauge("predict.rank_cache.size");
+        size_g.set(double(rows_.size()));
+    }
 }
 
 void

@@ -24,6 +24,7 @@
 #ifndef HWPR_CORE_RANK_CACHE_H
 #define HWPR_CORE_RANK_CACHE_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -44,13 +45,22 @@ namespace hwpr::core
 class EncodingCache
 {
   public:
-    /** Set the encoding width; clears any cached rows. */
+    /**
+     * Set the encoding width and capacity; clears any cached rows
+     * and resets the hit/miss/eviction counters. The non-default
+     * @p capacity exists for tests that exercise eviction without a
+     * million inserts.
+     */
     void
-    init(std::size_t width)
+    init(std::size_t width, std::size_t capacity = kMaxEntries)
     {
         std::unique_lock lock(mu_);
         width_ = width;
+        capacity_ = capacity == 0 ? 1 : capacity;
         rows_.clear();
+        hits_.store(0, std::memory_order_relaxed);
+        misses_.store(0, std::memory_order_relaxed);
+        evictions_.store(0, std::memory_order_relaxed);
     }
 
     std::size_t width() const { return width_; }
@@ -61,7 +71,12 @@ class EncodingCache
      */
     bool lookup(const nasbench::Architecture &arch, double *dst) const;
 
-    /** Publish an encoding row (no-op once the capacity cap hits). */
+    /**
+     * Publish an encoding row. At capacity an arbitrary resident row
+     * is evicted first — safe because cached rows are bitwise equal
+     * to fresh encodes, so which rows happen to be resident never
+     * affects results, only the hit rate.
+     */
     void insert(const nasbench::Architecture &arch, const double *row);
 
     /** Cached rows (diagnostics). */
@@ -72,9 +87,32 @@ class EncodingCache
         return rows_.size();
     }
 
+    /// @name Accounting (see DESIGN.md "Performance observatory").
+    /// Mirrored into the global metrics registry when metrics are
+    /// enabled ("predict.rank_cache.{hits,misses,evictions}" counters
+    /// and the "predict.rank_cache.size" gauge).
+    /// @{
+    std::uint64_t
+    hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    /// @}
+
     /**
-     * Capacity cap: a million encodings is far past any search
-     * footprint; beyond it new rows are simply recomputed each call.
+     * Default capacity cap: a million encodings is far past any
+     * search footprint, so eviction is a correctness backstop, not a
+     * working-set policy.
      */
     static constexpr std::size_t kMaxEntries = 1u << 20;
 
@@ -89,6 +127,11 @@ class EncodingCache
     mutable std::shared_mutex mu_;
     std::unordered_map<std::uint64_t, std::vector<double>> rows_;
     std::size_t width_ = 0;
+    std::size_t capacity_ = kMaxEntries;
+    /** Atomics: bumped under the *shared* lock by chunk workers. */
+    mutable std::atomic<std::uint64_t> hits_{0};
+    mutable std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
 };
 
 /**

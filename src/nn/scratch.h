@@ -42,16 +42,20 @@ class PredictScratch
     Matrix &
     acquire(std::size_t rows, std::size_t cols, bool zero = false)
     {
+        const std::uint64_t bytes =
+            std::uint64_t(rows) * cols * sizeof(double);
         for (auto &slot : slots_) {
             if (slot.busy || slot.m.rows() != rows ||
                 slot.m.cols() != cols)
                 continue;
             slot.busy = true;
+            bytesReused_ += bytes;
             if (zero)
                 slot.m.fill(0.0);
             return slot.m;
         }
         slots_.push_back({Matrix(rows, cols), true});
+        bytesAllocated_ += bytes;
         return slots_.back().m;
     }
 
@@ -104,6 +108,26 @@ class PredictScratch
     /** Buffers currently pooled (diagnostics). */
     std::size_t numBuffers() const { return slots_.size(); }
 
+    /// @name Byte accounting (see DESIGN.md "Performance
+    /// observatory"). Matrix slots only; the auxiliary edge/quant
+    /// vectors are an order of magnitude smaller.
+    /// @{
+    /** Bytes of fresh Matrix allocations over this scratch's life. */
+    std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+    /** Bytes served from pooled slots instead of fresh allocation. */
+    std::uint64_t bytesReused() const { return bytesReused_; }
+    /** Bytes resident in pooled Matrix slots right now. */
+    std::uint64_t
+    pooledBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &slot : slots_)
+            total += std::uint64_t(slot.m.rows()) * slot.m.cols() *
+                     sizeof(double);
+        return total;
+    }
+    /// @}
+
   private:
     struct Slot
     {
@@ -120,6 +144,8 @@ class PredictScratch
     std::vector<Edge> edges_;
     std::vector<std::int16_t> qrows_;
     std::vector<double> qscales_;
+    std::uint64_t bytesAllocated_ = 0;
+    std::uint64_t bytesReused_ = 0;
 };
 
 } // namespace hwpr::nn

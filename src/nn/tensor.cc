@@ -1,10 +1,12 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
 #include "common/isa.h"
 #include "common/logging.h"
+#include "common/obs.h"
 #include "common/threadpool.h"
 
 /**
@@ -274,12 +276,16 @@ GraphArena::reset()
         if (ptr.use_count() != 1)
             continue;
         TensorNode &node = *ptr;
-        if (node.value.size() > 0)
+        if (node.value.size() > 0) {
+            poolBytes_ += node.value.size() * sizeof(double);
             pool_[shapeKey(node.value.rows(), node.value.cols())]
                 .push_back(std::move(node.value));
-        if (node.grad.size() > 0)
+        }
+        if (node.grad.size() > 0) {
+            poolBytes_ += node.grad.size() * sizeof(double);
             pool_[shapeKey(node.grad.rows(), node.grad.cols())]
                 .push_back(std::move(node.grad));
+        }
         node.value = Matrix();
         node.grad = Matrix();
         node.requiresGrad = false;
@@ -291,19 +297,36 @@ GraphArena::reset()
         free_.push_back(std::move(ptr));
     }
     live_.clear();
+    poolBytesHighWater_ = std::max(poolBytesHighWater_, poolBytes_);
+    if (obs::metricsEnabled()) {
+        static auto &alloc_g =
+            obs::Registry::global().gauge("train.arena.bytes_allocated");
+        static auto &reuse_g =
+            obs::Registry::global().gauge("train.arena.bytes_reused");
+        static auto &hw_g = obs::Registry::global().gauge(
+            "train.arena.pool_bytes_high_water");
+        alloc_g.set(double(bytesAllocated_));
+        reuse_g.set(double(bytesReused_));
+        hw_g.set(double(poolBytesHighWater_));
+    }
 }
 
 Matrix
 GraphArena::acquire(std::size_t rows, std::size_t cols, bool zero)
 {
+    const std::uint64_t bytes =
+        std::uint64_t(rows) * cols * sizeof(double);
     auto it = pool_.find(shapeKey(rows, cols));
     if (it != pool_.end() && !it->second.empty()) {
         Matrix m = std::move(it->second.back());
         it->second.pop_back();
+        bytesReused_ += bytes;
+        poolBytes_ -= std::min(poolBytes_, bytes);
         if (zero)
             m.fill(0.0);
         return m;
     }
+    bytesAllocated_ += bytes;
     return Matrix(rows, cols);
 }
 

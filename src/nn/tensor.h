@@ -121,6 +121,23 @@ class GraphArena
     std::size_t pooledBuffers() const;
     /// @}
 
+    /// @name Byte accounting (see DESIGN.md "Performance
+    /// observatory"). Single-threaded like the arena itself; reset()
+    /// mirrors the totals into the global metrics registry
+    /// ("train.arena.*") when metrics are enabled.
+    /// @{
+    /** Bytes of fresh Matrix allocations over the arena's life. */
+    std::uint64_t bytesAllocated() const { return bytesAllocated_; }
+    /** Bytes served from the pool instead of fresh allocation. */
+    std::uint64_t bytesReused() const { return bytesReused_; }
+    /** Largest pool residency ever reached, in bytes. */
+    std::uint64_t
+    poolBytesHighWater() const
+    {
+        return poolBytesHighWater_;
+    }
+    /// @}
+
     /** RAII activation: active for the guard's lifetime. */
     class Scope
     {
@@ -141,6 +158,10 @@ class GraphArena
     std::vector<TensorNodePtr> live_;
     std::vector<TensorNodePtr> free_;
     std::unordered_map<std::uint64_t, std::vector<Matrix>> pool_;
+    std::uint64_t bytesAllocated_ = 0;
+    std::uint64_t bytesReused_ = 0;
+    std::uint64_t poolBytes_ = 0;
+    std::uint64_t poolBytesHighWater_ = 0;
 };
 
 namespace detail

@@ -1,10 +1,11 @@
 /**
  * @file
- * Observability-layer tests: histogram bucket math, counter
- * correctness under parallelFor contention, span nesting and thread
- * attribution in the exported Chrome trace JSON, the disabled path
- * recording nothing, and a same-seed fit being bit-identical with
- * tracing + metrics on vs off.
+ * Observability-layer tests: histogram bucket math and percentiles,
+ * counter correctness under parallelFor contention, span nesting and
+ * thread attribution in the exported Chrome trace JSON, the disabled
+ * path recording nothing, sampling-profiler attribution, rank-cache
+ * eviction accounting, and same-seed fit/search being bit-identical
+ * with tracing + metrics + profiling on vs off.
  */
 
 #include <gtest/gtest.h>
@@ -15,11 +16,16 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/obs.h"
 #include "common/rng.h"
 #include "common/threadpool.h"
 #include "core/hwprnas.h"
+#include "core/rank_cache.h"
 #include "nasbench/dataset.h"
+#include "nasbench/space.h"
+#include "search/moea.h"
+#include "search/surrogate_evaluator.h"
 
 using namespace hwpr;
 
@@ -89,6 +95,65 @@ TEST(ObsHistogram, BucketMath)
     EXPECT_EQ(h.mean(), 0.0);
     for (std::size_t i = 0; i < 4; ++i)
         EXPECT_EQ(h.bucketCount(i), 0u);
+}
+
+TEST(ObsHistogram, PercentileInterpolation)
+{
+    obs::Histogram h({10.0, 20.0, 40.0});
+    for (int i = 0; i < 100; ++i)
+        h.record(15.0); // all land in (10, 20]
+    // Linear interpolation inside the bucket: the quantile position
+    // maps onto [lo, hi).
+    EXPECT_DOUBLE_EQ(h.percentile(0.50), 15.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 19.9);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 20.0);
+    // Out-of-range q clamps instead of misbehaving.
+    EXPECT_DOUBLE_EQ(h.percentile(1.7), 20.0);
+
+    obs::Histogram first({10.0, 20.0});
+    first.record(5.0); // bucket 0: lo = min(0, bound) = 0
+    EXPECT_DOUBLE_EQ(first.percentile(0.5), 5.0);
+
+    obs::Histogram over({10.0, 20.0});
+    over.record(1e9); // overflow clamps to the last finite bound
+    EXPECT_DOUBLE_EQ(over.percentile(0.5), 20.0);
+
+    obs::Histogram empty({10.0});
+    EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(ObsRegistry, SnapshotEmbedsPercentilesInSortedKeyOrder)
+{
+    auto &reg = obs::Registry::global();
+    obs::Histogram &h =
+        reg.histogram("test.obs.pctl_hist", {10.0, 20.0});
+    h.reset();
+    for (int i = 0; i < 10; ++i)
+        h.record(15.0);
+    const std::string json = reg.snapshotJson();
+    const auto at = json.find("\"test.obs.pctl_hist\"");
+    ASSERT_NE(at, std::string::npos);
+    // Percentile summaries ride along with count/sum/mean. Numbers
+    // serialize with %.17g (round-trip exact, not pretty), so read
+    // them back through the parser rather than string-matching.
+    const json::Value snap = json::parse(json);
+    const json::Value *hist =
+        snap.find("histograms")->find("test.obs.pctl_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->numberOr("p50", 0.0), 15.0);
+    EXPECT_NEAR(hist->numberOr("p90", 0.0), 19.0, 1e-9);
+    EXPECT_NEAR(hist->numberOr("p99", 0.0), 19.9, 1e-9);
+    EXPECT_LT(json.find("\"count\"", at), json.find("\"p50\"", at));
+    EXPECT_LT(json.find("\"p50\"", at), json.find("\"p90\"", at));
+
+    // std::map-backed registry: snapshots render keys sorted, so two
+    // snapshots of the same state are textually identical.
+    reg.counter("test.obs.order_a").add();
+    reg.counter("test.obs.order_b").add();
+    const std::string two = reg.snapshotJson();
+    EXPECT_LT(two.find("\"test.obs.order_a\""),
+              two.find("\"test.obs.order_b\""));
+    EXPECT_EQ(two, reg.snapshotJson());
 }
 
 TEST(ObsRegistry, FindOrCreateAndSnapshot)
@@ -260,6 +325,116 @@ TEST(ObsDisabled, RecordsNothing)
     EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(ObsProfiler, AttributesSamplesToTheBusySpan)
+{
+    ASSERT_FALSE(obs::profilingEnabled());
+    obs::clearProfile();
+    obs::setProfileIntervalUs(200);
+    obs::setProfilingEnabled(true);
+    {
+        HWPR_SPAN("profiler_busy");
+        // Spin inside the span until the sampler has clearly ticked;
+        // nothing else in this process holds a span meanwhile.
+        const double t0 = obs::nowMicros();
+        volatile double sink = 0.0;
+        std::uint64_t needed = 25;
+        while (obs::profileSampleCount() < needed &&
+               obs::nowMicros() - t0 < 5e6)
+            for (int i = 0; i < 1000; ++i)
+                sink = sink + double(i) * 1e-9;
+    }
+    obs::setProfilingEnabled(false);
+    ASSERT_FALSE(obs::profilingEnabled());
+
+    const std::uint64_t total = obs::profileSampleCount();
+    const std::uint64_t busy =
+        obs::profileSelfSamples("profiler_busy");
+    ASSERT_GE(total, 10u);
+    // Sampler attribution sanity: the one busy span owns the profile.
+    EXPECT_GT(double(busy), 0.9 * double(total))
+        << "busy " << busy << " of " << total;
+
+    // The armed run leaves a profile section in the snapshot, with
+    // flat and top-down tables.
+    const std::string json = obs::Registry::global().snapshotJson();
+    EXPECT_NE(json.find("\"profile\""), std::string::npos);
+    EXPECT_NE(json.find("\"profiler_busy\""), std::string::npos);
+    EXPECT_NE(json.find("\"top_down\""), std::string::npos);
+    EXPECT_NE(json.find("\"self_us_est\""), std::string::npos);
+
+    obs::clearProfile();
+    EXPECT_EQ(obs::profileSampleCount(), 0u);
+}
+
+TEST(ObsProfiler, NestedSpansSplitSelfAndTotal)
+{
+    ASSERT_FALSE(obs::profilingEnabled());
+    obs::clearProfile();
+    obs::setProfileIntervalUs(200);
+    obs::setProfilingEnabled(true);
+    {
+        HWPR_SPAN("profiler_outer");
+        HWPR_SPAN("profiler_inner");
+        const double t0 = obs::nowMicros();
+        volatile double sink = 0.0;
+        while (obs::profileSampleCount() < 10 &&
+               obs::nowMicros() - t0 < 5e6)
+            for (int i = 0; i < 1000; ++i)
+                sink = sink + double(i) * 1e-9;
+    }
+    obs::setProfilingEnabled(false);
+
+    // All busy time is inside inner, so outer accrues (almost) no
+    // self samples while its total covers inner's.
+    const std::string json = obs::profileJson();
+    EXPECT_NE(json.find("profiler_outer;profiler_inner"),
+              std::string::npos);
+    EXPECT_GT(obs::profileSelfSamples("profiler_inner"), 0u);
+    obs::clearProfile();
+}
+
+TEST(ObsRankCache, EvictsPastCapAndCountsAccounting)
+{
+    core::EncodingCache cache;
+    cache.init(/*width=*/3, /*capacity=*/8);
+
+    Rng rng(123);
+    std::vector<nasbench::Architecture> archs;
+    while (archs.size() < 20) {
+        const auto a = nasbench::nasBench201().sample(rng);
+        bool dup = false;
+        for (const auto &b : archs)
+            dup = dup || b.hash(1) == a.hash(1);
+        if (!dup)
+            archs.push_back(a);
+    }
+
+    double row[3] = {0.0, 0.0, 0.0};
+    // Cold lookups are misses.
+    EXPECT_FALSE(cache.lookup(archs[0], row));
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        row[0] = double(i);
+        cache.insert(archs[i], row);
+        EXPECT_LE(cache.size(), 8u) << "insert " << i;
+    }
+    // 20 inserts into capacity 8: exactly 12 evictions, cap held.
+    EXPECT_EQ(cache.size(), 8u);
+    EXPECT_EQ(cache.evictions(), 12u);
+
+    // The most recent insert is resident; its row reads back intact.
+    EXPECT_TRUE(cache.lookup(archs.back(), row));
+    EXPECT_EQ(row[0], 19.0);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // init() resets rows and accounting alike.
+    cache.init(3, 8);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses() + cache.evictions(), 0u);
+}
+
 TEST(ObsDeterminism, SameSeedFitIdenticalWithObsOnVsOff)
 {
     // Recording only reads the steady clock: a same-seed fit with
@@ -327,4 +502,93 @@ TEST(ObsDeterminism, SameSeedFitIdenticalWithObsOnVsOff)
                   "hwprnas.fit.val_loss"),
               0.0);
     obs::clearTrace();
+}
+
+namespace
+{
+
+/** Tiny shared fixture for the profiler bit-identity tests. */
+struct ProfiledFitResult
+{
+    std::vector<double> losses;
+    std::vector<double> scores;
+    std::vector<std::vector<double>> searchFitness;
+};
+
+ProfiledFitResult
+runFitAndSearch(bool profiled)
+{
+    static nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    Rng rng(77);
+    const auto data = nasbench::SampledDataset::sample(
+        {&nasbench::nasBench201()}, oracle, 120, 80, 40, rng);
+
+    core::HwPrNasConfig mc;
+    mc.encoder.gcnHidden = 16;
+    mc.encoder.lstmHidden = 16;
+    mc.encoder.embedDim = 8;
+    core::TrainConfig tc;
+    tc.epochs = 2;
+    tc.combinerEpochs = 0;
+
+    if (profiled) {
+        obs::setProfileIntervalUs(500);
+        obs::setProfilingEnabled(true);
+    }
+    ProfiledFitResult out;
+    {
+        core::HwPrNas model(mc, nasbench::DatasetId::Cifar10, 5);
+        model.train(data.select(data.trainIdx),
+                    data.select(data.valIdx), hw::PlatformId::EdgeGpu,
+                    tc);
+        out.losses = model.valLossHistory();
+        std::vector<nasbench::Architecture> valArchs;
+        for (const auto *r : data.select(data.valIdx))
+            valArchs.push_back(r->arch);
+        out.scores = model.scoreBatch(valArchs);
+
+        core::SurrogateEvaluator eval(model);
+        search::MoeaConfig smc;
+        smc.populationSize = 12;
+        smc.maxGenerations = 3;
+        smc.simulatedBudgetSeconds = 0.0;
+        Rng srng(9);
+        out.searchFitness =
+            search::Moea(smc)
+                .run(search::SearchDomain::unionBenchmarks(), eval,
+                     srng)
+                .fitness;
+    }
+    if (profiled) {
+        obs::setProfilingEnabled(false);
+        obs::clearProfile();
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ObsDeterminism, SameSeedFitAndSearchIdenticalWithProfilerOn)
+{
+    // The sampler only *reads* shadow stacks and the steady clock —
+    // a profiled run must be bit-identical to an unprofiled one,
+    // through both fit and a full surrogate-guided search.
+    ASSERT_FALSE(obs::profilingEnabled());
+    const ProfiledFitResult off = runFitAndSearch(false);
+    const ProfiledFitResult on = runFitAndSearch(true);
+
+    ASSERT_EQ(off.losses.size(), on.losses.size());
+    for (std::size_t i = 0; i < off.losses.size(); ++i)
+        EXPECT_EQ(off.losses[i], on.losses[i]) << "epoch " << i;
+    ASSERT_EQ(off.scores.size(), on.scores.size());
+    for (std::size_t i = 0; i < off.scores.size(); ++i)
+        EXPECT_EQ(off.scores[i], on.scores[i]) << "arch " << i;
+    ASSERT_EQ(off.searchFitness.size(), on.searchFitness.size());
+    for (std::size_t i = 0; i < off.searchFitness.size(); ++i) {
+        ASSERT_EQ(off.searchFitness[i].size(),
+                  on.searchFitness[i].size());
+        for (std::size_t j = 0; j < off.searchFitness[i].size(); ++j)
+            EXPECT_EQ(off.searchFitness[i][j], on.searchFitness[i][j])
+                << "individual " << i << " objective " << j;
+    }
 }

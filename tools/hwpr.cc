@@ -22,12 +22,14 @@
 
 #include "baselines/registry.h"
 #include "common/csv.h"
+#include "common/ledger.h"
 #include "common/obs.h"
 #include "common/table.h"
 #include "common/threadpool.h"
 #include "hw/cost_model.h"
 #include "core/hwprnas.h"
 #include "core/surrogate.h"
+#include "pareto/pareto.h"
 #include "search/moea.h"
 #include "search/report.h"
 #include "search/surrogate_evaluator.h"
@@ -275,11 +277,26 @@ cmdTrain(const Args &args)
     std::cout << "training HW-PR-NAS for "
               << hw::platformName(platform) << " ("
               << tc.epochs << " epochs)..." << std::endl;
+    const double t0 = obs::nowMicros();
     model.train(data.select(data.trainIdx), data.select(data.valIdx),
                 platform, tc);
+    const double wall_sec = (obs::nowMicros() - t0) * 1e-6;
 
     HWPR_CHECK(model.save(out), "could not write '", out, "'");
     std::cout << "checkpoint written to " << out << std::endl;
+
+    ledger::Record rec("train");
+    rec.add("dataset", nasbench::datasetName(dataset))
+        .add("platform", hw::platformName(platform))
+        .add("samples", double(samples))
+        .add("epochs", double(tc.epochs))
+        .add("lr", tc.learningRate)
+        .add("seed", double(args.getInt("seed", 1)))
+        .add("wall_sec", wall_sec)
+        .add("checkpoint", out)
+        .addRaw("metrics",
+                obs::Registry::global().snapshotJson());
+    ledger::append(rec);
     return 0;
 }
 
@@ -324,8 +341,10 @@ cmdSearch(const Args &args)
                   << resume_state.stats.generations << std::endl;
     }
 
+    const double t0 = obs::nowMicros();
     auto result = search::Moea(mc).run(
         search::SearchDomain::unionBenchmarks(), eval, rng, ckpt);
+    const double wall_sec = (obs::nowMicros() - t0) * 1e-6;
 
     if (eval.rankOnly()) {
         // Reported numbers never come from the int8 path: re-score
@@ -342,6 +361,7 @@ cmdSearch(const Args &args)
     // the stable quantity the rank-only parity gate in CI compares.
     // (Oracle-measured fronts of one 60-arch population are far too
     // seed-sensitive for a tight numeric gate; see DESIGN.md.)
+    double best_score = 0.0, mean_score = 0.0;
     if (!result.fitness.empty() && result.fitness[0].size() == 1) {
         double best = result.fitness[0][0];
         double sum = 0.0;
@@ -349,11 +369,11 @@ cmdSearch(const Args &args)
             best = std::max(best, p[0]);
             sum += p[0];
         }
+        best_score = best;
+        mean_score = sum / double(result.fitness.size());
         std::cout << "final population score (fp64): best "
                   << AsciiTable::num(best, 6) << ", mean "
-                  << AsciiTable::num(
-                         sum / double(result.fitness.size()), 6)
-                  << std::endl;
+                  << AsciiTable::num(mean_score, 6) << std::endl;
     }
 
     nasbench::Oracle oracle(model->dataset());
@@ -391,6 +411,36 @@ cmdSearch(const Args &args)
                    csv_path, "' (open or write failure)");
         std::cout << "front written to " << csv_path << std::endl;
     }
+
+    // Hypervolume of the oracle-measured front against a reference
+    // 10% beyond the componentwise worst — the headline quality
+    // number the run ledger tracks across commits.
+    double hv = 0.0;
+    if (!front.front.empty()) {
+        pareto::Point ref = front.front[0];
+        for (const auto &p : front.front)
+            for (std::size_t d = 0; d < ref.size(); ++d)
+                ref[d] = std::max(ref[d], p[d]);
+        for (double &r : ref)
+            r = r * 1.1 + 1e-9;
+        hv = pareto::hypervolume(front.front, ref);
+    }
+
+    ledger::Record rec("search");
+    rec.add("model", path)
+        .add("dataset", nasbench::datasetName(model->dataset()))
+        .add("platform", hw::platformName(model->platform()))
+        .add("pop", double(mc.populationSize))
+        .add("gens", double(mc.maxGenerations))
+        .add("seed", double(args.getInt("seed", 1)))
+        .add("rank_only", eval.rankOnly() ? 1.0 : 0.0)
+        .add("wall_sec", wall_sec)
+        .add("best_score_fp64", best_score)
+        .add("mean_score_fp64", mean_score)
+        .add("front_size", double(front.front.size()))
+        .add("front_hypervolume", hv)
+        .addRaw("metrics", obs::Registry::global().snapshotJson());
+    ledger::append(rec);
     return 0;
 }
 

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * hwpr-obs: observability tooling for the performance observatory
+ * (see DESIGN.md "Performance observatory").
+ *
+ * Subcommands:
+ *   trace  --in trace.json [--top N]
+ *       Aggregate a Chrome trace (HWPR_TRACE output) into a per-span
+ *       count / total / self table.
+ *   diff   --a base.json --b cand.json [--tol R] [--abs-floor-us N]
+ *          [--ignore substr,substr] [--md report.md]
+ *       Diff two metrics snapshots / BENCH_*.json files. Prints a
+ *       markdown regression report (to stdout, or --md FILE) and
+ *       exits 1 when any gated key regresses past the tolerance —
+ *       this is the CI perf gate.
+ *   ledger --in ledger.jsonl [--command train|search] [--last N]
+ *       Summarize run-ledger records: one row per run with wall
+ *       clock, peak RSS and the headline quality numbers.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "argparse.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/obsdiff.h"
+#include "common/table.h"
+
+namespace
+{
+
+using hwpr::AsciiTable;
+using hwpr::tools::Args;
+
+int
+cmdTrace(const Args &args)
+{
+    const std::string in = args.get("in", "");
+    HWPR_CHECK(!in.empty(), "hwpr-obs trace requires --in FILE");
+    const hwpr::json::Value doc = hwpr::json::parseFile(in);
+    const auto stats = hwpr::obsdiff::aggregateTrace(doc);
+    HWPR_CHECK(!stats.empty(), "no complete trace events in '", in,
+               "'");
+    const long top = args.getInt("top", 0);
+    std::cout << hwpr::obsdiff::traceTable(
+        stats, top <= 0 ? 0 : std::size_t(top));
+    return 0;
+}
+
+int
+cmdDiff(const Args &args)
+{
+    const std::string a = args.get("a", "");
+    const std::string b = args.get("b", "");
+    HWPR_CHECK(!a.empty() && !b.empty(),
+               "hwpr-obs diff requires --a BASE --b CANDIDATE");
+    hwpr::obsdiff::DiffOptions opt;
+    opt.tol = args.getDouble("tol", opt.tol);
+    opt.absFloorUs = args.getDouble("abs-floor-us", opt.absFloorUs);
+    HWPR_CHECK(opt.tol > 1.0, "--tol must be > 1");
+    std::string ignores = args.get("ignore", "");
+    std::istringstream igs(ignores);
+    for (std::string tok; std::getline(igs, tok, ',');)
+        if (!tok.empty())
+            opt.ignore.push_back(tok);
+
+    const hwpr::json::Value da = hwpr::json::parseFile(a);
+    const hwpr::json::Value db = hwpr::json::parseFile(b);
+    const hwpr::obsdiff::DiffResult r =
+        hwpr::obsdiff::diff(da, db, opt);
+    const std::string report =
+        hwpr::obsdiff::markdownReport(r, a, b, opt);
+
+    const std::string md = args.get("md", "");
+    if (!md.empty()) {
+        std::ofstream out(md);
+        HWPR_CHECK(bool(out), "cannot write '", md, "'");
+        out << report;
+        std::cout << r.regressions << " regression(s), "
+                  << r.improvements << " improvement(s), "
+                  << r.compared << " keys compared; report in " << md
+                  << std::endl;
+    } else {
+        std::cout << report;
+    }
+    return r.regressions > 0 ? 1 : 0;
+}
+
+int
+cmdLedger(const Args &args)
+{
+    const std::string in = args.get("in", "bench/out/ledger.jsonl");
+    std::ifstream file(in);
+    HWPR_CHECK(bool(file), "cannot read ledger '", in, "'");
+    const std::string want = args.get("command", "");
+
+    std::vector<hwpr::json::Value> records;
+    std::size_t lineno = 0;
+    for (std::string line; std::getline(file, line);) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            hwpr::json::Value rec = hwpr::json::parse(line);
+            if (!want.empty() && rec.stringOr("command", "") != want)
+                continue;
+            records.push_back(std::move(rec));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "warn: %s:%zu: %s\n", in.c_str(),
+                         lineno, e.what());
+        }
+    }
+    const long last = args.getInt("last", 0);
+    if (last > 0 && records.size() > std::size_t(last))
+        records.erase(records.begin(),
+                      records.end() - std::ptrdiff_t(last));
+
+    AsciiTable table({"command", "git_sha", "seed", "wall_sec",
+                      "peak_rss_kb", "quality"});
+    for (const auto &rec : records) {
+        // Quality column: the headline number each command records.
+        std::string quality;
+        if (const auto *hv = rec.find("front_hypervolume");
+            hv != nullptr && hv->isNumber())
+            quality = "hv " + AsciiTable::num(hv->asNumber(), 4);
+        else if (const auto *ep = rec.find("epochs");
+                 ep != nullptr && ep->isNumber())
+            quality =
+                AsciiTable::num(ep->asNumber(), 0) + " epochs";
+        table.addRow({
+            rec.stringOr("command", "?"),
+            rec.stringOr("git_sha", "?"),
+            AsciiTable::num(rec.numberOr("seed", 0.0), 0),
+            AsciiTable::num(rec.numberOr("wall_sec", 0.0), 2),
+            AsciiTable::num(rec.numberOr("peak_rss_kb", 0.0), 0),
+            quality,
+        });
+    }
+    std::cout << records.size() << " run(s) in " << in << "\n"
+              << table.render();
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: hwpr-obs <command> [options]\n"
+           "  trace  --in trace.json [--top N]\n"
+           "  diff   --a base.json --b cand.json [--tol R]\n"
+           "         [--abs-floor-us N] [--ignore s1,s2] [--md FILE]\n"
+           "  ledger [--in ledger.jsonl] [--command train|search]\n"
+           "         [--last N]\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = Args::parse(argc, argv);
+    try {
+        if (args.command() == "trace")
+            return cmdTrace(args);
+        if (args.command() == "diff")
+            return cmdDiff(args);
+        if (args.command() == "ledger")
+            return cmdLedger(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "hwpr-obs: %s\n", e.what());
+        return 2;
+    }
+    usage();
+    return args.command().empty() ? 0 : 2;
+}
