@@ -90,6 +90,8 @@ const Matrix &
 BrpNas::predictBatch(std::span<const nasbench::Architecture> archs,
                      core::BatchPlan &plan) const
 {
+    if (archs.empty()) // no-op contract: no weights touched
+        return plan.prepare(0, 2);
     HWPR_CHECK(accuracy_ && latency_, "predictBatch() before train()");
     HWPR_SPAN("surrogate.predict_batch",
               {{"rows", double(archs.size())}});
@@ -137,6 +139,8 @@ const Matrix &
 BrpNas::rankBatch(std::span<const nasbench::Architecture> archs,
                   core::BatchPlan &plan) const
 {
+    if (archs.empty())
+        return plan.prepare(0, 2);
     HWPR_CHECK(accuracy_ && latency_, "rankBatch() before train()");
     if (!accuracy_->hasRankFastPath() || !latency_->hasRankFastPath())
         return predictBatch(archs, plan);

@@ -81,6 +81,8 @@ const Matrix &
 Gates::predictBatch(std::span<const nasbench::Architecture> archs,
                     core::BatchPlan &plan) const
 {
+    if (archs.empty()) // no-op contract: no weights touched
+        return plan.prepare(0, 2);
     HWPR_CHECK(accuracy_ && latency_, "predictBatch() before train()");
     HWPR_SPAN("surrogate.predict_batch",
               {{"rows", double(archs.size())}});
@@ -127,6 +129,8 @@ const Matrix &
 Gates::rankBatch(std::span<const nasbench::Architecture> archs,
                  core::BatchPlan &plan) const
 {
+    if (archs.empty())
+        return plan.prepare(0, 2);
     HWPR_CHECK(accuracy_ && latency_, "rankBatch() before train()");
     if (!accuracy_->hasRankFastPath() || !latency_->hasRankFastPath())
         return predictBatch(archs, plan);

@@ -1,10 +1,12 @@
 #include "common/ledger.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "common/obs.h"
@@ -137,11 +139,24 @@ append(const Record &rec)
 bool
 appendTo(const std::string &path, const Record &rec)
 {
-    std::ofstream out(path, std::ios::app);
-    if (!out)
+    // The ledger is shared between concurrent writers (daemon + CLI,
+    // threads within either). O_APPEND makes the kernel pick the
+    // offset atomically per write(2), so as long as each record goes
+    // down in ONE write the lines cannot interleave. A buffered
+    // ofstream would split records larger than its internal buffer
+    // into several writes and tear them.
+    const int fd = ::open(path.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
         return false;
-    out << rec.toJsonLine() << "\n";
-    return bool(out);
+    const std::string line = rec.toJsonLine() + "\n";
+    ssize_t n = -1;
+    do {
+        n = ::write(fd, line.data(), line.size());
+    } while (n < 0 && errno == EINTR);
+    ::close(fd);
+    return n == ssize_t(line.size());
 }
 
 } // namespace hwpr::ledger

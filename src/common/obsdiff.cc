@@ -161,7 +161,18 @@ diff(const json::Value &a, const json::Value &b,
         e.a = va;
         e.b = vb;
         e.cls = classifyKey(key);
-        e.ratio = va != 0.0 ? vb / va : 0.0;
+        // A metric that is zero in one run and live in the other is a
+        // "new"/"removed" fact, not a ratio: vb/0 is infinite, 0/va
+        // reads as a 100% improvement, and a negative baseline flips
+        // the sign of every comparison. Only same-sign nonzero pairs
+        // get a ratio (and only positive pairs are gated below).
+        if (va == 0.0 && vb != 0.0)
+            e.status = DiffStatus::New;
+        else if (va != 0.0 && vb == 0.0)
+            e.status = DiffStatus::Removed;
+        if (e.status == DiffStatus::Unchanged &&
+            ((va > 0.0 && vb > 0.0) || (va < 0.0 && vb < 0.0)))
+            e.ratio = vb / va;
         if (e.cls == KeyClass::TimeLike && va > 0.0 && vb > 0.0) {
             const bool micro = isMicrosecondKey(key);
             const bool clears =
@@ -233,20 +244,31 @@ markdownReport(const DiffResult &r, const std::string &labelA,
         out << "\n## " << title << "\n\n| key | class | " << labelA
             << " | " << labelB << " | ratio |\n"
             << "|---|---|---|---|---|\n";
-        for (const DiffEntry &e : rows)
+        for (const DiffEntry &e : rows) {
             out << "| `" << e.key << "` | " << className(e.cls)
                 << " | " << fmtNum(e.a) << " | " << fmtNum(e.b)
-                << " | " << fmtNum(e.ratio) << "x |\n";
+                << " | ";
+            if (e.status == DiffStatus::New)
+                out << "new";
+            else if (e.status == DiffStatus::Removed)
+                out << "removed";
+            else
+                out << fmtNum(e.ratio) << "x";
+            out << " |\n";
+        }
     };
-    std::vector<DiffEntry> reg, imp;
+    std::vector<DiffEntry> reg, imp, churn;
     for (const DiffEntry &e : r.entries) {
         if (e.regression)
             reg.push_back(e);
         else if (e.improvement)
             imp.push_back(e);
+        else if (e.status != DiffStatus::Unchanged)
+            churn.push_back(e);
     }
     table("Regressions", reg);
     table("Improvements", imp);
+    table("New / removed metrics", churn);
     const auto keyList = [&out](const char *title,
                                 const std::vector<std::string> &keys) {
         if (keys.empty())

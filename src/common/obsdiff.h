@@ -73,16 +73,28 @@ struct DiffOptions
     std::vector<std::string> ignore;
 };
 
+/** Life-cycle of a key across the two runs. Ratio gating only ever
+ *  applies to Unchanged keys with positive values on both sides —
+ *  a zero or negative baseline has no meaningful ratio (division by
+ *  zero, or a sign flip that inverts the comparison). */
+enum class DiffStatus
+{
+    Unchanged, ///< nonzero on both sides — ratio is meaningful
+    New,       ///< zero/absent in baseline, nonzero in candidate
+    Removed,   ///< nonzero in baseline, zero in candidate
+};
+
 /** One compared key. */
 struct DiffEntry
 {
     std::string key;
     double a = 0.0;
     double b = 0.0;
-    /** b/a for time-like and count-like, a/b would invert meaning for
-     *  rate-like so it is still b/a; 0 when a == 0. */
+    /** b/a when both sides are nonzero with the same sign; 0
+     *  otherwise (New/Removed/sign-flip entries carry no ratio). */
     double ratio = 0.0;
     KeyClass cls = KeyClass::CountLike;
+    DiffStatus status = DiffStatus::Unchanged;
     bool regression = false;
     bool improvement = false;
 };

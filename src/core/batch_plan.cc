@@ -41,6 +41,11 @@ BatchPlan::forEachChunk(
     const std::function<void(nn::PredictScratch &, std::size_t,
                              std::size_t)> &fn)
 {
+    // Empty batch is a well-defined no-op: the serving flush path
+    // fires on deadline and can legitimately find zero queued rows.
+    // No span, no pool hop, no metric churn.
+    if (n_ == 0)
+        return;
     HWPR_SPAN("predict.fused_pass", {{"rows", double(n_)}});
     const double t0 = obs::metricsEnabled() ? obs::nowMicros() : 0.0;
     ExecContext::global().pool->parallelFor(

@@ -43,6 +43,11 @@ class BatchPlan
      * across calls — reallocated only when the shape actually
      * changes, so constant-size generations reuse one buffer.
      * Contents are stale until a pass overwrites them.
+     *
+     * n == 0 is valid and prepares an empty (0 x out_cols) output
+     * with zero chunks; the subsequent forEachChunk is a no-op. The
+     * serving micro-batcher relies on this: a deadline flush can race
+     * a size flush and find nothing queued.
      */
     Matrix &prepare(std::size_t n, std::size_t out_cols);
 

@@ -676,6 +676,8 @@ const Matrix &
 HwPrNas::predictBatch(std::span<const nasbench::Architecture> archs,
                       BatchPlan &plan) const
 {
+    if (archs.empty()) // no-op contract: no weights touched
+        return plan.prepare(0, 1);
     HWPR_CHECK(trained_, "predictBatch() before train()");
     fusedForward(archs, headIndex(platform_), plan, nullptr);
     return plan.output();
@@ -712,6 +714,8 @@ const Matrix &
 HwPrNas::rankBatch(std::span<const nasbench::Architecture> archs,
                    BatchPlan &plan) const
 {
+    if (archs.empty())
+        return plan.prepare(0, 1);
     HWPR_CHECK(trained_, "rankBatch() before train()");
     ensureRankState();
     const std::size_t head = headIndex(platform_);
@@ -757,6 +761,8 @@ std::vector<double>
 HwPrNas::scoreBatch(
     std::span<const nasbench::Architecture> archs) const
 {
+    if (archs.empty())
+        return {};
     HWPR_CHECK(trained_, "scoreBatch() before train()");
     return rawForward(archs, headIndex(platform_)).score;
 }
@@ -765,6 +771,8 @@ Matrix
 HwPrNas::objectivesBatch(
     std::span<const nasbench::Architecture> archs) const
 {
+    if (archs.empty())
+        return Matrix(0, 2);
     HWPR_CHECK(trained_, "objectivesBatch() before train()");
     const std::size_t head = headIndex(platform_);
     const RawForward f = rawForward(archs, head);

@@ -382,6 +382,8 @@ ScalableHwPrNas::predictBatch(
     std::span<const nasbench::Architecture> archs,
     BatchPlan &plan) const
 {
+    if (archs.empty()) // no-op contract: no weights touched
+        return plan.prepare(0, 1);
     HWPR_CHECK(trained_, "predictBatch() before train()");
     HWPR_SPAN("surrogate.predict_batch",
               {{"rows", double(archs.size())}});
@@ -413,6 +415,8 @@ ScalableHwPrNas::rankBatch(
     std::span<const nasbench::Architecture> archs,
     BatchPlan &plan) const
 {
+    if (archs.empty())
+        return plan.prepare(0, 1);
     HWPR_CHECK(trained_, "rankBatch() before train()");
     ensureRankState();
     RankState &rank = *rank_;
@@ -436,6 +440,8 @@ std::vector<double>
 ScalableHwPrNas::scoreBatch(
     std::span<const nasbench::Architecture> archs) const
 {
+    if (archs.empty())
+        return {};
     HWPR_CHECK(trained_, "scoreBatch() before train()");
     BatchPlan plan;
     const Matrix &s = predictBatch(archs, plan);

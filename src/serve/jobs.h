@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Resumable background search jobs for hwpr-serve.
+ *
+ * A job is a directory under the jobs root:
+ *
+ *   <jobs>/<id>/meta.json    submitted spec (written once, first)
+ *   <jobs>/<id>/moea.ckpt    Moea checkpoint (rewritten every gen)
+ *   <jobs>/<id>/result.json  final deterministic result (atomic)
+ *
+ * The worker thread runs each job in one-generation slices through
+ * the Moea checkpoint machinery: every slice resumes from the on-disk
+ * checkpoint and writes the next one, so the sequence of states is
+ * bit-identical to an uninterrupted run (the PR-4 resume contract).
+ * Stopping between slices — SIGTERM drain — therefore loses at most
+ * the generation in flight, and a SIGKILL at any point resumes from
+ * the last completed generation on restart with an identical final
+ * result. result.json contains only deterministic fields (genomes,
+ * fitness, counters, hypervolume — no wall-clock), so the CI smoke
+ * can compare interrupted and uninterrupted runs byte for byte.
+ */
+
+#ifndef HWPR_SERVE_JOBS_H
+#define HWPR_SERVE_JOBS_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/surrogate.h"
+
+namespace hwpr::serve
+{
+
+/** Submitted search-job parameters. */
+struct JobSpec
+{
+    std::string id;
+    std::size_t population = 32;
+    std::size_t generations = 8;
+    std::uint64_t seed = 1;
+    std::string space = "union"; ///< "nb201" | "fbnet" | "union"
+};
+
+/** Validate a submission; false sets @p err (never fatal). */
+bool validateJobSpec(const JobSpec &spec, std::string &err);
+
+struct JobStatus
+{
+    JobSpec spec;
+    /** "queued" | "running" | "paused" | "done" | "failed" */
+    std::string state = "queued";
+    std::size_t generationsDone = 0;
+    std::string error;
+};
+
+/** Background worker owning the job queue and directories. */
+class JobManager
+{
+  public:
+    JobManager(const core::Surrogate &model, std::string dir);
+    ~JobManager();
+
+    /**
+     * Scan the jobs root for directories with a meta.json but no
+     * result.json and queue them for resumption; completed jobs are
+     * listed as done. Returns the number of jobs queued. Call before
+     * start().
+     */
+    std::size_t recover();
+
+    /** Queue a new job; writes meta.json first so a crash between
+     *  submit and completion is recoverable. */
+    bool submit(const JobSpec &spec, std::string &err);
+
+    bool status(const std::string &id, JobStatus &out) const;
+    std::vector<JobStatus> list() const;
+
+    /** Jobs queued or running (drain indicator). */
+    std::size_t pending() const;
+
+    /** Absolute path of a job's result.json. */
+    std::string resultPath(const std::string &id) const;
+
+    void start();
+
+    /**
+     * Graceful stop: the running job finishes its current
+     * one-generation slice (checkpoint already on disk), is marked
+     * "paused", and the worker joins. Queued jobs stay queued on
+     * disk for the next process.
+     */
+    void stop();
+
+  private:
+    void workerLoop();
+    bool runJob(const JobSpec &spec);
+    std::string jobDir(const std::string &id) const;
+
+    const core::Surrogate &model_;
+    const std::string dir_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::string> queue_;
+    std::map<std::string, JobStatus> jobs_;
+
+    std::thread worker_;
+    std::atomic<bool> stopRequested_{false};
+    bool started_ = false;
+};
+
+} // namespace hwpr::serve
+
+#endif // HWPR_SERVE_JOBS_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Wire protocol for hwpr-serve (see DESIGN.md "Serving &
+ * micro-batching").
+ *
+ * Frames are a 4-byte big-endian payload length followed by that many
+ * bytes of UTF-8 JSON. Requests are objects with an "op" field
+ * ("ping" | "stats" | "predict" | "rank" | "search" | "job" | "jobs"
+ * | "shutdown") and an optional "id" echoed back on the response.
+ * Responses always carry "ok" (bool) and, on failure, "error".
+ *
+ * Unlike the CLI, the daemon cannot treat malformed input as fatal:
+ * everything here validates and returns error strings instead of
+ * calling HWPR_CHECK / fatal(), and architectures travel as
+ * {"space": "nb201"|"fbnet", "genome": [ints]} validated against the
+ * space's genome length and per-position option counts before an
+ * Architecture is ever constructed.
+ */
+
+#ifndef HWPR_SERVE_PROTO_H
+#define HWPR_SERVE_PROTO_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "nasbench/arch.h"
+
+namespace hwpr::serve
+{
+
+/** Upper bound on a single frame; larger lengths poison the
+ *  connection (a desynced or hostile peer, not a big request). */
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/** Prepend the 4-byte big-endian length header to @p payload. */
+std::string encodeFrame(std::string_view payload);
+
+/** Incremental frame decoder: feed() raw bytes, next() complete
+ *  payloads. */
+class FrameReader
+{
+  public:
+    void feed(const char *data, std::size_t n);
+
+    /** Pop the next complete payload; false when none is buffered. */
+    bool next(std::string &payload);
+
+    /** A frame declared a length past kMaxFrameBytes; the stream is
+     *  unrecoverable and the connection must be dropped. */
+    bool poisoned() const { return poisoned_; }
+
+  private:
+    std::string buf_;
+    std::size_t off_ = 0;
+    bool poisoned_ = false;
+};
+
+/** Wire name of a search space ("nb201" / "fbnet"). */
+const char *spaceName(nasbench::SpaceId id);
+
+/**
+ * Parse and validate req["archs"] into architectures. Every element
+ * must name a known space and carry a genome of exactly the space's
+ * length with each gene in [0, numOptions(pos)). Returns false with a
+ * human-readable @p err on any violation — never fatal.
+ */
+bool parseArchs(const json::Value &req,
+                std::vector<nasbench::Architecture> &out,
+                std::string &err);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
+/** Round-trip-exact JSON number (%.17g). */
+std::string jsonNumber(double v);
+
+/** {"ok": false, "error": <msg>, ["id": <idTok>]} — @p idTok is a
+ *  ready-to-embed JSON token (already quoted if a string). */
+std::string errorResponse(const std::string &msg,
+                          const std::string &idTok = "");
+
+/** The request's "id" field as a ready-to-embed JSON token; empty
+ *  when absent (strings are quoted, numbers rendered exactly). */
+std::string requestIdToken(const json::Value &req);
+
+} // namespace hwpr::serve
+
+#endif // HWPR_SERVE_PROTO_H

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -120,6 +121,49 @@ TEST(ObsHistogram, PercentileInterpolation)
 
     obs::Histogram empty({10.0});
     EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, OverflowBucketClampsEveryPercentile)
+{
+    // Regression test for the overflow-bucket edge: samples past the
+    // last bucket bound must clamp every percentile to that bound —
+    // never extrapolate beyond it, never go infinite. This is the
+    // shape a latency histogram takes when a stall pushes the tail
+    // past the largest configured bound.
+    obs::Histogram h({100.0, 1000.0});
+    for (int i = 0; i < 10000; ++i)
+        h.record(1e12); // all mass in the overflow bucket
+    for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double p = h.percentile(q);
+        EXPECT_TRUE(std::isfinite(p)) << "q=" << q;
+        EXPECT_DOUBLE_EQ(p, 1000.0) << "q=" << q;
+    }
+
+    // Mixed mass: p50 interpolates inside a finite bucket while the
+    // tail percentiles clamp, and no percentile exceeds the edge.
+    obs::Histogram mixed({100.0, 1000.0});
+    for (int i = 0; i < 60; ++i)
+        mixed.record(50.0); // bucket 0
+    for (int i = 0; i < 40; ++i)
+        mixed.record(5e9); // overflow
+    EXPECT_LE(mixed.percentile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(mixed.percentile(0.99), 1000.0);
+    EXPECT_DOUBLE_EQ(mixed.percentile(1.0), 1000.0);
+
+    // The snapshot's embedded p99 honours the same clamp (serve
+    // exposes these via /stats).
+    auto &reg = obs::Registry::global();
+    obs::Histogram &snap_h =
+        reg.histogram("test.obs.overflow_hist", {100.0, 1000.0});
+    snap_h.reset();
+    for (int i = 0; i < 100; ++i)
+        snap_h.record(1e12);
+    const json::Value snap = json::parse(reg.snapshotJson());
+    const json::Value *hist =
+        snap.find("histograms")->find("test.obs.overflow_hist");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->numberOr("p99", -1.0), 1000.0);
+    snap_h.reset();
 }
 
 TEST(ObsRegistry, SnapshotEmbedsPercentilesInSortedKeyOrder)

@@ -10,10 +10,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/json.h"
 #include "common/ledger.h"
@@ -231,6 +234,104 @@ TEST(ObsDiff, IgnoresSchedulingNoiseKeysByDefault)
     const obsdiff::DiffResult r = obsdiff::diff(a, b, opt);
     EXPECT_EQ(r.compared, 0u);
     EXPECT_EQ(r.regressions, 0u);
+}
+
+TEST(ObsDiff, ZeroBaselineReportsNewNotInfiniteRatio)
+{
+    // A counter that is 0 in the base run (e.g. a feature that never
+    // fired) and live in the candidate used to yield a 0/garbage
+    // ratio; it must read as "new" and never gate.
+    const json::Value a = json::parse(
+        "{\"counters\": {\"serve.requests\": 0, "
+        "\"serve.batches\": 12, \"serve.errors\": 3}}");
+    const json::Value b = json::parse(
+        "{\"counters\": {\"serve.requests\": 100, "
+        "\"serve.batches\": 12, \"serve.errors\": 0}}");
+    obsdiff::DiffOptions opt;
+    const obsdiff::DiffResult r = obsdiff::diff(a, b, opt);
+    EXPECT_EQ(r.regressions, 0u);
+    bool saw_new = false, saw_removed = false;
+    for (const auto &e : r.entries) {
+        EXPECT_TRUE(std::isfinite(e.ratio)) << e.key;
+        if (e.key.find("serve.requests") != std::string::npos) {
+            EXPECT_EQ(e.status, obsdiff::DiffStatus::New);
+            EXPECT_DOUBLE_EQ(e.ratio, 0.0);
+            saw_new = true;
+        }
+        if (e.key.find("serve.errors") != std::string::npos) {
+            EXPECT_EQ(e.status, obsdiff::DiffStatus::Removed);
+            EXPECT_DOUBLE_EQ(e.ratio, 0.0);
+            saw_removed = true;
+        }
+    }
+    EXPECT_TRUE(saw_new);
+    EXPECT_TRUE(saw_removed);
+
+    // The markdown report labels them instead of printing a ratio.
+    const std::string md = obsdiff::markdownReport(r, "a", "b", opt);
+    EXPECT_NE(md.find("New / removed metrics"), std::string::npos);
+    EXPECT_NE(md.find("| new |"), std::string::npos);
+    EXPECT_NE(md.find("| removed |"), std::string::npos);
+}
+
+TEST(ObsDiff, NegativeBaselineNeverFlipsTheGate)
+{
+    // Negative values (losses, deltas) must not gate: vb/va with
+    // va < 0 flips the comparison's sign. Same-sign negatives keep a
+    // meaningful ratio; sign flips carry none.
+    const json::Value a = json::parse(
+        "{\"gauges\": {\"train.loss_delta_per_s\": -4.0, "
+        "\"train.score_wall\": -2.0}}");
+    const json::Value b = json::parse(
+        "{\"gauges\": {\"train.loss_delta_per_s\": -2.0, "
+        "\"train.score_wall\": 2.0}}");
+    obsdiff::DiffOptions opt;
+    const obsdiff::DiffResult r = obsdiff::diff(a, b, opt);
+    EXPECT_EQ(r.regressions, 0u);
+    EXPECT_EQ(r.improvements, 0u);
+    for (const auto &e : r.entries) {
+        EXPECT_TRUE(std::isfinite(e.ratio)) << e.key;
+        if (e.key.find("loss_delta") != std::string::npos)
+            EXPECT_DOUBLE_EQ(e.ratio, 0.5); // same sign: meaningful
+        if (e.key.find("score_wall") != std::string::npos)
+            EXPECT_DOUBLE_EQ(e.ratio, 0.0); // sign flip: no ratio
+    }
+}
+
+TEST(ObsLedger, ConcurrentAppendsNeverTearLines)
+{
+    // The daemon and the CLI share one ledger; records larger than
+    // any stdio buffer must still land as whole lines. Hammer the
+    // file from threads with ~32KB records (a full metrics snapshot
+    // is this size) and require every line to parse intact.
+    TempFile tmp("hwpr_test_ledger_hammer.jsonl");
+    const std::string big_payload(32 * 1024, 'x');
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 25;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ledger::Record rec("hammer");
+                rec.add("writer", double(t))
+                    .add("iter", double(i))
+                    .add("payload", big_payload);
+                ASSERT_TRUE(ledger::appendTo(tmp.path(), rec));
+            }
+        });
+    for (auto &w : writers)
+        w.join();
+
+    std::ifstream in(tmp.path());
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line);) {
+        ++lines;
+        const json::Value v = json::parse(line); // throws on a tear
+        EXPECT_EQ(v.stringOr("command", ""), "hammer");
+        EXPECT_EQ(v.stringOr("payload", "").size(),
+                  big_payload.size());
+    }
+    EXPECT_EQ(lines, std::size_t(kThreads) * kPerThread);
 }
 
 TEST(ObsDiff, AggregatesTraceSelfAndTotalTime)

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * EncodingCache concurrency property tests: readers and writers
+ * spinning past the capacity cap (run under TSan in CI) with the
+ * accounting invariants that tie hit/miss/eviction counters to the
+ * final table size, plus data-integrity checks that a concurrent
+ * eviction can never tear a row a reader is copying.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/rank_cache.h"
+#include "nasbench/arch.h"
+#include "nasbench/space.h"
+
+using namespace hwpr;
+
+namespace
+{
+
+/** Distinct architecture #id: the id written out in the space's
+ *  mixed-radix genome alphabet, so ids map 1:1 onto genomes. */
+nasbench::Architecture
+archNo(std::uint64_t id)
+{
+    const auto &space = nasbench::nasBench201();
+    nasbench::Architecture a;
+    a.space = nasbench::SpaceId::NasBench201;
+    a.genome.resize(space.genomeLength());
+    for (std::size_t pos = 0; pos < a.genome.size(); ++pos) {
+        const std::uint64_t radix = space.numOptions(pos);
+        a.genome[pos] = int(id % radix);
+        id /= radix;
+    }
+    return a;
+}
+
+/** Key-derived row pattern so readers can validate payload bytes. */
+std::vector<double>
+rowFor(std::uint64_t id, std::size_t width)
+{
+    std::vector<double> row(width);
+    for (std::size_t c = 0; c < width; ++c)
+        row[c] = double(id) * 1000.0 + double(c);
+    return row;
+}
+
+} // namespace
+
+TEST(EncodingCacheProp, ConcurrentInsertAndEvictKeepCountersSane)
+{
+    constexpr std::size_t kWidth = 8;
+    constexpr std::size_t kCap = 64;
+    constexpr std::uint64_t kKeys = 512; // 8x past capacity
+    core::EncodingCache cache;
+    cache.init(kWidth, kCap);
+
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> corrupt{0};
+    std::atomic<bool> stop{false};
+
+    // Writers insert distinct keys far past the cap; readers hammer
+    // lookups over the same key range and validate every hit's
+    // payload — an eviction racing a lookup must never expose a torn
+    // or foreign row.
+    std::vector<std::thread> threads;
+    for (int w = 0; w < 2; ++w)
+        threads.emplace_back([&, w] {
+            for (int pass = 0; pass < 8; ++pass)
+                for (std::uint64_t id = std::uint64_t(w);
+                     id < kKeys; id += 2) {
+                    const auto row = rowFor(id, kWidth);
+                    cache.insert(archNo(id), row.data());
+                }
+            stop.store(true);
+        });
+    for (int r = 0; r < 2; ++r)
+        threads.emplace_back([&, r] {
+            std::uint64_t id = std::uint64_t(r) * 17;
+            std::vector<double> dst(kWidth);
+            while (!stop.load()) {
+                id = (id + 13) % kKeys;
+                lookups.fetch_add(1);
+                if (!cache.lookup(archNo(id), dst.data()))
+                    continue;
+                const auto want = rowFor(id, kWidth);
+                for (std::size_t c = 0; c < kWidth; ++c)
+                    if (dst[c] != want[c])
+                        corrupt.fetch_add(1);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(corrupt.load(), 0u);
+    // Accounting invariants after the storm:
+    //  - the table never exceeds its cap;
+    //  - every lookup was counted exactly once as a hit or a miss;
+    //  - evictions only happen on insert of an absent key at cap, so
+    //    they are bounded by the number of inserts issued.
+    EXPECT_LE(cache.size(), kCap);
+    EXPECT_GT(cache.size(), 0u);
+    EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+    EXPECT_LE(cache.evictions(), 2u * 8u * (kKeys / 2));
+}
+
+TEST(EncodingCacheProp, EvictionsTrackSizeExactlyOncePinnedAtCap)
+{
+    constexpr std::size_t kWidth = 4;
+    constexpr std::size_t kCap = 32;
+    core::EncodingCache cache;
+    cache.init(kWidth, kCap);
+
+    // Fill to exactly the cap: no evictions yet.
+    for (std::uint64_t id = 0; id < kCap; ++id) {
+        const auto row = rowFor(id, kWidth);
+        cache.insert(archNo(id), row.data());
+    }
+    EXPECT_EQ(cache.size(), kCap);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Every further fresh key evicts exactly one resident row; the
+    // size stays pinned at the cap.
+    constexpr std::uint64_t kExtra = 48;
+    for (std::uint64_t id = kCap; id < kCap + kExtra; ++id) {
+        const auto row = rowFor(id, kWidth);
+        cache.insert(archNo(id), row.data());
+        EXPECT_EQ(cache.size(), kCap);
+    }
+    EXPECT_EQ(cache.evictions(), kExtra);
+
+    // Re-inserting a resident key is a no-op: no eviction, no growth,
+    // and the original payload wins (rows are bitwise equal in real
+    // use; the sentinel makes the no-op visible here).
+    const std::uint64_t resident = kCap + kExtra - 1;
+    std::vector<double> sentinel(kWidth, -1.0);
+    cache.insert(archNo(resident), sentinel.data());
+    EXPECT_EQ(cache.size(), kCap);
+    EXPECT_EQ(cache.evictions(), kExtra);
+    std::vector<double> dst(kWidth);
+    ASSERT_TRUE(cache.lookup(archNo(resident), dst.data()));
+    EXPECT_EQ(dst, rowFor(resident, kWidth));
+}

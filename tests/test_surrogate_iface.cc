@@ -528,6 +528,67 @@ TEST(SurrogateIface, LutFitAndObjectivesParity)
         EXPECT_DOUBLE_EQ(obj(i, 0), lut.estimateMs(archs[i]));
 }
 
+TEST(BatchPlanTest, EmptyBatchIsAWellDefinedNoOp)
+{
+    // The serving micro-batcher's deadline flush can fire with zero
+    // queued rows; the plan must absorb that without touching the
+    // pool or invoking the chunk body.
+    core::BatchPlan plan;
+    Matrix &out = plan.prepare(0, 3);
+    EXPECT_EQ(out.rows(), 0u);
+    EXPECT_EQ(out.cols(), 3u);
+    EXPECT_EQ(plan.size(), 0u);
+    std::atomic<int> calls{0};
+    plan.forEachChunk("test", [&](nn::PredictScratch &, std::size_t,
+                                  std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    // Grain stays a pure function of n — no div-by-zero in the
+    // ceil(n/16) math.
+    EXPECT_EQ(core::BatchPlan::chunkGrain(0), 16u);
+}
+
+TEST(SurrogateIface, EmptyBatchNoOpAcrossAllFamilies)
+{
+    // Every family must treat an empty span as a no-op returning
+    // empty results; the daemon's flush-on-deadline path legitimately
+    // produces them. Untrained models suffice — zero rows never reach
+    // the weights.
+    core::HwPrNasConfig mc;
+    mc.encoder = tinyEncoder();
+    core::HwPrNas hwpr(mc, nasbench::DatasetId::Cifar10, 41);
+    core::ScalableConfig sc;
+    sc.encoder = tinyEncoder();
+    core::ScalableHwPrNas scalable(sc, nasbench::DatasetId::Cifar10,
+                                   42);
+    baselines::BrpNas brp(tinyEncoder(), nasbench::DatasetId::Cifar10,
+                          43);
+    baselines::Gates gates(tinyEncoder(),
+                           nasbench::DatasetId::Cifar10, 44);
+    baselines::LatencyLut lut(nasbench::DatasetId::Cifar10,
+                              hw::PlatformId::EdgeGpu);
+
+    const std::vector<const core::Surrogate *> families = {
+        &hwpr, &scalable, &brp, &gates, &lut};
+    const std::span<const nasbench::Architecture> empty;
+    for (const core::Surrogate *model : families) {
+        SCOPED_TRACE(model->name());
+        core::BatchPlan plan;
+        const Matrix &pred = model->predictBatch(empty, plan);
+        EXPECT_EQ(pred.rows(), 0u);
+        EXPECT_GE(pred.cols(), 1u);
+        core::BatchPlan rank_plan;
+        const Matrix &ranked = model->rankBatch(empty, rank_plan);
+        EXPECT_EQ(ranked.rows(), 0u);
+        EXPECT_TRUE(model->scoreBatch(empty).empty());
+        EXPECT_EQ(model->objectivesBatch(empty).rows(), 0u);
+    }
+
+    // The evaluator wrapper (the path search and serve actually
+    // drive) returns an empty fitness set, trained or not.
+    core::SurrogateEvaluator eval(hwpr);
+    EXPECT_TRUE(eval.evaluate({}).empty());
+}
+
 TEST(SurrogateIface, DefaultSaveIsUnsupported)
 {
     baselines::LatencyLut lut(nasbench::DatasetId::Cifar10,

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * hwpr-serve — surrogate-as-a-service micro-batching daemon.
+ *
+ *   hwpr-serve --model ckpt.bin [--host 127.0.0.1] [--port 0]
+ *              [--jobs-dir DIR] [--batch-max 256]
+ *              [--batch-deadline-us 1000] [--threads N]
+ *
+ * Speaks the length-prefixed JSON protocol documented in README
+ * "Serving". Prints "hwpr-serve listening on <port>" once the socket
+ * is bound (flushed, so wrappers can scrape the ephemeral port).
+ * SIGTERM / SIGINT trigger the graceful drain in Server::run():
+ * queued predictions are answered, the in-flight search job
+ * checkpoints at its slice boundary, and a "serve" ledger record is
+ * appended on the way out.
+ */
+
+#include <csignal>
+#include <iostream>
+
+#include "argparse.h"
+
+#include "baselines/registry.h"
+#include "common/ledger.h"
+#include "common/logging.h"
+#include "common/obs.h"
+#include "common/threadpool.h"
+#include "core/surrogate.h"
+#include "serve/server.h"
+
+using namespace hwpr;
+using tools::Args;
+
+namespace
+{
+
+serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop(); // async-signal-safe
+}
+
+void
+usage()
+{
+    std::cout <<
+        R"(hwpr-serve — surrogate micro-batching daemon
+
+options:
+  --model FILE            surrogate checkpoint (any registered kind)
+  --host ADDR             bind address (default 127.0.0.1)
+  --port N                TCP port; 0 picks an ephemeral port and
+                          prints it (default 0)
+  --jobs-dir DIR          enable resumable background search jobs,
+                          recovering any unfinished jobs found there
+  --batch-max N           flush a micro-batch at N queued archs
+                          (default 256)
+  --batch-deadline-us N   flush when the oldest queued request is N
+                          microseconds old; 0 = request-at-a-time
+                          (default 1000)
+  --threads N             shared execution pool size
+)";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = Args::parse(argc, argv);
+    if (args.has("help")) {
+        usage();
+        return 0;
+    }
+    if (!args.has("model")) {
+        usage();
+        fatal("--model is required");
+    }
+    baselines::registerBaselineLoaders();
+    if (args.has("threads"))
+        ExecContext::setGlobalThreads(
+            std::size_t(std::max(1L, args.getInt("threads", 1))));
+
+    const std::unique_ptr<core::Surrogate> model =
+        core::loadSurrogate(args.get("model"));
+
+    serve::ServerConfig cfg;
+    cfg.host = args.get("host", cfg.host);
+    cfg.port = int(args.getInt("port", 0));
+    cfg.jobsDir = args.get("jobs-dir");
+    cfg.batchMaxArchs = std::size_t(std::max(
+        1L, args.getInt("batch-max", long(cfg.batchMaxArchs))));
+    cfg.batchDeadlineUs = std::max(
+        0L, args.getInt("batch-deadline-us", cfg.batchDeadlineUs));
+
+    serve::Server server(*model, cfg);
+    std::string err;
+    if (!server.start(err))
+        fatal("hwpr-serve: ", err);
+
+    g_server = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "hwpr-serve listening on " << server.port()
+              << std::endl; // flushed: wrappers scrape the port
+    server.run();
+
+    ledger::Record rec("serve");
+    rec.add("model", args.get("model"))
+        .add("port", double(server.port()))
+        .add("pending_jobs", double(server.pendingJobs()))
+        .addRaw("metrics", obs::Registry::global().snapshotJson());
+    ledger::append(rec);
+    std::cout << "hwpr-serve: drained, exiting" << std::endl;
+    return 0;
+}
