@@ -39,6 +39,7 @@
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "core/batch_plan.h"
+#include "core/dominance.h"
 #include "core/encoding.h"
 #include "core/hwprnas.h"
 #include "core/scalable.h"
@@ -346,6 +347,15 @@ fitFamilies(const nasbench::SampledDataset &data)
     add("lut_predict_batch",
         std::make_unique<baselines::LatencyLut>(
             nasbench::DatasetId::Cifar10, hw::PlatformId::EdgeGpu));
+
+    core::DominanceConfig dc;
+    dc.encoder = enc;
+    dc.headHidden = {16, 8};
+    dc.referenceSize = 16;
+    auto dom = std::make_unique<core::DominanceSurrogate>(
+        dc, nasbench::DatasetId::Cifar10, 5);
+    dom->setFitConfig(quick);
+    add("dominance_predict_batch", std::move(dom));
     return families;
 }
 
@@ -549,7 +559,14 @@ emitQuantJson(const std::string &path, bool quick)
     for (auto &fam : families) {
         const std::string family =
             fam.kernel.substr(0, fam.kernel.find("_predict_batch"));
-        const bool mlp_backed = family != "lut";
+        // "mlp_backed" marks families whose rank path is the int8
+        // quantized head (the 2x CI gate). The LUT has no MLP at all;
+        // the dominance classifier keeps its head in fp64 on purpose
+        // (two tiny GEMMs over the anchors — the encoder dominates,
+        // so rankBatch is bit-identical to predictBatch and its
+        // speedup comes from encoding memoization alone).
+        const bool mlp_backed =
+            family != "lut" && family != "dominance";
 
         // Rank fidelity per space: fp64 and int8 run through separate
         // plans so both outputs stay live for the comparison.

@@ -1,6 +1,7 @@
 #include "common/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -243,6 +244,12 @@ struct Parser
         const double v = std::strtod(tok.c_str(), &end);
         if (end == nullptr || *end != '\0')
             fail(start, "bad number '" + tok + "'");
+        // strtod saturates overflow to +/-inf without failing; a
+        // literal like 1e400 would otherwise flow downstream as inf
+        // and silently poison every comparison. Underflow-to-zero is
+        // still accepted — it is finite and loses only precision.
+        if (!std::isfinite(v))
+            fail(start, "number out of range '" + tok + "'");
         return Value::makeNumber(v);
     }
 };

@@ -40,7 +40,21 @@ EncodingCache::lookup(const nasbench::Architecture &arch,
         recordLookup(false);
         return false;
     }
-    std::memcpy(dst, it->second.data(), width_ * sizeof(double));
+    if (!(it->second.arch == arch)) {
+        // Hash collision: the bucket belongs to a different
+        // architecture. Serving its row would silently corrupt ranks,
+        // so count it and degrade to a miss (the caller re-encodes).
+        collisions_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metricsEnabled()) {
+            static auto &col = obs::Registry::global().counter(
+                "predict.rank_cache.collisions");
+            col.add();
+        }
+        recordLookup(false);
+        return false;
+    }
+    std::memcpy(dst, it->second.row.data(), width_ * sizeof(double));
     hits_.fetch_add(1, std::memory_order_relaxed);
     recordLookup(true);
     return true;
@@ -65,7 +79,13 @@ EncodingCache::insert(const nasbench::Architecture &arch,
             ev.add();
         }
     }
-    rows_.try_emplace(k, row, row + width_);
+    const auto [it, inserted] = rows_.try_emplace(
+        k, Entry{arch, std::vector<double>(row, row + width_)});
+    if (!inserted && !(it->second.arch == arch)) {
+        // Collided bucket held by another architecture: most-recent
+        // wins. The displaced row only degrades to future misses.
+        it->second = Entry{arch, std::vector<double>(row, row + width_)};
+    }
     if (obs::metricsEnabled()) {
         static auto &size_g =
             obs::Registry::global().gauge("predict.rank_cache.size");

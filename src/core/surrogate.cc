@@ -10,6 +10,7 @@
 #include "common/obs.h"
 #include "common/serialize.h"
 #include "common/stats.h"
+#include "core/dominance.h"
 #include "core/hwprnas.h"
 #include "core/scalable.h"
 
@@ -122,6 +123,13 @@ SurrogateEvaluator::rankPredict(
     return model_.rankBatch(archs, plan_);
 }
 
+std::vector<double>
+SurrogateEvaluator::predictedDominanceCounts(
+    const std::vector<nasbench::Architecture> &archs)
+{
+    return model_.dominanceCounts(archs, countPlan_);
+}
+
 std::vector<pareto::Point>
 SurrogateEvaluator::evaluate(
     const std::vector<nasbench::Architecture> &archs)
@@ -176,6 +184,8 @@ loadSurrogate(const std::string &path)
         return HwPrNas::load(path);
     if (kind == "hwpr-scalable")
         return ScalableHwPrNas::load(path);
+    if (kind == "dominance")
+        return DominanceSurrogate::load(path);
 
     SurrogateLoader loader;
     {

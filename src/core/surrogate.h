@@ -122,9 +122,32 @@ class Surrogate
      * Short stable identifier used in metrics keys, e.g.
      * "predict.tau_int8.<familyLabel>". Matches the forEachChunk
      * family strings ("hwprnas", "scalable", "brpnas", "gates",
-     * "lut").
+     * "lut", "dominance").
      */
     virtual std::string familyLabel() const { return "surrogate"; }
+
+    /**
+     * Whether this family predicts *pairwise dominance* directly, so
+     * dominanceCounts() is meaningful. Only the dominance classifier
+     * (core::DominanceSurrogate) returns true; the score/objective
+     * families have no pairwise head.
+     */
+    virtual bool supportsDominance() const { return false; }
+
+    /**
+     * Within-population predicted-dominance counts: out[i] = number
+     * of members of @p archs the model predicts architecture i
+     * dominates (higher = more dominant). Drives the
+     * classification-wise MOEA survival selection (see
+     * search::MoeaConfig::dominanceSelection). Default: empty —
+     * callers must check supportsDominance() first.
+     */
+    virtual std::vector<double>
+    dominanceCounts(std::span<const nasbench::Architecture> /*archs*/,
+                    BatchPlan & /*plan*/) const
+    {
+        return {};
+    }
 
     /**
      * Serialize to a binary checkpoint. Default: unsupported
@@ -181,6 +204,21 @@ class SurrogateEvaluator : public search::Evaluator
     void setRankOnly(bool on) { rankOnly_ = on; }
     bool rankOnly() const { return rankOnly_; }
 
+    /** True when the wrapped surrogate has a pairwise head. */
+    bool hasPredictedDominance() const override
+    {
+        return model_.supportsDominance();
+    }
+
+    /**
+     * Predicted-dominance counts over one population, delegated to
+     * Surrogate::dominanceCounts against a dedicated plan (merged
+     * populations are roughly twice the evaluate() batch size, so
+     * sharing the score plan would thrash its buffers).
+     */
+    std::vector<double> predictedDominanceCounts(
+        const std::vector<nasbench::Architecture> &archs) override;
+
   private:
     /** rankBatch + rank_only counter + one-shot tau self-check. */
     const Matrix &
@@ -193,6 +231,8 @@ class SurrogateEvaluator : public search::Evaluator
      * buffers the first generation allocated.
      */
     BatchPlan plan_;
+    /** Separate plan for dominance-count sweeps (merged-size batches). */
+    BatchPlan countPlan_;
     double simSecondsPerEval_;
     bool rankOnly_ = false;
     /** First rank-only batch also runs fp64 and gauges the tau. */

@@ -165,4 +165,35 @@ listMleParetoLoss(const Tensor &scores,
         "listmle");
 }
 
+Tensor
+bceWithLogitsLoss(const Tensor &logits,
+                  const std::vector<double> &target)
+{
+    HWPR_CHECK(logits.cols() == 1 && logits.rows() == target.size(),
+               "bceWithLogitsLoss expects (n x 1) logits matching "
+               "targets");
+    const std::size_t n = target.size();
+    HWPR_CHECK(n > 0, "empty batch in bceWithLogitsLoss");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double z = logits.value()(i, 0);
+        acc += std::max(z, 0.0) - z * target[i] +
+               std::log1p(std::exp(-std::abs(z)));
+    }
+    return makeScalarOp(
+        acc / double(n), logits.node(),
+        [target](TensorNode &self) {
+            auto &p = self.parents[0];
+            p->ensureGrad();
+            const double g =
+                self.grad(0, 0) / double(target.size());
+            for (std::size_t i = 0; i < target.size(); ++i) {
+                const double z = p->value(i, 0);
+                const double sig = 1.0 / (1.0 + std::exp(-z));
+                p->grad(i, 0) += g * (sig - target[i]);
+            }
+        },
+        "bce");
+}
+
 } // namespace hwpr::nn

@@ -10,6 +10,9 @@
  *   ordered by Pareto rank (rank 1 = dominant front first) and the
  *   ListMLE negative log-likelihood of that ordering is minimized, so
  *   dominant architectures learn higher scores.
+ * - bceWithLogitsLoss: binary cross-entropy on raw logits (the
+ *   dominance classifier head), computed in the numerically stable
+ *   max(z,0) - z*t + log1p(exp(-|z|)) form.
  */
 
 #ifndef HWPR_NN_LOSS_H
@@ -46,6 +49,15 @@ Tensor pairwiseHingeLoss(const Tensor &scores,
  */
 Tensor listMleParetoLoss(const Tensor &scores,
                          const std::vector<int> &pareto_ranks);
+
+/**
+ * Mean binary cross-entropy between (n x 1) raw logits and {0,1}
+ * targets: mean_i [ max(z_i, 0) - z_i t_i + log(1 + exp(-|z_i|)) ].
+ * The gradient is (sigmoid(z_i) - t_i) / n, so the loss stays finite
+ * and the gradient bounded for arbitrarily large logit magnitudes.
+ */
+Tensor bceWithLogitsLoss(const Tensor &logits,
+                         const std::vector<double> &target);
 
 } // namespace hwpr::nn
 

@@ -66,6 +66,29 @@ class Evaluator
     {
         return 0.0;
     }
+
+    /**
+     * Whether predictedDominanceCounts() is available. Dominance-
+     * classifier surrogates (core::DominanceSurrogate behind
+     * core::SurrogateEvaluator) predict pairwise dominance directly;
+     * everything else answers false and the MOEA's classification-wise
+     * selection (MoeaConfig::dominanceSelection) falls back to the
+     * fitness-based rule.
+     */
+    virtual bool hasPredictedDominance() const { return false; }
+
+    /**
+     * Predicted within-population dominance counts: out[i] = how many
+     * members of @p archs the model predicts architecture i dominates.
+     * Only meaningful when hasPredictedDominance(); the default
+     * returns an empty vector.
+     */
+    virtual std::vector<double>
+    predictedDominanceCounts(
+        const std::vector<nasbench::Architecture> & /*archs*/)
+    {
+        return {};
+    }
 };
 
 /**

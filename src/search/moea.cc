@@ -80,6 +80,32 @@ traceHypervolume(const std::vector<pareto::Point> &fit, EvalKind kind)
                                pareto::nadirReference(fit, 0.1));
 }
 
+/**
+ * Classification-wise survival (MoeaConfig::dominanceSelection):
+ * top-k by predicted dominance count, ties broken by scalar fitness
+ * (a Pareto score — higher is better — since only score-kind
+ * dominance evaluators reach this path), then by index, so the
+ * ordering is deterministic for any count/fitness pattern.
+ */
+std::vector<std::size_t>
+dominanceCountSelect(const std::vector<double> &counts,
+                     const std::vector<pareto::Point> &fitness,
+                     std::size_t keep)
+{
+    std::vector<std::size_t> order(counts.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (counts[a] != counts[b])
+                      return counts[a] > counts[b];
+                  if (fitness[a][0] != fitness[b][0])
+                      return fitness[a][0] > fitness[b][0];
+                  return a < b;
+              });
+    order.resize(std::min(keep, order.size()));
+    return order;
+}
+
 /** Top-k by scalar Pareto score (descending). */
 std::vector<std::size_t>
 scoreSelect(const std::vector<pareto::Point> &fitness, std::size_t keep)
@@ -270,8 +296,21 @@ Moea::run(const SearchDomain &domain, Evaluator &evaluator, Rng &rng,
                 push(offspring[i], off_fit[i]);
         }
 
-        const auto survivors =
-            select(merged_fit, evaluator.kind(), n);
+        // Environmental selection: classification-wise (predicted
+        // dominance counts) when configured and the evaluator has a
+        // pairwise head; elitist fitness selection otherwise.
+        std::vector<std::size_t> survivors;
+        if (cfg_.dominanceSelection &&
+            evaluator.hasPredictedDominance()) {
+            const std::vector<double> counts =
+                evaluator.predictedDominanceCounts(merged);
+            HWPR_CHECK(counts.size() == merged.size(),
+                       "predicted dominance counts do not cover the "
+                       "merged population");
+            survivors = dominanceCountSelect(counts, merged_fit, n);
+        } else {
+            survivors = select(merged_fit, evaluator.kind(), n);
+        }
         std::vector<nasbench::Architecture> next_pop;
         std::vector<pareto::Point> next_fit;
         next_pop.reserve(n);

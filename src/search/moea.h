@@ -119,6 +119,20 @@ struct MoeaConfig
     std::size_t tournamentSize = 2;
     /** Simulated testbed budget (paper: 24 h); 0 disables. */
     double simulatedBudgetSeconds = 24.0 * 3600.0;
+    /**
+     * Classification-wise environmental selection (Ma et al.'s
+     * Pareto-wise ranking classifier): survivors of the merged
+     * parent+offspring population are the top-k by *predicted
+     * dominance count* — how many other members the evaluator's
+     * pairwise head predicts each one dominates — with ties broken by
+     * fitness, then index. Requires an evaluator whose
+     * hasPredictedDominance() is true; otherwise the flag is ignored
+     * and the fitness-based rule applies. Tournament parent selection
+     * and checkpointed fitness stay score-based either way, and any
+     * *reported* front must still be re-scored in fp64
+     * (search::rescoreFitness).
+     */
+    bool dominanceSelection = false;
 };
 
 /** Multi-objective evolutionary algorithm (Algorithm 1). */

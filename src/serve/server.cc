@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -658,6 +659,61 @@ Server::flushGroup(const std::vector<Pending> &queue,
         respond(p.connFd, out);
         lat.record(now - p.enqueuedUs);
     }
+}
+
+namespace
+{
+
+/** Target of the process-wide stop handlers. An atomic pointer, not a
+ *  bare global: installStopSignalHandlers runs on the main thread
+ *  while a signal can land on any thread. */
+std::atomic<Server *> g_signalServer{nullptr};
+
+void
+onStopSignal(int)
+{
+    Server *s = g_signalServer.load(std::memory_order_relaxed);
+    if (s != nullptr)
+        s->requestStop(); // async-signal-safe by contract
+}
+
+} // namespace
+
+void
+installStopSignalHandlers(Server &server)
+{
+    g_signalServer.store(&server, std::memory_order_relaxed);
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a stop signal must interrupt blocking syscalls
+    // (EINTR) so the loop notices the stop flag now, not after the
+    // kernel transparently restarts a blocked read/write.
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    struct sigaction ign;
+    std::memset(&ign, 0, sizeof(ign));
+    ign.sa_handler = SIG_IGN;
+    sigemptyset(&ign.sa_mask);
+    ::sigaction(SIGPIPE, &ign, nullptr);
+}
+
+void
+clearStopSignalHandlers()
+{
+    g_signalServer.store(nullptr, std::memory_order_relaxed);
+
+    struct sigaction dfl;
+    std::memset(&dfl, 0, sizeof(dfl));
+    dfl.sa_handler = SIG_DFL;
+    sigemptyset(&dfl.sa_mask);
+    ::sigaction(SIGTERM, &dfl, nullptr);
+    ::sigaction(SIGINT, &dfl, nullptr);
+    ::sigaction(SIGPIPE, &dfl, nullptr);
 }
 
 } // namespace hwpr::serve

@@ -131,6 +131,27 @@ class Server
     std::unique_ptr<JobManager> jobs_;
 };
 
+/**
+ * Point SIGTERM and SIGINT at @p server.requestStop() via sigaction
+ * and ignore SIGPIPE. Deliberately installed WITHOUT SA_RESTART so a
+ * signal landing during a blocking syscall interrupts it with EINTR
+ * and the event loop's stop check runs immediately — std::signal's
+ * restart and reset-to-default semantics are implementation-defined
+ * (glibc's signal() implies SA_RESTART; SysV semantics would even
+ * uninstall the handler after one delivery), which is exactly the
+ * ambiguity that made the previous std::signal-based wiring
+ * unreliable. The handler itself only calls requestStop(), which is
+ * async-signal-safe (atomic store + self-pipe write).
+ */
+void installStopSignalHandlers(Server &server);
+
+/**
+ * Restore SIGTERM/SIGINT/SIGPIPE to their default dispositions and
+ * detach the server pointer. For tests that install handlers against
+ * a short-lived Server on the stack.
+ */
+void clearStopSignalHandlers();
+
 } // namespace hwpr::serve
 
 #endif // HWPR_SERVE_SERVER_H

@@ -82,6 +82,34 @@ TEST(JsonParser, RejectsMalformedInput)
                  std::runtime_error);
 }
 
+TEST(JsonParser, RejectsOutOfRangeNumbersWithByteOffset)
+{
+    // strtod saturates 1e400 to inf without setting an error; the
+    // reader must refuse it rather than let inf flow downstream.
+    EXPECT_THROW(json::parse("1e400"), std::runtime_error);
+    EXPECT_THROW(json::parse("-1e400"), std::runtime_error);
+    EXPECT_THROW(json::parse("[1, 2, 1e999]"), std::runtime_error);
+    try {
+        json::parse("{\"lat\": 1e400}");
+        FAIL() << "overflowing literal accepted";
+    } catch (const std::runtime_error &e) {
+        // The error names the offending token and its byte offset
+        // (the literal starts at byte 8 of the document).
+        EXPECT_NE(std::string(e.what()).find("out of range"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("at byte 8"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Boundary behavior: the largest finite double still parses;
+    // underflow to zero stays legal (finite, only precision lost).
+    EXPECT_DOUBLE_EQ(json::parse("1.7976931348623157e308").asNumber(),
+                     1.7976931348623157e308);
+    EXPECT_DOUBLE_EQ(json::parse("1e-999").asNumber(), 0.0);
+}
+
 TEST(JsonParser, RoundTripsARegistrySnapshot)
 {
     auto &reg = obs::Registry::global();

@@ -146,3 +146,46 @@ TEST(EncodingCacheProp, EvictionsTrackSizeExactlyOncePinnedAtCap)
     ASSERT_TRUE(cache.lookup(archNo(resident), dst.data()));
     EXPECT_EQ(dst, rowFor(resident, kWidth));
 }
+
+TEST(EncodingCacheProp, HashCollisionDegradesToMissNeverWrongRow)
+{
+    constexpr std::size_t kWidth = 4;
+    // key_bits = 0 masks every key to the same bucket: all
+    // architectures collide. Regression for the bug where a bare
+    // key match served another architecture's encoding row.
+    core::EncodingCache cache;
+    cache.init(kWidth, 32, /*key_bits=*/0);
+
+    const auto a = archNo(1);
+    const auto b = archNo(2);
+    ASSERT_FALSE(a == b);
+
+    const auto row_a = rowFor(1, kWidth);
+    cache.insert(a, row_a.data());
+
+    // The owner of the bucket still hits with its own row.
+    std::vector<double> dst(kWidth, 0.0);
+    ASSERT_TRUE(cache.lookup(a, dst.data()));
+    EXPECT_EQ(dst, row_a);
+    EXPECT_EQ(cache.collisions(), 0u);
+
+    // A different architecture mapping to the same bucket must MISS
+    // (the bug returned row_a here) and be counted as a collision
+    // and a miss — never served a foreign row.
+    std::vector<double> probe(kWidth, -7.0);
+    EXPECT_FALSE(cache.lookup(b, probe.data()));
+    EXPECT_EQ(probe, std::vector<double>(kWidth, -7.0)); // untouched
+    EXPECT_EQ(cache.collisions(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Inserting the collider overwrites the bucket (most-recent
+    // wins); the displaced architecture degrades to future misses.
+    const auto row_b = rowFor(2, kWidth);
+    cache.insert(b, row_b.data());
+    EXPECT_EQ(cache.size(), 1u);
+    ASSERT_TRUE(cache.lookup(b, dst.data()));
+    EXPECT_EQ(dst, row_b);
+    EXPECT_FALSE(cache.lookup(a, dst.data()));
+    EXPECT_EQ(cache.collisions(), 2u);
+}

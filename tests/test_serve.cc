@@ -19,8 +19,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <csignal>
+
 #include "baselines/lut.h"
 #include "common/json.h"
+#include "core/dominance.h"
+#include "nasbench/dataset.h"
 #include "nasbench/space.h"
 #include "serve/jobs.h"
 #include "serve/proto.h"
@@ -301,6 +306,13 @@ TEST(ServeProto, ParseArchsRejectsEveryMalformation)
                           "\"genome\": " +
                           genome + "}]}"));
 
+    // Overflowing numeric literals never reach parseArchs: the json
+    // reader itself rejects them (strtod would saturate 1e400 to inf,
+    // which would then masquerade as a gene value here).
+    EXPECT_THROW(tryParse("{\"archs\": [{\"space\": \"nb201\", "
+                          "\"genome\": [1e400]}]}"),
+                 std::runtime_error);
+
     // And the happy path still parses.
     const auto arch = sampleArch(nasbench::SpaceId::NasBench201, 1);
     EXPECT_TRUE(tryParse("{\"archs\": [" + archJson(arch) + "]}"));
@@ -394,6 +406,13 @@ TEST(ServeServer, MalformedRequestsGetErrorsNotDisconnects)
         "{\"op\": \"search\", \"job\": \"j1\"}");
     EXPECT_NE(resp.find("error"), nullptr);
 
+    // A numeric literal that overflows double gets an error response
+    // at parse time instead of silently becoming inf downstream.
+    resp = client.roundTrip(
+        "{\"op\": \"predict\", \"archs\": [{\"space\": \"nb201\", "
+        "\"genome\": [1e400]}]}");
+    EXPECT_NE(resp.find("error"), nullptr);
+
     // The connection survived all of it.
     resp = client.roundTrip("{\"op\": \"ping\"}");
     EXPECT_EQ(resp.stringOr("op", ""), "ping");
@@ -441,6 +460,137 @@ TEST(ServeServer, ShutdownDrainsQueuedRequestsBeforeExiting)
     EXPECT_TRUE(sawShutdown);
     EXPECT_TRUE(sawPredict);
     live.stop();
+}
+
+TEST(ServeServer, SigtermMidRequestStillDrainsAndReturns)
+{
+    baselines::LatencyLut model(nasbench::DatasetId::Cifar10,
+                                hw::PlatformId::EdgeGpu);
+    serve::ServerConfig cfg;
+    // Deadline far in the future: only quiet-poll batching or the
+    // drain can flush the queued request.
+    cfg.batchDeadlineUs = 60'000'000;
+    cfg.batchMaxArchs = 1u << 20;
+
+    serve::Server server(model, cfg);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    // The real handlers the daemon installs: sigaction without
+    // SA_RESTART, pointing at requestStop().
+    serve::installStopSignalHandlers(server);
+    std::atomic<bool> done{false};
+    std::thread loop([&] {
+        server.run();
+        done.store(true);
+    });
+
+    Client client(server.port());
+    ASSERT_TRUE(client.connected());
+    const auto arch = sampleArch(nasbench::SpaceId::NasBench201, 5);
+    client.send("{\"op\": \"predict\", \"id\": \"inflight\", "
+                "\"archs\": [" +
+                archJson(arch) + "]}");
+    // Let the loop read the frame, then deliver a real SIGTERM to the
+    // process (regression for the std::signal wiring, whose
+    // implementation-defined restart/one-shot semantics made the
+    // drain unreliable).
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_EQ(::kill(::getpid(), SIGTERM), 0);
+
+    // The in-flight request is still answered on the way out...
+    const std::string raw = client.recv();
+    ASSERT_FALSE(raw.empty());
+    const json::Value resp = json::parse(raw);
+    EXPECT_EQ(resp.stringOr("id", ""), "inflight");
+    ASSERT_NE(resp.find("predictions"), nullptr);
+    EXPECT_EQ(resp.find("predictions")->asArray().size(), 1u);
+
+    // ...and run() returns on its own, with no further nudging.
+    EXPECT_TRUE(waitFor([&] { return done.load(); }));
+    loop.join();
+    serve::clearStopSignalHandlers();
+}
+
+TEST(ServeServer, DominanceCheckpointServedWithBitwiseParity)
+{
+    // Train a tiny dominance classifier, round-trip it through the
+    // kind->loader registry, and serve the *loaded* model: the wire
+    // responses must match direct predictBatch/rankBatch calls bit
+    // for bit (%.17g survives the double round trip exactly).
+    static nasbench::Oracle oracle(nasbench::DatasetId::Cifar10);
+    Rng rng(91);
+    const auto data = nasbench::SampledDataset::sample(
+        {&nasbench::nasBench201(), &nasbench::fbnet()}, oracle, 120,
+        80, 20, rng);
+
+    core::DominanceConfig dcfg;
+    dcfg.encoder.gcnHidden = 16; // multiples of 4: lane-phase safe
+    dcfg.encoder.lstmHidden = 16;
+    dcfg.encoder.embedDim = 8;
+    dcfg.headHidden = {16, 8};
+    dcfg.referenceSize = 16;
+    dcfg.maxPairsPerEpoch = 1500;
+    dcfg.maxValPairs = 300;
+    core::DominanceSurrogate trainer(
+        dcfg, nasbench::DatasetId::Cifar10, 7);
+    core::TrainConfig tc;
+    tc.epochs = 2;
+    tc.patience = 2;
+    tc.batchSize = 64;
+    trainer.train(data.select(data.trainIdx),
+                  data.select(data.valIdx), hw::PlatformId::EdgeGpu,
+                  tc);
+
+    const std::string ckpt =
+        ::testing::TempDir() + "serve_dominance.ckpt";
+    ASSERT_TRUE(trainer.save(ckpt));
+    const auto model = core::loadSurrogate(ckpt);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->familyLabel(), "dominance");
+
+    std::vector<nasbench::Architecture> archs = {
+        sampleArch(nasbench::SpaceId::NasBench201, 0),
+        sampleArch(nasbench::SpaceId::NasBench201, 4),
+        sampleArch(nasbench::SpaceId::FBNet, 2),
+    };
+    core::BatchPlan plan;
+    const Matrix &direct = model->predictBatch(archs, plan);
+    std::vector<double> expect;
+    for (std::size_t r = 0; r < archs.size(); ++r)
+        expect.push_back(direct(r, 0));
+
+    serve::ServerConfig cfg;
+    cfg.batchDeadlineUs = 0;
+    LiveServer live(*model, cfg);
+    Client client(live.port());
+    ASSERT_TRUE(client.connected());
+
+    std::string req = "{\"op\": \"predict\", \"archs\": [";
+    for (std::size_t i = 0; i < archs.size(); ++i)
+        req += (i != 0 ? ", " : "") + archJson(archs[i]);
+    req += "]}";
+    const json::Value resp = client.roundTrip(req);
+    const json::Value *preds = resp.find("predictions");
+    ASSERT_NE(preds, nullptr);
+    ASSERT_EQ(preds->asArray().size(), archs.size());
+    for (std::size_t r = 0; r < archs.size(); ++r) {
+        const auto &row = preds->asArray()[r].asArray();
+        ASSERT_EQ(row.size(), 1u);
+        EXPECT_EQ(row[0].asNumber(), expect[r]);
+        // Scores are mean dominance probabilities: in (0, 1).
+        EXPECT_GT(row[0].asNumber(), 0.0);
+        EXPECT_LT(row[0].asNumber(), 1.0);
+    }
+
+    // The rank path is the memoized-encoder fast path; for the
+    // dominance family it is bit-identical to predict (fp64 head).
+    const json::Value ranked = client.roundTrip(
+        "{\"op\": \"rank\", \"archs\": [" + archJson(archs[0]) +
+        ", " + archJson(archs[2]) + "]}");
+    const json::Value *rrows = ranked.find("predictions");
+    ASSERT_NE(rrows, nullptr);
+    EXPECT_EQ(rrows->asArray()[0].asArray()[0].asNumber(), expect[0]);
+    EXPECT_EQ(rrows->asArray()[1].asArray()[0].asNumber(), expect[2]);
 }
 
 TEST(ServeServer, MicroBatchCoalescingPreservesPerRequestAnswers)

@@ -12,10 +12,11 @@
  * SIGTERM / SIGINT trigger the graceful drain in Server::run():
  * queued predictions are answered, the in-flight search job
  * checkpoints at its slice boundary, and a "serve" ledger record is
- * appended on the way out.
+ * appended on the way out. Handlers are installed via sigaction
+ * (serve::installStopSignalHandlers) without SA_RESTART, so a signal
+ * interrupts blocking syscalls and the drain starts immediately.
  */
 
-#include <csignal>
 #include <iostream>
 
 #include "argparse.h"
@@ -33,15 +34,6 @@ using tools::Args;
 
 namespace
 {
-
-serve::Server *g_server = nullptr;
-
-void
-onSignal(int)
-{
-    if (g_server != nullptr)
-        g_server->requestStop(); // async-signal-safe
-}
 
 void
 usage()
@@ -101,10 +93,7 @@ main(int argc, char **argv)
     if (!server.start(err))
         fatal("hwpr-serve: ", err);
 
-    g_server = &server;
-    std::signal(SIGTERM, onSignal);
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGPIPE, SIG_IGN);
+    serve::installStopSignalHandlers(server);
 
     std::cout << "hwpr-serve listening on " << server.port()
               << std::endl; // flushed: wrappers scrape the port
